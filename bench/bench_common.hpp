@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared pieces of the figure/table reproduction harness.
+//
+// Every bench binary follows the same pattern:
+//   * each sweep point is a google-benchmark entry that runs the
+//     simulation once and reports SIMULATED time via manual timing
+//     (counters carry MOPS / latency in paper units);
+//   * every point also appends a row to a collector, and main() prints
+//     the paper-style table after the gbench run — the rows a reader
+//     compares against the paper's figure.
+//
+// Workload sizes honor the RDMASEM_* environment knobs (README) so the
+// paper-scale runs are reproducible on bigger machines.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "wl/microbench.hpp"
+#include "wl/rig.hpp"
+
+namespace rdmasem::bench {
+
+// Ordered row collector: rows keyed by (series, x) so sweeps can arrive in
+// any order but print grouped by series.
+class FigureCollector {
+ public:
+  explicit FigureCollector(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  void add(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    util::Table t(header_);
+    t.set_title(title_);
+    for (const auto& r : rows_) t.add_row(r);
+    t.print();
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A microbench rig: machine0 -> machine1 with per-thread QPs over one
+// src/dst buffer pair (the §III experiments).
+struct MicroRig {
+  wl::Rig rig;
+  verbs::Buffer src;
+  verbs::Buffer dst;
+  verbs::MemoryRegion* lmr;
+  verbs::MemoryRegion* rmr;
+  std::vector<verbs::QueuePair*> qps;
+
+  MicroRig(std::size_t src_size, std::size_t dst_size, std::uint32_t threads,
+           hw::ModelParams params = hw::ModelParams::connectx3_cluster())
+      : rig(params), src(src_size), dst(dst_size) {
+    lmr = rig.ctx[0]->register_buffer(src, 1);
+    rmr = rig.ctx[1]->register_buffer(dst, 1);
+    for (std::uint32_t t = 0; t < threads; ++t)
+      qps.push_back(rig.connect(0, 1).local);
+  }
+
+  wl::BenchResult run(const verbs::WorkRequest& proto, std::uint32_t window,
+                      std::uint64_t ops_per_client) {
+    wl::ClientSpec spec;
+    spec.qps = qps;
+    spec.window = window;
+    spec.ops_per_client = ops_per_client;
+    spec.make_wr = [proto](std::uint32_t, std::uint64_t) { return proto; };
+    return wl::run_closed_loop(rig.eng, spec);
+  }
+};
+
+// Standard env-scaled op count (per client) for microbench sweeps.
+inline std::uint64_t micro_ops(std::uint64_t def = 8000) {
+  return util::env_u64("RDMASEM_MICRO_OPS", def);
+}
+
+// Reports a result through google-benchmark: manual time = simulated time,
+// plus MOPS / latency counters in paper units.
+inline void report(benchmark::State& state, const wl::BenchResult& r) {
+  state.SetIterationTime(sim::to_sec(r.elapsed));
+  state.counters["sim_MOPS"] = r.mops;
+  state.counters["sim_lat_us"] = r.avg_latency_us;
+  state.counters["per_thread_MOPS"] = r.per_thread_mops;
+}
+
+}  // namespace rdmasem::bench
+
+// Custom main: run the registered benchmarks, then print the paper table.
+#define RDMASEM_BENCH_MAIN(collector)                         \
+  int main(int argc, char** argv) {                           \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    (collector).print();                                      \
+    return 0;                                                 \
+  }

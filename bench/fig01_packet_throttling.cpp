@@ -1,0 +1,75 @@
+// Fig. 1 — Packet throttling: RDMA Write/Read latency and throughput vs
+// payload size (2 B .. 8 KB).
+//
+// Paper anchors: write/read latency 1.16/2.00 us for small payloads rising
+// to ~1.79/2.22 us near 256 B; throughput flat at ~4.7/4.2 MOPS below
+// ~256 B, then bandwidth-bound decay.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rdmasem;
+using bench::FigureCollector;
+using bench::MicroRig;
+
+FigureCollector collector(
+    "Fig. 1  Packet Throttling (Write/Read latency & throughput vs size)",
+    {"size", "write_lat_us", "read_lat_us", "write_MOPS", "read_MOPS"});
+
+struct Point {
+  double wlat, rlat, wmops, rmops, wp99;
+};
+
+void BM_fig1(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Point p{};
+  for (auto _ : state) {
+    {
+      MicroRig rig(1 << 14, 1 << 14, 1);
+      const auto wres = rig.run(
+          wl::make_write(*rig.lmr, 0, *rig.rmr, 0, size), 1,
+          bench::micro_ops(400));
+      p.wlat = wres.avg_latency_us;
+      p.wp99 = wres.p99_latency_us;
+    }
+    {
+      MicroRig rig(1 << 14, 1 << 14, 1);
+      p.rlat = rig.run(wl::make_read(*rig.lmr, 0, *rig.rmr, 0, size), 1,
+                       bench::micro_ops(400))
+                   .avg_latency_us;
+    }
+    wl::BenchResult wr, rr;
+    {
+      MicroRig rig(1 << 14, 1 << 14, 4);
+      wr = rig.run(wl::make_write(*rig.lmr, 0, *rig.rmr, 0, size), 16,
+                   bench::micro_ops());
+      p.wmops = wr.mops;
+    }
+    {
+      MicroRig rig(1 << 14, 1 << 14, 4);
+      rr = rig.run(wl::make_read(*rig.lmr, 0, *rig.rmr, 0, size), 16,
+                   bench::micro_ops());
+      p.rmops = rr.mops;
+    }
+    state.SetIterationTime(sim::to_sec(wr.elapsed + rr.elapsed));
+  }
+  state.counters["write_lat_us"] = p.wlat;
+  state.counters["read_lat_us"] = p.rlat;
+  state.counters["write_p99_us"] = p.wp99;
+  state.counters["write_MOPS"] = p.wmops;
+  state.counters["read_MOPS"] = p.rmops;
+  collector.add({util::fmt_bytes(size), util::fmt(p.wlat), util::fmt(p.rlat),
+                 util::fmt(p.wmops), util::fmt(p.rmops)});
+}
+
+BENCHMARK(BM_fig1)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RDMASEM_BENCH_MAIN(collector)

@@ -1,0 +1,141 @@
+// Fig. 6 — Sequential vs random access:
+//   (a) RDMA Read throughput, src x dst patterns, vs payload size
+//   (b) RDMA Write throughput, src x dst patterns, vs payload size
+//   (c) local DRAM read/write seq vs rand
+//   (d) 32 B random/seq writes vs registered-region size (4 KB .. 1 GB)
+//
+// Paper shape: seq-seq > mixed > rand-rand (write gap > 2x); no asymmetry
+// below ~4 MB registered (the RNIC SRAM knee); local asymmetry ~2.9x.
+
+#include "bench_common.hpp"
+#include "hw/dram.hpp"
+
+namespace {
+
+using namespace rdmasem;
+using bench::FigureCollector;
+
+FigureCollector collector(
+    "Fig. 6  Sequential vs random access (MOPS)",
+    {"panel", "x", "seq-seq", "seq-rand", "rand-seq", "rand-rand"});
+
+// (src_random, dst_random) patterned ops over `region`-sized MRs.
+double pattern_mops(verbs::Opcode op, bool src_random, bool dst_random,
+                    std::size_t region, std::uint32_t size,
+                    std::uint64_t ops) {
+  bench::MicroRig rig(region, region, 4);
+  sim::Rng rng(13);
+  std::uint64_t seq = 0;
+  const std::uint64_t slots = region / size;
+  wl::ClientSpec spec;
+  spec.qps = rig.qps;
+  spec.window = 16;
+  spec.ops_per_client = ops;
+  spec.make_wr = [&](std::uint32_t, std::uint64_t) {
+    const std::uint64_t s = ++seq;
+    const std::uint64_t src_off =
+        (src_random ? rng.uniform(slots) : s % slots) * size;
+    const std::uint64_t dst_off =
+        (dst_random ? rng.uniform(slots) : s % slots) * size;
+    return op == verbs::Opcode::kWrite
+               ? wl::make_write(*rig.lmr, src_off, *rig.rmr, dst_off, size)
+               : wl::make_read(*rig.lmr, src_off, *rig.rmr, dst_off, size);
+  };
+  return wl::run_closed_loop(rig.rig.eng, spec).mops;
+}
+
+void sweep_panel(benchmark::State& state, verbs::Opcode op, const char* name) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t region = util::env_u64("RDMASEM_FIG6_REGION", 256u << 20);
+  const std::uint64_t ops = bench::micro_ops(4000);
+  double ss = 0, sr = 0, rs = 0, rr = 0;
+  for (auto _ : state) {
+    ss = pattern_mops(op, false, false, region, size, ops);
+    sr = pattern_mops(op, false, true, region, size, ops);
+    rs = pattern_mops(op, true, false, region, size, ops);
+    rr = pattern_mops(op, true, true, region, size, ops);
+    state.SetIterationTime(1e-3);
+  }
+  state.counters["seq_seq"] = ss;
+  state.counters["rand_rand"] = rr;
+  collector.add({name, util::fmt_bytes(size), util::fmt(ss), util::fmt(sr),
+                 util::fmt(rs), util::fmt(rr)});
+}
+
+void BM_fig6a_read(benchmark::State& state) {
+  sweep_panel(state, verbs::Opcode::kRead, "a:read");
+}
+void BM_fig6b_write(benchmark::State& state) {
+  sweep_panel(state, verbs::Opcode::kWrite, "b:write");
+}
+
+// (c) Local DRAM seq vs rand.
+void BM_fig6c_local(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  const std::uint64_t n = bench::micro_ops(20000);
+  const std::uint64_t region = 1u << 30;
+  auto run_local = [&](bool write, bool random) {
+    hw::ModelParams p;
+    hw::DramModel dram(p);
+    sim::Rng rng(5);
+    sim::Duration total = 0;
+    std::uint64_t addr = 0;
+    const auto op =
+        write ? hw::DramModel::Op::kWrite : hw::DramModel::Op::kRead;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t a =
+          random ? rng.uniform(region / size) * size : (addr += size) % region;
+      total += dram.access(a, size, op);
+    }
+    return static_cast<double>(n) / sim::to_us(total);
+  };
+  double ws = 0, wr = 0, rs = 0, rr = 0;
+  for (auto _ : state) {
+    ws = run_local(true, false);
+    wr = run_local(true, true);
+    rs = run_local(false, false);
+    rr = run_local(false, true);
+    state.SetIterationTime(1e-3);
+  }
+  state.counters["write_seq"] = ws;
+  state.counters["write_rand"] = wr;
+  collector.add({"c:local", util::fmt_bytes(size), util::fmt(ws) + "/w",
+                 util::fmt(rs) + "/r", util::fmt(wr) + "/w",
+                 util::fmt(rr) + "/r"});
+}
+
+// (d) 32 B writes vs registered-region size.
+void BM_fig6d_region(benchmark::State& state) {
+  const std::size_t region = static_cast<std::size_t>(state.range(0)) << 10;
+  const std::uint64_t ops = bench::micro_ops(4000);
+  double ss = 0, sr = 0, rs = 0, rr = 0;
+  for (auto _ : state) {
+    ss = pattern_mops(verbs::Opcode::kWrite, false, false, region, 32, ops);
+    sr = pattern_mops(verbs::Opcode::kWrite, false, true, region, 32, ops);
+    rs = pattern_mops(verbs::Opcode::kWrite, true, false, region, 32, ops);
+    rr = pattern_mops(verbs::Opcode::kWrite, true, true, region, 32, ops);
+    state.SetIterationTime(1e-3);
+  }
+  state.counters["seq_seq"] = ss;
+  state.counters["rand_rand"] = rr;
+  collector.add({"d:region", util::fmt_bytes(region), util::fmt(ss),
+                 util::fmt(sr), util::fmt(rs), util::fmt(rr)});
+}
+
+BENCHMARK(BM_fig6a_read)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(2048)->Arg(8192)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_fig6b_write)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(2048)->Arg(8192)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_fig6c_local)
+    ->Arg(8)->Arg(64)->Arg(512)->Arg(4096)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+// Region sizes in KB: 4K, 4M, 16M, 64M, 256M, 1G.
+BENCHMARK(BM_fig6d_region)
+    ->Arg(4)->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144)->Arg(1048576)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RDMASEM_BENCH_MAIN(collector)

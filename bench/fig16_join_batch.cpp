@@ -1,0 +1,77 @@
+// Fig. 16 — Distributed join:
+//   (a) execution time vs batch size (1..32), theta in {4,16}, +/- NUMA
+//   (b) 1/time vs executor count vs the ideal linear-scaling line,
+//       unbatched and batch 4/16.
+//
+// Paper shape: batching cuts time by up to ~37%; NUMA-awareness by
+// 12-30%; batch 16 stays within ~22% of ideal scaling.
+
+#include "apps/join/join.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rdmasem;
+namespace jn = apps::join;
+using bench::FigureCollector;
+
+FigureCollector collector(
+    "Fig. 16  Distributed join: batch size (a) and thread scaling (b)",
+    {"panel", "x", "config", "seconds", "inv_seconds"});
+
+jn::Result run_join_cfg(std::uint32_t executors, std::uint32_t batch,
+                        bool numa) {
+  wl::Rig rig;
+  jn::Config cfg;
+  cfg.tuples = util::env_u64("RDMASEM_JOIN_TUPLES", 1 << 17);
+  cfg.executors = executors;
+  cfg.batch_size = batch;
+  cfg.numa_aware = numa;
+  const auto r = jn::run_join(rig.contexts(), cfg);
+  RDMASEM_CHECK_MSG(r.verified(), "join produced wrong match count");
+  return r;
+}
+
+void BM_fig16a(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  const auto theta = static_cast<std::uint32_t>(state.range(1));
+  const bool numa = state.range(2) != 0;
+  double secs = 0;
+  for (auto _ : state) {
+    const auto r = run_join_cfg(theta, batch, numa);
+    secs = r.seconds;
+    state.SetIterationTime(r.seconds);
+  }
+  state.counters["seconds"] = secs;
+  const std::string config = std::string(numa ? "NUMA" : "noNUMA") +
+                             ",theta=" + std::to_string(theta);
+  collector.add({"a:batch", std::to_string(batch), config, util::fmt(secs, 3),
+                 util::fmt(1.0 / secs, 3)});
+}
+
+void BM_fig16b(benchmark::State& state) {
+  const auto execs = static_cast<std::uint32_t>(state.range(0));
+  const auto batch = static_cast<std::uint32_t>(state.range(1));
+  double secs = 0;
+  for (auto _ : state) {
+    const auto r = run_join_cfg(execs, batch, true);
+    secs = r.seconds;
+    state.SetIterationTime(r.seconds);
+  }
+  state.counters["inv_seconds"] = 1.0 / secs;
+  const std::string config =
+      batch <= 1 ? "w/o batch" : "lambda=" + std::to_string(batch);
+  collector.add({"b:threads", std::to_string(execs), config,
+                 util::fmt(secs, 3), util::fmt(1.0 / secs, 3)});
+}
+
+BENCHMARK(BM_fig16a)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32}, {4, 16}, {0, 1}})
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_fig16b)
+    ->ArgsProduct({{1, 2, 4, 8, 12, 16}, {1, 4, 16}})
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RDMASEM_BENCH_MAIN(collector)

@@ -1,0 +1,48 @@
+// Table II — local vs remote-socket DRAM latency/bandwidth (Intel MLC
+// style, via the host memory model).
+//
+// Paper anchors: 92 ns / 3.70 GB/s local socket; 162 ns / 2.27 GB/s
+// remote socket.
+
+#include "bench_common.hpp"
+#include "hw/dram.hpp"
+
+namespace {
+
+using namespace rdmasem;
+using bench::FigureCollector;
+
+FigureCollector collector(
+    "Table II  Local vs remote socket DRAM (MLC-style)",
+    {"type", "latency_ns", "bandwidth_GBps"});
+
+void BM_table2(benchmark::State& state) {
+  const bool remote = state.range(0) != 0;
+  hw::ModelParams p;
+  hw::DramModel dram(p);
+  double lat = 0, bw = 0;
+  for (auto _ : state) {
+    lat = sim::to_ns(dram.idle_latency(!remote));
+    // Streaming bandwidth: time N MB of sequential traffic.
+    const std::size_t chunk = 1 << 20;
+    const int chunks = 64;
+    sim::Duration total = 0;
+    for (int i = 0; i < chunks; ++i) total += dram.stream(chunk, !remote);
+    bw = static_cast<double>(chunk) * chunks / sim::to_sec(total) / 1e9;
+    state.SetIterationTime(sim::to_sec(total));
+  }
+  state.counters["latency_ns"] = lat;
+  state.counters["bandwidth_GBps"] = bw;
+  collector.add({remote ? "remote socket" : "local socket",
+                 util::fmt(lat, 0), util::fmt(bw)});
+}
+
+BENCHMARK(BM_table2)
+    ->Arg(0)->Arg(1)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RDMASEM_BENCH_MAIN(collector)

@@ -1,0 +1,98 @@
+// remote_queue: a multi-producer queue living entirely in ANOTHER
+// machine's memory, built from the typed RemoteRegion API — the paper's
+// "remote memory as a first-class data-structure substrate" theme
+// (§IV-A class I) in ~60 lines of data-structure code.
+//
+// Layout in remote memory:
+//   [ tail u64 | pad | slots: 64 B each ]
+// Producers claim a slot with one remote fetch-and-add, then write the
+// record with one RDMA write — the same reserve-then-write protocol as
+// the distributed log, expressed through RemotePtr/RemoteRegion.
+
+#include <cstdio>
+#include <cstring>
+
+#include "remem/region.hpp"
+#include "sim/sync.hpp"
+#include "wl/rig.hpp"
+
+using namespace rdmasem;
+
+namespace {
+
+constexpr std::uint64_t kSlots = 256;
+constexpr std::uint64_t kSlotBytes = 64;
+constexpr std::uint64_t kSlotsBase = 64;
+
+struct Item {
+  std::uint64_t producer;
+  std::uint64_t seq;
+  char payload[40];
+  std::uint64_t ready;  // last field written; slot is valid once != 0
+};
+static_assert(sizeof(Item) <= kSlotBytes);
+
+sim::Task producer(wl::Rig& rig, remem::RemoteRegion& region,
+                   std::uint64_t id, std::uint64_t count,
+                   sim::CountdownLatch& done) {
+  remem::RemotePtr<std::uint64_t> tail(region, 0);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t slot = co_await tail.fetch_add(1);  // claim
+    Item item{};
+    item.producer = id;
+    item.seq = i;
+    std::snprintf(item.payload, sizeof item.payload, "p%llu-item%llu",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(i));
+    item.ready = 1;
+    co_await region.write(kSlotsBase + slot * kSlotBytes, item);  // publish
+  }
+  (void)rig;
+  done.count_down();
+}
+
+}  // namespace
+
+int main() {
+  wl::Rig rig;
+
+  // The queue's backing store lives on machine 0; producers run on
+  // machines 1..4 and never involve machine 0's CPU.
+  verbs::Buffer backing(kSlotsBase + kSlots * kSlotBytes);
+  auto* mr = rig.ctx[0]->register_buffer(backing, 1);
+
+  const std::uint64_t producers = 4, per_producer = 32;
+  sim::CountdownLatch done(rig.eng, producers);
+  std::vector<std::unique_ptr<remem::RemoteRegion>> regions;
+  for (std::uint64_t p = 0; p < producers; ++p) {
+    auto conn = rig.connect(static_cast<std::uint32_t>(1 + p), 0);
+    regions.push_back(std::make_unique<remem::RemoteRegion>(
+        *conn.local, mr->addr, mr->key, backing.size()));
+    rig.eng.spawn(producer(rig, *regions.back(), p, per_producer, done));
+  }
+  rig.eng.run();
+
+  // Consume host-side (the queue owner drains its own memory).
+  std::uint64_t tail = 0;
+  std::memcpy(&tail, backing.data(), 8);
+  std::uint64_t per[4] = {};
+  bool all_ready = true;
+  for (std::uint64_t s = 0; s < tail; ++s) {
+    Item item{};
+    std::memcpy(&item, backing.data() + kSlotsBase + s * kSlotBytes,
+                sizeof item);
+    if (!item.ready) all_ready = false;
+    if (item.producer < 4) ++per[item.producer];
+  }
+  std::printf("remote MPSC queue: %llu items claimed, all published: %s\n",
+              static_cast<unsigned long long>(tail),
+              all_ready ? "yes" : "NO");
+  for (int p = 0; p < 4; ++p)
+    std::printf("  producer %d contributed %llu items\n", p,
+                static_cast<unsigned long long>(per[p]));
+  std::printf("total simulated time: %.1f us (%llu FAAs + %llu writes)\n",
+              sim::to_us(rig.eng.now()),
+              static_cast<unsigned long long>(producers * per_producer),
+              static_cast<unsigned long long>(producers * per_producer));
+  return tail == producers * per_producer && all_ready ? 0 : 1;
+}

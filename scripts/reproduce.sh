@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, run every paper
+# figure/table bench plus the extension experiments, and leave the
+# transcripts next to the sources (test_output.txt / bench_output.txt).
+#
+# Paper-scale workloads: export the RDMASEM_* knobs documented in README.md
+# before running, e.g.
+#   RDMASEM_JOIN_SCALE_SHIFT=24 RDMASEM_HT_KEYS=1m ./scripts/reproduce.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

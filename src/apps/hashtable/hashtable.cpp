@@ -1,0 +1,358 @@
+#include "apps/hashtable/hashtable.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::apps::hashtable {
+
+namespace {
+constexpr std::uint64_t kSlotHeader = 16;  // seq u64 + key u64
+}
+
+// ---------------------------------------------------------------------------
+// Backend layout
+
+Backend::Backend(verbs::Context& ctx, const Config& cfg)
+    : cfg_(&cfg), ctx_(&ctx) {
+  hot_keys_ = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.num_keys) * cfg.hot_fraction);
+  // Per-socket region: [cold entries][hot blocks]. Keys are striped across
+  // sockets by their low bit; slots for *all* keys exist in the cold area
+  // so toggling optimizations never changes addressing.
+  const std::uint64_t keys_per_socket = (cfg.num_keys + 1) / 2;
+  const std::uint64_t hot_per_socket = (hot_keys_ + 1) / 2;
+  const std::uint64_t hot_blocks =
+      (hot_per_socket + cfg.entries_per_block - 1) / cfg.entries_per_block;
+  const std::uint64_t bytes = keys_per_socket * cold_entry_bytes() +
+                              hot_blocks * hot_block_bytes();
+  for (hw::SocketId s = 0; s < 2; ++s) {
+    mem_.emplace_back(bytes);
+    regions_.push_back(ctx_->register_buffer(mem_.back(), s));
+  }
+}
+
+std::uint64_t Backend::cold_entry_bytes() const {
+  return 8 + cfg_->versions * (kSlotHeader + cfg_->value_size);
+}
+
+std::uint64_t Backend::cold_addr(std::uint64_t key) const {
+  const auto s = socket_of(key);
+  return regions_[s]->addr + (key >> 1) * cold_entry_bytes();
+}
+
+std::uint64_t Backend::cold_slot_addr(std::uint64_t key,
+                                      std::uint64_t version) const {
+  return cold_addr(key) + 8 +
+         (version % cfg_->versions) * (kSlotHeader + cfg_->value_size);
+}
+
+std::uint64_t Backend::hot_block_bytes() const {
+  return 8 + cfg_->entries_per_block * cfg_->value_size;
+}
+
+std::uint64_t Backend::hot_region_addr(hw::SocketId s) const {
+  const std::uint64_t keys_per_socket = (cfg_->num_keys + 1) / 2;
+  return regions_[s]->addr + keys_per_socket * cold_entry_bytes();
+}
+
+std::uint64_t Backend::hot_region_size() const {
+  const std::uint64_t hot_per_socket = (hot_keys_ + 1) / 2;
+  const std::uint64_t hot_blocks =
+      (hot_per_socket + cfg_->entries_per_block - 1) / cfg_->entries_per_block;
+  return hot_blocks * hot_block_bytes();
+}
+
+std::uint64_t Backend::hot_block_addr(std::uint64_t block) const {
+  // Block addresses are per-socket; callers pair this with the socket's
+  // region. The block id is already socket-local.
+  return block * hot_block_bytes();
+}
+
+std::uint64_t Backend::hot_entry_off(std::uint64_t key) const {
+  const std::uint64_t hkey = key >> 1;  // index within its socket
+  const std::uint64_t block = hkey / cfg_->entries_per_block;
+  const std::uint64_t slot = hkey % cfg_->entries_per_block;
+  return block * hot_block_bytes() + 8 + slot * cfg_->value_size;
+}
+
+// ---------------------------------------------------------------------------
+// Deployment
+
+std::unique_ptr<FrontEnd> DisaggHashTable::add_front_end(
+    verbs::Context& ctx, hw::SocketId socket) {
+  RDMASEM_CHECK_MSG(cfg_.value_size + 32 + kSlotHeader <= FrontEnd::kSlotBytes,
+                    "value too large for a front-end scratch slot");
+  auto fe = std::unique_ptr<FrontEnd>(new FrontEnd());
+  fe->cfg_ = &cfg_;
+  fe->backend_ = &backend_;
+  fe->ctx_ = &ctx;
+  fe->socket_ = socket;
+  fe->scratch_ = verbs::Buffer(FrontEnd::kSlots * FrontEnd::kSlotBytes);
+  fe->scratch_mr_ = ctx.register_buffer(fe->scratch_, socket);
+  fe->slot_sem_ = std::make_unique<sim::Semaphore>(ctx.engine(),
+                                                   FrontEnd::kSlots);
+  for (std::uint32_t s = 0; s < FrontEnd::kSlots; ++s)
+    fe->free_slots_.push_back(s);
+
+  auto& bctx = backend_.ctx();
+  auto connect_pair = [&](verbs::QpConfig a,
+                          verbs::QpConfig b) -> verbs::QueuePair* {
+    if (a.cq == nullptr) a.cq = ctx.create_cq();
+    if (b.cq == nullptr) b.cq = bctx.create_cq();
+    auto* qa = ctx.create_qp(a);
+    auto* qb = bctx.create_qp(b);
+    verbs::Context::connect(*qa, *qb);
+    return qa;
+  };
+
+  const auto& p = ctx.params();
+  if (cfg_.numa_aware) {
+    // Socket-matched QPs to each backend socket + proxy routing.
+    fe->router_ = std::make_unique<remem::ProxySocketRouter>(ctx.engine(), p);
+    for (hw::SocketId s = 0; s < 2; ++s) {
+      verbs::QpConfig a{.port = s, .core_socket = s, .cq = nullptr};
+      verbs::QpConfig b{.port = s, .core_socket = s, .cq = nullptr};
+      auto* qp = connect_pair(a, b);
+      fe->qps_.push_back(qp);
+      fe->router_->add_route(s, cfg_.backend_machine, qp);
+    }
+  } else {
+    // Basic placement: one QP on the NIC's default port regardless of
+    // where this thread or the target memory lives.
+    verbs::QpConfig a{.port = p.rnic_socket, .core_socket = socket,
+                      .cq = nullptr};
+    verbs::QpConfig b{.port = p.rnic_socket, .core_socket = p.rnic_socket,
+                      .cq = nullptr};
+    fe->qps_.push_back(connect_pair(a, b));
+  }
+
+  if (cfg_.consolidate) {
+    for (hw::SocketId s = 0; s < 2; ++s) {
+      auto* qp = cfg_.numa_aware ? fe->qps_[s] : fe->qps_[0];
+      fe->locks_.push_back(std::make_unique<remem::RemoteLockClient>(
+          *qp, remem::BackoffPolicy::exponential()));
+      auto cons = std::make_unique<remem::Consolidator>(
+          *qp, backend_.hot_region_addr(s), backend_.region(s)->key,
+          backend_.hot_region_size(),
+          remem::Consolidator::Config{.block_size = backend_.hot_block_bytes(),
+                                      .theta = cfg_.theta,
+                                      .timeout = cfg_.lease,
+                                      .async_flush = true});
+      FrontEnd* raw = fe.get();
+      cons->set_flush_hooks(
+          [raw, s](std::uint64_t block) -> sim::TaskT<void> {
+            co_await raw->lease_before_flush(s, block);
+          },
+          [raw, s](std::uint64_t block) -> sim::TaskT<void> {
+            co_await raw->lease_after_flush(s, block);
+          });
+      fe->cons_.push_back(std::move(cons));
+    }
+  }
+  return fe;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-block lease management
+
+sim::TaskT<void> FrontEnd::lease_before_flush(hw::SocketId s,
+                                              std::uint64_t block) {
+  // One remote-spinlock acquisition per flush (exponential backoff). The
+  // flush runs on a background chain, so writers never wait on the lock.
+  co_await locks_[s]->lock(
+      backend_->hot_region_addr(s) + backend_->hot_block_addr(block),
+      backend_->region(s)->key);
+}
+
+sim::TaskT<void> FrontEnd::lease_after_flush(hw::SocketId s,
+                                             std::uint64_t block) {
+  co_await locks_[s]->unlock(
+      backend_->hot_region_addr(s) + backend_->hot_block_addr(block),
+      backend_->region(s)->key);
+}
+
+// ---------------------------------------------------------------------------
+// FrontEnd operations
+
+sim::TaskT<verbs::Completion> FrontEnd::issue(hw::SocketId target_socket,
+                                              verbs::WorkRequest wr) {
+  if (cfg_->numa_aware) {
+    co_return co_await router_->submit(socket_, target_socket,
+                                       cfg_->backend_machine, std::move(wr));
+  }
+  co_return co_await qps_[0]->execute(std::move(wr));
+}
+
+sim::TaskT<std::uint32_t> FrontEnd::acquire_slot() {
+  co_await slot_sem_->acquire();
+  RDMASEM_CHECK(!free_slots_.empty());
+  const std::uint32_t s = free_slots_.back();
+  free_slots_.pop_back();
+  co_return s;
+}
+
+void FrontEnd::release_slot(std::uint32_t slot) {
+  free_slots_.push_back(slot);
+  slot_sem_->release();
+}
+
+sim::TaskT<void> FrontEnd::put(std::uint64_t key,
+                               std::span<const std::byte> value) {
+  RDMASEM_CHECK_MSG(value.size() == cfg_->value_size, "bad value size");
+  ++puts_;
+  // Request parsing + key hash on the front-end core.
+  co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
+  if (cfg_->consolidate && backend_->is_hot(key)) {
+    co_await put_hot(key, value);
+  } else {
+    const std::uint32_t slot = co_await acquire_slot();
+    co_await put_cold(key, value, slot * kSlotBytes, /*tombstone=*/false);
+    release_slot(slot);
+  }
+}
+
+sim::TaskT<void> FrontEnd::remove(std::uint64_t key) {
+  co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
+  std::vector<std::byte> zero(cfg_->value_size);
+  if (cfg_->consolidate && backend_->is_hot(key)) {
+    // Hot entries carry no presence header; a delete zeroes the slot.
+    co_await put_hot(key, zero);
+    co_return;
+  }
+  const std::uint32_t slot = co_await acquire_slot();
+  co_await put_cold(key, zero, slot * kSlotBytes, /*tombstone=*/true);
+  release_slot(slot);
+}
+
+sim::TaskT<void> FrontEnd::put_hot(std::uint64_t key,
+                                   std::span<const std::byte> value) {
+  // Burst-buffer the write; the consolidator flushes the block's dirty
+  // extent under its remote spinlock when theta trips or the lease ends.
+  co_await cons_[backend_->socket_of(key)]->write(backend_->hot_entry_off(key),
+                                                  value);
+}
+
+sim::TaskT<void> FrontEnd::put_cold(std::uint64_t key,
+                                    std::span<const std::byte> value,
+                                    std::uint64_t slot_off,
+                                    bool tombstone) {
+  const auto s = backend_->socket_of(key);
+  const std::uint32_t rkey = backend_->region(s)->key;
+  std::uint64_t version = 1;
+
+  if (cfg_->consolidate) {
+    // Full design: multi-version concurrency — claim a slot with FAA.
+    verbs::WorkRequest faa;
+    faa.opcode = verbs::Opcode::kFetchAdd;
+    faa.sg_list = {{scratch_mr_->addr + slot_off, 8, scratch_mr_->key}};
+    faa.remote_addr = backend_->cold_addr(key);
+    faa.rkey = rkey;
+    faa.swap_or_add = 1;
+    const auto c = co_await issue(s, std::move(faa));
+    RDMASEM_CHECK_MSG(c.ok(), "cold FAA failed");
+    version = c.atomic_old + 1;
+  }
+
+  // Build the record in this request's scratch slot: [seq | key | value].
+  // A tombstone writes seq = 0, which readers interpret as not-found.
+  const std::uint64_t seq = tombstone ? 0 : version;
+  std::byte* rec = scratch_.data() + slot_off + 16;
+  std::memcpy(rec, &seq, 8);
+  std::memcpy(rec + 8, &key, 8);
+  std::memcpy(rec + 16, value.data(), value.size());
+  co_await sim::delay(ctx_->engine(),
+                      ctx_->params().memcpy_time(value.size()));
+
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{scratch_mr_->addr + slot_off + 16,
+                 static_cast<std::uint32_t>(kSlotHeader + value.size()),
+                 scratch_mr_->key}};
+  wr.remote_addr = cfg_->consolidate ? backend_->cold_slot_addr(key, version)
+                                     : backend_->cold_slot_addr(key, 0);
+  wr.rkey = rkey;
+  const auto c = co_await issue(s, std::move(wr));
+  RDMASEM_CHECK_MSG(c.ok(), "cold write failed");
+}
+
+sim::TaskT<std::vector<std::byte>> FrontEnd::get(std::uint64_t key) {
+  co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
+  const auto s = backend_->socket_of(key);
+  const std::uint32_t rkey = backend_->region(s)->key;
+  std::vector<std::byte> out(cfg_->value_size);
+
+  if (cfg_->consolidate && backend_->is_hot(key)) {
+    const std::uint64_t hoff = backend_->hot_entry_off(key);
+    const std::uint64_t block = hoff / backend_->hot_block_bytes();
+    if (cons_[s]->block_dirty(block)) {
+      // Our burst buffer holds the freshest copy: serve locally.
+      const auto shadow = cons_[s]->shadow();
+      std::memcpy(out.data(), shadow.data() + hoff, out.size());
+      co_await sim::delay(ctx_->engine(),
+                          ctx_->params().memcpy_time(out.size()));
+      co_return out;
+    }
+    // Clean block: another front-end may have written it — read the hot
+    // area remotely (and refresh nothing; the shadow is write-behind).
+    const std::uint32_t slot = co_await acquire_slot();
+    const std::uint64_t soff = slot * kSlotBytes;
+    verbs::WorkRequest rd;
+    rd.opcode = verbs::Opcode::kRead;
+    rd.sg_list = {{scratch_mr_->addr + soff,
+                   static_cast<std::uint32_t>(cfg_->value_size),
+                   scratch_mr_->key}};
+    rd.remote_addr = backend_->hot_region_addr(s) + hoff;
+    rd.rkey = backend_->region(s)->key;
+    const auto c = co_await issue(s, std::move(rd));
+    RDMASEM_CHECK_MSG(c.ok(), "hot read failed");
+    std::memcpy(out.data(), scratch_.data() + soff, out.size());
+    release_slot(slot);
+    co_return out;
+  }
+
+  const std::uint32_t slot = co_await acquire_slot();
+  const std::uint64_t off = slot * kSlotBytes;
+  std::uint64_t version = 0;
+  if (cfg_->consolidate) {
+    verbs::WorkRequest rd;
+    rd.opcode = verbs::Opcode::kRead;
+    rd.sg_list = {{scratch_mr_->addr + off, 8, scratch_mr_->key}};
+    rd.remote_addr = backend_->cold_addr(key);
+    rd.rkey = rkey;
+    const auto c = co_await issue(s, std::move(rd));
+    RDMASEM_CHECK_MSG(c.ok(), "cold version read failed");
+    std::memcpy(&version, scratch_.data() + off, 8);
+    if (version == 0) {
+      release_slot(slot);
+      co_return std::vector<std::byte>{};  // never written
+    }
+  }
+
+  verbs::WorkRequest rd;
+  rd.opcode = verbs::Opcode::kRead;
+  rd.sg_list = {{scratch_mr_->addr + off + 16,
+                 static_cast<std::uint32_t>(kSlotHeader + cfg_->value_size),
+                 scratch_mr_->key}};
+  rd.remote_addr = backend_->cold_slot_addr(key, version);
+  rd.rkey = rkey;
+  const auto c = co_await issue(s, std::move(rd));
+  RDMASEM_CHECK_MSG(c.ok(), "cold slot read failed");
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, scratch_.data() + off + 16, 8);
+  if (seq == 0) {
+    release_slot(slot);
+    co_return std::vector<std::byte>{};  // empty slot
+  }
+  std::memcpy(out.data(), scratch_.data() + off + 32, out.size());
+  release_slot(slot);
+  co_return out;
+}
+
+sim::TaskT<void> FrontEnd::drain() {
+  for (auto& c : cons_)
+    if (c) co_await c->flush_all();
+}
+
+}  // namespace rdmasem::apps::hashtable

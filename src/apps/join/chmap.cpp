@@ -1,0 +1,39 @@
+#include "apps/join/chmap.hpp"
+
+#include <bit>
+
+namespace rdmasem::apps::join {
+
+ConcurrentHashMap::ConcurrentHashMap(std::uint64_t expected_entries,
+                                     std::uint32_t shards) {
+  RDMASEM_CHECK_MSG(shards > 0, "need at least one shard");
+  // Size for <= 50% load per shard, rounded to a power of two.
+  const std::uint64_t per_shard =
+      std::max<std::uint64_t>(64, (expected_entries / shards + 1) * 2);
+  const std::uint64_t cap = std::bit_ceil(per_shard);
+  shards_.resize(shards);
+  for (auto& sh : shards_) {
+    sh.capacity = cap;
+    sh.slots.resize(cap);
+  }
+}
+
+void ConcurrentHashMap::insert(std::uint64_t key, std::uint64_t value) {
+  Shard& sh = shard_for(key);
+  std::uint64_t idx = probe_start(sh, key);
+  for (std::uint64_t step = 0; step < sh.capacity; ++step) {
+    Slot& s = sh.slots[idx];
+    if (!s.used) {
+      s.key = key;
+      s.value = value;
+      s.used = true;
+      ++size_;
+      max_probe_ = std::max(max_probe_, step);
+      return;
+    }
+    idx = (idx + 1) & (sh.capacity - 1);
+  }
+  RDMASEM_CHECK_MSG(false, "hash map shard full");
+}
+
+}  // namespace rdmasem::apps::join

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::apps::join {
+
+// ConcurrentHashMap — the build-probe substrate replacing Intel TBB's
+// concurrent_hash_map (§IV-D). Sharded open-addressing tables with linear
+// probing; capacity is fixed at construction (the join sizes it from the
+// partition cardinality). "Concurrent" refers to the simulated execution
+// model: executor coroutines interleave on the virtual clock inside one
+// OS thread, so shards need no real locks — they model TBB's structure
+// and give the cost model its per-shard accounting hooks.
+//
+// Values are uint64 payloads (join tuples); duplicate keys are allowed
+// (multimap semantics, as required by joins over non-unique keys):
+// insert() always appends, find_all() visits every match.
+class ConcurrentHashMap {
+ public:
+  explicit ConcurrentHashMap(std::uint64_t expected_entries,
+                             std::uint32_t shards = 16);
+
+  void insert(std::uint64_t key, std::uint64_t value);
+
+  // Visits every value stored under `key`; returns the match count.
+  template <typename Fn>
+  std::uint64_t find_all(std::uint64_t key, Fn&& fn) const {
+    const Shard& sh = shard_for(key);
+    std::uint64_t matches = 0;
+    std::uint64_t idx = probe_start(sh, key);
+    for (std::uint64_t step = 0; step < sh.capacity; ++step) {
+      const Slot& s = sh.slots[idx];
+      if (!s.used) break;
+      if (s.key == key) {
+        fn(s.value);
+        ++matches;
+      }
+      idx = (idx + 1) & (sh.capacity - 1);
+    }
+    return matches;
+  }
+
+  std::uint64_t count(std::uint64_t key) const {
+    return find_all(key, [](std::uint64_t) {});
+  }
+  std::uint64_t size() const { return size_; }
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  // Largest probe sequence seen by insert (load-factor health check).
+  std::uint64_t max_probe() const { return max_probe_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    bool used = false;
+  };
+  struct Shard {
+    std::uint64_t capacity = 0;  // power of two
+    std::vector<Slot> slots;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  const Shard& shard_for(std::uint64_t key) const {
+    return shards_[mix(key) % shards_.size()];
+  }
+  Shard& shard_for(std::uint64_t key) {
+    return shards_[mix(key) % shards_.size()];
+  }
+  std::uint64_t probe_start(const Shard& sh, std::uint64_t key) const {
+    return (mix(key) >> 17) & (sh.capacity - 1);
+  }
+
+  std::vector<Shard> shards_;
+  std::uint64_t size_ = 0;
+  std::uint64_t max_probe_ = 0;
+};
+
+}  // namespace rdmasem::apps::join

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/shuffle/shuffle.hpp"
+#include "verbs/context.hpp"
+
+namespace rdmasem::apps::join {
+
+// Distributed hash join (§IV-D): partition phase (the §IV-C shuffle with
+// SGL batching) followed by a build-probe phase on each executor's
+// partition using the from-scratch ConcurrentHashMap.
+//
+// The relations are synthetic but exactly verifiable: the inner relation R
+// holds `tuples` unique keys; the outer relation S repeats the first half
+// of R's keys and pads with non-matching keys, so the join must produce
+// exactly tuples/2 matches regardless of executor count, batching or
+// placement.
+struct Config {
+  std::uint64_t tuples = 1 << 18;  // per relation (paper: 16M, scaled)
+  std::uint32_t executors = 4;     // theta
+  std::uint32_t batch_size = 16;   // lambda; 1 = effectively unbatched
+  shuffle::BatchMode batch = shuffle::BatchMode::kSgl;
+  bool numa_aware = true;
+  bool distributed = true;         // false = single-machine baseline
+  std::uint32_t machines = 8;
+  std::uint64_t seed = 7;
+};
+
+struct Result {
+  double seconds = 0;              // end-to-end execution time
+  double partition_seconds = 0;
+  double build_probe_seconds = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t expected_matches = 0;
+  bool verified() const { return matches == expected_matches; }
+};
+
+// Runs the join once on the given per-machine contexts.
+Result run_join(std::vector<verbs::Context*> ctxs, const Config& cfg);
+
+// Key generators shared with tests: R is injective, S half-matching.
+std::uint64_t r_key(std::uint64_t global_index);
+std::uint64_t s_key(std::uint64_t global_index, std::uint64_t tuples);
+
+}  // namespace rdmasem::apps::join

@@ -1,0 +1,28 @@
+#include "cluster/cluster.hpp"
+
+namespace rdmasem::cluster {
+
+Machine::Machine(sim::Engine& engine, const hw::ModelParams& params,
+                 MachineId id)
+    : id_(id),
+      p_(params),
+      topo_(params),
+      rnic_(engine, params, params.rnic_ports, "m" + std::to_string(id)),
+      coherence_(engine, params) {
+  for (SocketId s = 0; s < params.sockets_per_machine; ++s) {
+    dram_.push_back(std::make_unique<hw::DramModel>(p_));
+    mem_channel_.push_back(std::make_unique<sim::Resource>(
+        engine, 1, "m" + std::to_string(id) + ".mem" + std::to_string(s)));
+  }
+}
+
+Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
+    : engine_(engine),
+      p_(params),
+      fabric_(engine, p_, params.machines, params.rnic_ports) {
+  machines_.reserve(params.machines);
+  for (MachineId m = 0; m < params.machines; ++m)
+    machines_.push_back(std::make_unique<Machine>(engine, p_, m));
+}
+
+}  // namespace rdmasem::cluster

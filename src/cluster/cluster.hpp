@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/coherence.hpp"
+#include "hw/dram.hpp"
+#include "hw/numa.hpp"
+#include "hw/params.hpp"
+#include "net/fabric.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace rdmasem::cluster {
+
+using hw::MachineId;
+using hw::SocketId;
+
+// Machine — one dual-socket server of the paper's testbed: per-socket DRAM
+// models + memory-channel bandwidth resources, a coherence model for local
+// atomics, and one (multi-port) RNIC.
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const hw::ModelParams& params, MachineId id);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  MachineId id() const { return id_; }
+  const hw::NumaTopology& topo() const { return topo_; }
+  rnic::Rnic& rnic() { return rnic_; }
+  hw::DramModel& dram(SocketId s) { return *dram_.at(s); }
+  sim::Resource& mem_channel(SocketId s) { return *mem_channel_.at(s); }
+  hw::CoherenceModel& coherence() { return coherence_; }
+
+  // Socket a given port's PCIe lane hangs off (multi-port NUMA binding).
+  SocketId port_socket(rnic::PortId p) const { return topo_.port_socket(p); }
+
+ private:
+  MachineId id_;
+  const hw::ModelParams& p_;
+  hw::NumaTopology topo_;
+  rnic::Rnic rnic_;
+  hw::CoherenceModel coherence_;
+  std::vector<std::unique_ptr<hw::DramModel>> dram_;
+  std::vector<std::unique_ptr<sim::Resource>> mem_channel_;
+};
+
+// Cluster — the eight-machine testbed: machines plus the switch fabric.
+// This is the root object every experiment builds first.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, hw::ModelParams params);
+
+  sim::Engine& engine() { return engine_; }
+  const hw::ModelParams& params() const { return p_; }
+  net::Fabric& fabric() { return fabric_; }
+  Machine& machine(MachineId m) { return *machines_.at(m); }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(machines_.size());
+  }
+
+  // Cluster-wide unique QP ids (metadata-cache keys must never alias).
+  std::uint64_t next_qp_id() { return ++qp_id_; }
+
+ private:
+  sim::Engine& engine_;
+  hw::ModelParams p_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::uint64_t qp_id_ = 0;
+};
+
+}  // namespace rdmasem::cluster

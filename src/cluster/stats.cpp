@@ -1,0 +1,65 @@
+#include "cluster/stats.hpp"
+
+#include "util/table.hpp"
+
+namespace rdmasem::cluster {
+
+StatsReport StatsReport::capture(Cluster& cluster) {
+  StatsReport r;
+  r.captured_at = cluster.engine().now();
+  r.fabric_messages = cluster.fabric().messages();
+  r.fabric_bytes = cluster.fabric().bytes();
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    Machine& mach = cluster.machine(m);
+    auto& rnic = mach.rnic();
+    for (std::uint32_t p = 0; p < rnic.port_count(); ++p) {
+      auto& port = rnic.port(p);
+      r.ports.push_back({m, p, port.eu.utilization(), port.rx.utilization(),
+                         port.atomic_unit.utilization(),
+                         port.eu.requests()});
+    }
+    MachineStats ms;
+    ms.machine = m;
+    ms.dma_util = rnic.dma().utilization();
+    for (hw::SocketId s = 0; s < cluster.params().sockets_per_machine; ++s)
+      ms.mem_channel_util.push_back(mach.mem_channel(s).utilization());
+    ms.mcache_hit_rate = rnic.mcache().hit_rate();
+    ms.mcache_hits = rnic.mcache().hits();
+    ms.mcache_misses = rnic.mcache().misses();
+    r.machines.push_back(std::move(ms));
+  }
+  return r;
+}
+
+const StatsReport::PortStats* StatsReport::hottest_port() const {
+  const PortStats* best = nullptr;
+  for (const auto& p : ports)
+    if (best == nullptr || p.eu_util > best->eu_util) best = &p;
+  return best;
+}
+
+std::string StatsReport::render() const {
+  util::Table t({"machine", "port", "eu", "rx", "atomic", "dma", "mem0",
+                 "mem1", "mcache_hit"});
+  t.set_title("cluster stats @ " + util::fmt(sim::to_us(captured_at)) +
+              " us");
+  for (const auto& p : ports) {
+    const auto& m = machines[p.machine];
+    t.add_row({std::to_string(p.machine), std::to_string(p.port),
+               util::fmt(p.eu_util), util::fmt(p.rx_util),
+               util::fmt(p.atomic_util), util::fmt(m.dma_util),
+               util::fmt(m.mem_channel_util.empty()
+                             ? 0.0
+                             : m.mem_channel_util[0]),
+               util::fmt(m.mem_channel_util.size() > 1
+                             ? m.mem_channel_util[1]
+                             : 0.0),
+               util::fmt(m.mcache_hit_rate, 3)});
+  }
+  std::string out = t.render();
+  out += "fabric: " + std::to_string(fabric_messages) + " messages, " +
+         std::to_string(fabric_bytes) + " payload bytes\n";
+  return out;
+}
+
+}  // namespace rdmasem::cluster

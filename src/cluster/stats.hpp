@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace rdmasem::cluster {
+
+// StatsReport — a point-in-time snapshot of every shared hardware
+// resource in the cluster: per-port execution/rx/atomic-unit utilization,
+// DMA and memory-channel utilization, metadata-cache hit rates, and
+// fabric totals. Benches and debugging sessions use it to answer "what
+// is the bottleneck?" without instrumenting anything.
+struct StatsReport {
+  struct PortStats {
+    MachineId machine;
+    std::uint32_t port;
+    double eu_util;
+    double rx_util;
+    double atomic_util;
+    std::uint64_t eu_requests;
+  };
+  struct MachineStats {
+    MachineId machine;
+    double dma_util;
+    std::vector<double> mem_channel_util;  // per socket
+    double mcache_hit_rate;
+    std::uint64_t mcache_hits;
+    std::uint64_t mcache_misses;
+  };
+
+  sim::Time captured_at = 0;
+  std::vector<PortStats> ports;
+  std::vector<MachineStats> machines;
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_bytes = 0;
+
+  // Collects a snapshot from a live cluster.
+  static StatsReport capture(Cluster& cluster);
+
+  // The (machine, port) whose execution unit is most utilized — usually
+  // the throughput bottleneck suspect.
+  const PortStats* hottest_port() const;
+
+  // Fixed-width human-readable rendering.
+  std::string render() const;
+};
+
+}  // namespace rdmasem::cluster

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace rdmasem::hw {
+
+// CoherenceModel — cost model for CPU atomic read-modify-writes on shared
+// cache lines (the local baselines in §III-E / Fig. 10).
+//
+// Two effects combine:
+//   * per-op cost grows with the number of registered contenders (line
+//     ping-pong), with CAS hurting much more than FAA — a failed CAS
+//     burns a full exclusive transfer, while contended FAA is handled
+//     efficiently by the coherence protocol;
+//   * all RMWs on one line SERIALIZE (the line is a serial resource), so
+//     a release that wakes N spinners costs ~N serialized CAS attempts —
+//     the spinlock meltdown of Fig. 10a.
+class CoherenceModel {
+ public:
+  enum class Rmw : std::uint8_t { kCas, kFaa };
+
+  CoherenceModel(sim::Engine& engine, const ModelParams& p)
+      : engine_(engine), p_(p) {}
+
+  // A thread starts/stops actively hammering `line` (spinning on a lock,
+  // or a benchmark loop of FAAs).
+  void add_contender(std::uint64_t line) { ++contenders_[line]; }
+  void remove_contender(std::uint64_t line) {
+    auto it = contenders_.find(line);
+    if (it == contenders_.end()) return;
+    if (--it->second == 0) contenders_.erase(it);
+  }
+  std::uint32_t contenders(std::uint64_t line) const {
+    auto it = contenders_.find(line);
+    return it == contenders_.end() ? 0 : it->second;
+  }
+
+  // Cost of one atomic RMW on `line` at the current contention level.
+  sim::Duration rmw_cost(std::uint64_t line, bool cross_socket,
+                         Rmw kind = Rmw::kCas) const {
+    const std::uint32_t c = contenders(line);
+    const std::uint32_t others = c > 0 ? c - 1 : 0;
+    const sim::Duration per = kind == Rmw::kCas ? p_.coh_atomic_per_contender
+                                                : p_.coh_faa_per_contender;
+    sim::Duration d = p_.coh_atomic_base + per * others;
+    if (cross_socket) d += p_.coh_cross_socket;
+    return d;
+  }
+
+  // The serial resource modeling exclusive ownership of `line`. RMWs must
+  // occupy it: co_await line_of(addr) -> use(rmw_cost(...)).
+  sim::Resource& line_resource(std::uint64_t line) {
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+      it = lines_.emplace(line, std::make_unique<sim::Resource>(
+                                    engine_, 1, "coh.line")).first;
+    return *it->second;
+  }
+
+  // Cost of a plain spin-read on the line (shared copy, cheap).
+  sim::Duration spin_read_cost() const { return p_.coh_spin_read; }
+
+  static std::uint64_t line_of(std::uint64_t addr) { return addr >> 6; }
+
+ private:
+  sim::Engine& engine_;
+  const ModelParams& p_;
+  std::unordered_map<std::uint64_t, std::uint32_t> contenders_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Resource>> lines_;
+};
+
+}  // namespace rdmasem::hw

@@ -1,0 +1,49 @@
+#include "hw/mcache.hpp"
+
+#include "util/assert.hpp"
+
+namespace rdmasem::hw {
+
+bool MetadataCache::access(Kind kind, std::uint64_t id) {
+  const std::uint64_t k = key(kind, id);
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.it);
+    return true;
+  }
+  ++misses_;
+  const std::size_t w = weight_[static_cast<std::size_t>(kind)];
+  // Evict from the LRU tail until the new entry fits. A single object
+  // heavier than the whole cache is pinned-resident (never inserted).
+  if (w > capacity_) return false;
+  while (occupancy_ + w > capacity_) {
+    RDMASEM_CHECK(!lru_.empty());
+    const std::uint64_t victim = lru_.back();
+    auto vit = map_.find(victim);
+    RDMASEM_CHECK(vit != map_.end());
+    occupancy_ -= vit->second.weight;
+    map_.erase(vit);
+    lru_.pop_back();
+  }
+  lru_.push_front(k);
+  map_.emplace(k, Slot{lru_.begin(), w});
+  occupancy_ += w;
+  return false;
+}
+
+void MetadataCache::invalidate(Kind kind, std::uint64_t id) {
+  auto it = map_.find(key(kind, id));
+  if (it == map_.end()) return;
+  occupancy_ -= it->second.weight;
+  lru_.erase(it->second.it);
+  map_.erase(it);
+}
+
+void MetadataCache::clear() {
+  lru_.clear();
+  map_.clear();
+  occupancy_ = 0;
+}
+
+}  // namespace rdmasem::hw

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rdmasem::hw {
+
+// MetadataCache — the RNIC's on-device SRAM cache for address-translation
+// entries (PTEs), memory-region state and queue-pair state (§II-B2).
+//
+// Modeled as a single weighted-capacity LRU pool: each object class has a
+// weight (a QP context is bigger than one PTE), and the pool evicts
+// least-recently-used objects of any class once the total weight exceeds
+// capacity. This reproduces the paper's observations that
+//   * registered regions beyond ~4 MB lose the seq/rand symmetry (PTE
+//     working set > SRAM),
+//   * many MRs degrade access latency (~60 % at 10x MRs),
+//   * many QPs degrade throughput (QP state thrashing).
+class MetadataCache {
+ public:
+  enum class Kind : std::uint8_t { kPte = 0, kMr = 1, kQp = 2 };
+
+  MetadataCache(std::size_t capacity_units, std::size_t pte_w,
+                std::size_t mr_w, std::size_t qp_w)
+      : capacity_(capacity_units), weight_{pte_w, mr_w, qp_w} {}
+
+  // Touches (kind, id). Returns true on hit; on miss the entry is inserted
+  // and LRU victims are evicted to make room.
+  bool access(Kind kind, std::uint64_t id);
+
+  // Current occupancy in weight units.
+  std::size_t occupancy() const { return occupancy_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 1.0;
+  }
+  void reset_stats() { hits_ = misses_ = 0; }
+  void clear();
+
+  // Removes an entry if present (e.g. MR deregistration).
+  void invalidate(Kind kind, std::uint64_t id);
+
+ private:
+  // Key packs kind into the top bits of the id.
+  static std::uint64_t key(Kind kind, std::uint64_t id) {
+    return (static_cast<std::uint64_t>(kind) << 62) | (id & ((1ULL << 62) - 1));
+  }
+
+  std::size_t capacity_;
+  std::size_t weight_[3];
+  std::size_t occupancy_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  // LRU list front = most recent. Map value = (list iterator, weight).
+  std::list<std::uint64_t> lru_;
+  struct Slot {
+    std::list<std::uint64_t>::iterator it;
+    std::size_t weight;
+  };
+  std::unordered_map<std::uint64_t, Slot> map_;
+};
+
+}  // namespace rdmasem::hw

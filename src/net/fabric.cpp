@@ -1,0 +1,32 @@
+#include "net/fabric.hpp"
+
+namespace rdmasem::net {
+
+Fabric::Fabric(sim::Engine& engine, const hw::ModelParams& params,
+               std::uint32_t machines, std::uint32_t ports_per_machine)
+    : engine_(engine), p_(params), ports_(ports_per_machine) {
+  const std::size_t n = static_cast<std::size_t>(machines) * ports_;
+  tx_.reserve(n);
+  rx_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_tx"));
+    rx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_rx"));
+  }
+}
+
+sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
+                                 PortId dport, std::size_t payload_bytes) {
+  ++messages_;
+  bytes_ += payload_bytes;
+  const sim::Duration wire = p_.wire_time(payload_bytes);
+  if (src == dst && sport == dport) {
+    // RNIC-internal loopback: no switch, no cable; just the port turnaround.
+    co_await sim::delay(engine_, p_.net_switch_hop);
+    co_return;
+  }
+  co_await tx_link(src, sport).use(wire);
+  co_await sim::delay(engine_, p_.net_propagation + p_.net_switch_hop);
+  co_await rx_link(dst, dport).use(wire);
+}
+
+}  // namespace rdmasem::net

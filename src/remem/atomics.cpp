@@ -1,0 +1,173 @@
+#include "remem/atomics.hpp"
+
+#include "util/assert.hpp"
+
+namespace rdmasem::remem {
+
+RemoteSpinlock::RemoteSpinlock(verbs::QueuePair& qp, std::uint64_t remote_addr,
+                               std::uint32_t rkey, BackoffPolicy backoff)
+    : qp_(qp), remote_addr_(remote_addr), rkey_(rkey), backoff_(backoff),
+      scratch_(64) {
+  scratch_mr_ = qp_.context().register_buffer(
+      scratch_, qp_.context().machine().port_socket(qp_.config().port));
+}
+
+sim::TaskT<std::uint32_t> RemoteSpinlock::lock() {
+  std::uint32_t attempts = 0;
+  for (;;) {
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kCompSwap;
+    wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
+    wr.remote_addr = remote_addr_;
+    wr.rkey = rkey_;
+    wr.compare = 0;
+    wr.swap_or_add = 1;
+    ++attempts;
+    ++cas_attempts_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    RDMASEM_CHECK_MSG(c.ok(), "remote CAS failed");
+    if (c.atomic_old == 0) {
+      ++acquisitions_;
+      co_return attempts;
+    }
+    const auto d = backoff_.delay_for(attempts);
+    if (d) co_await sim::delay(qp_.context().engine(), d);
+  }
+}
+
+sim::TaskT<void> RemoteSpinlock::unlock() {
+  // Release: plain 8-byte RDMA write of 0 (store-release is enough; RC
+  // ordering makes it visible after the critical section's writes).
+  *scratch_.as<std::uint64_t>(8) = 0;
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{scratch_mr_->addr + 8, 8, scratch_mr_->key}};
+  wr.remote_addr = remote_addr_;
+  wr.rkey = rkey_;
+  const auto c = co_await qp_.execute(std::move(wr));
+  RDMASEM_CHECK_MSG(c.ok(), "remote unlock failed");
+}
+
+RemoteLockClient::RemoteLockClient(verbs::QueuePair& qp, BackoffPolicy backoff)
+    : qp_(qp), backoff_(backoff), scratch_(64) {
+  scratch_mr_ = qp_.context().register_buffer(
+      scratch_, qp_.context().machine().port_socket(qp_.config().port));
+}
+
+sim::TaskT<std::uint32_t> RemoteLockClient::lock(std::uint64_t remote_addr,
+                                                 std::uint32_t rkey) {
+  std::uint32_t attempts = 0;
+  for (;;) {
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kCompSwap;
+    wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
+    wr.remote_addr = remote_addr;
+    wr.rkey = rkey;
+    wr.compare = 0;
+    wr.swap_or_add = 1;
+    ++attempts;
+    ++cas_attempts_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    RDMASEM_CHECK_MSG(c.ok(), "remote CAS failed");
+    if (c.atomic_old == 0) {
+      ++acquisitions_;
+      co_return attempts;
+    }
+    const auto d = backoff_.delay_for(attempts);
+    if (d) co_await sim::delay(qp_.context().engine(), d);
+  }
+}
+
+sim::TaskT<void> RemoteLockClient::unlock(std::uint64_t remote_addr,
+                                          std::uint32_t rkey) {
+  *scratch_.as<std::uint64_t>(8) = 0;
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{scratch_mr_->addr + 8, 8, scratch_mr_->key}};
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  const auto c = co_await qp_.execute(std::move(wr));
+  RDMASEM_CHECK_MSG(c.ok(), "remote unlock failed");
+}
+
+RemoteSequencer::RemoteSequencer(verbs::QueuePair& qp,
+                                 std::uint64_t remote_addr, std::uint32_t rkey)
+    : qp_(qp), remote_addr_(remote_addr), rkey_(rkey), scratch_(64) {
+  scratch_mr_ = qp_.context().register_buffer(
+      scratch_, qp_.context().machine().port_socket(qp_.config().port));
+}
+
+sim::TaskT<std::uint64_t> RemoteSequencer::next(std::uint64_t delta) {
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kFetchAdd;
+  wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
+  wr.remote_addr = remote_addr_;
+  wr.rkey = rkey_;
+  wr.swap_or_add = delta;
+  const auto c = co_await qp_.execute(std::move(wr));
+  RDMASEM_CHECK_MSG(c.ok(), "remote FAA failed");
+  co_return c.atomic_old;
+}
+
+LocalSpinlock::LocalSpinlock(sim::Engine& engine, cluster::Machine& machine,
+                             std::uint64_t line, BackoffPolicy backoff)
+    : engine_(engine), machine_(machine), line_(line), backoff_(backoff) {}
+
+sim::TaskT<std::uint32_t> LocalSpinlock::lock(hw::SocketId my_socket) {
+  auto& coh = machine_.coherence();
+  coh.add_contender(line_);
+  std::uint32_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    // One locked RMW: occupies the line (serial resource) for a duration
+    // that scales with contention and socket distance.
+    co_await coh.line_resource(line_).use(
+        coh.rmw_cost(line_, my_socket != home_socket_,
+                     hw::CoherenceModel::Rmw::kCas));
+    if (!held_) {
+      held_ = true;
+      home_socket_ = my_socket;
+      coh.remove_contender(line_);
+      co_return attempts;
+    }
+    if (backoff_.enabled) {
+      const auto d = backoff_.delay_for(attempts);
+      if (d) co_await sim::delay(engine_, d);
+    } else {
+      // Test-and-test-and-set: spin-read (shared line, cheap) until the
+      // next release, then pay one line transfer before retrying the CAS.
+      co_await SpinAwaiter{*this};
+      co_await sim::delay(engine_, coh.spin_read_cost());
+    }
+  }
+}
+
+sim::TaskT<void> LocalSpinlock::unlock(hw::SocketId my_socket) {
+  RDMASEM_CHECK_MSG(held_, "unlock of free lock");
+  auto& coh = machine_.coherence();
+  co_await coh.line_resource(line_).use(
+      coh.rmw_cost(line_, my_socket != home_socket_,
+                   hw::CoherenceModel::Rmw::kCas));
+  held_ = false;
+  // The release invalidates every spinner's shared copy; they all race
+  // for the line again.
+  while (!spinners_.empty()) {
+    engine_.resume_at(engine_.now(), spinners_.front());
+    spinners_.pop_front();
+  }
+}
+
+LocalSequencer::LocalSequencer(sim::Engine& engine, cluster::Machine& machine,
+                               std::uint64_t line)
+    : engine_(engine), machine_(machine), line_(line) {}
+
+sim::TaskT<std::uint64_t> LocalSequencer::next(hw::SocketId my_socket) {
+  // FAA never retries; it serializes on the line at the (graceful) FAA
+  // contention cost.
+  auto& coh = machine_.coherence();
+  co_await coh.line_resource(line_).use(
+      coh.rmw_cost(line_, my_socket != 0, hw::CoherenceModel::Rmw::kFaa));
+  co_return value_++;
+}
+
+}  // namespace rdmasem::remem

@@ -1,0 +1,121 @@
+#include "remem/consolidate.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::remem {
+
+Consolidator::Consolidator(verbs::QueuePair& qp, std::uint64_t remote_base,
+                           std::uint32_t rkey, std::size_t region_size,
+                           Config cfg)
+    : qp_(qp),
+      remote_base_(remote_base),
+      rkey_(rkey),
+      cfg_(cfg),
+      shadow_(region_size) {
+  RDMASEM_CHECK_MSG(cfg_.block_size > 0 && cfg_.theta > 0,
+                    "bad consolidator config");
+  RDMASEM_CHECK_MSG(region_size % cfg_.block_size == 0,
+                    "region must be block-aligned");
+  shadow_mr_ = qp_.context().register_buffer(
+      shadow_, qp_.context().machine().port_socket(qp_.config().port));
+  blocks_.resize(region_size / cfg_.block_size);
+}
+
+sim::TaskT<void> Consolidator::write(std::uint64_t off,
+                                     std::span<const std::byte> data) {
+  RDMASEM_CHECK_MSG(off + data.size() <= shadow_.size(),
+                    "consolidated write out of region");
+  const std::uint64_t block = off / cfg_.block_size;
+  RDMASEM_CHECK_MSG((off + data.size() - 1) / cfg_.block_size == block,
+                    "write must not straddle blocks");
+  auto& eng = qp_.context().engine();
+  const auto& p = qp_.context().params();
+
+  std::memcpy(shadow_.data() + off, data.data(), data.size());
+  co_await sim::delay(eng, p.memcpy_time(data.size()));
+
+  BlockState& st = blocks_[block];
+  if (st.dirty_lo == st.dirty_hi) {  // first dirt in this block
+    st.dirty_lo = off;
+    st.dirty_hi = off + data.size();
+  } else {
+    st.dirty_lo = std::min(st.dirty_lo, off);
+    st.dirty_hi = std::max(st.dirty_hi, off + data.size());
+  }
+  ++st.pending;
+  ++stats_.staged_writes;
+
+  if (st.pending >= cfg_.theta) {
+    if (cfg_.async_flush) {
+      if (!st.flush_inflight) {
+        st.flush_inflight = true;
+        ++inflight_;
+        eng.spawn(flush_chain(block));
+      }
+    } else {
+      co_await flush_block(block);
+    }
+  } else if (!st.timer_armed) {
+    st.timer_armed = true;
+    eng.spawn(timeout_watch(block, st.generation));
+  }
+}
+
+sim::Task Consolidator::flush_chain(std::uint64_t block) {
+  // Background flusher: keeps pushing the block's dirty extent out while
+  // writers re-dirty it faster than theta; residual dirt below theta is
+  // left to the lease timer.
+  for (;;) {
+    co_await flush_block(block);
+    BlockState& st = blocks_[block];
+    if (st.pending < cfg_.theta) break;
+  }
+  BlockState& st = blocks_[block];
+  st.flush_inflight = false;
+  --inflight_;
+}
+
+sim::TaskT<void> Consolidator::flush_block(std::uint64_t block) {
+  BlockState& st = blocks_[block];
+  if (st.dirty_lo == st.dirty_hi) co_return;  // clean
+  const std::uint64_t lo = st.dirty_lo;
+  const std::uint64_t hi = st.dirty_hi;
+  st.pending = 0;
+  st.dirty_lo = st.dirty_hi = 0;
+  ++st.generation;  // cancels any armed timer
+  st.timer_armed = false;
+
+  if (before_flush_) co_await before_flush_(block);
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{shadow_mr_->addr + lo, static_cast<std::uint32_t>(hi - lo),
+                 shadow_mr_->key}};
+  wr.remote_addr = remote_base_ + lo;
+  wr.rkey = rkey_;
+  ++stats_.flushes;
+  stats_.flushed_bytes += hi - lo;
+  const auto c = co_await qp_.execute(std::move(wr));
+  RDMASEM_CHECK_MSG(c.ok(), "consolidator flush failed");
+  if (after_flush_) co_await after_flush_(block);
+}
+
+sim::TaskT<void> Consolidator::flush_all() {
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) co_await flush_block(b);
+  // Let background chains land (they may have captured extents already).
+  while (inflight_ > 0)
+    co_await sim::delay(qp_.context().engine(), sim::us(1));
+}
+
+sim::Task Consolidator::timeout_watch(std::uint64_t block,
+                                      std::uint64_t generation) {
+  co_await sim::delay(qp_.context().engine(), cfg_.timeout);
+  BlockState& st = blocks_[block];
+  if (st.generation != generation) co_return;  // already flushed
+  ++stats_.timeout_flushes;
+  co_await flush_block(block);
+}
+
+}  // namespace rdmasem::remem

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::remem {
+
+// Consolidator — IO consolidation (§III-C): small writes aimed at the same
+// aligned remote block are absorbed into a local shadow copy ("remote burst
+// buffer") and flushed as ONE RDMA write when either
+//   * the block has accumulated `theta` modifications, or
+//   * the block's lease times out.
+//
+// Only the dirty extent of the block travels, so theta=1 degenerates to a
+// native small write (plus one staging memcpy) — exactly the Fig. 8 shape.
+//
+// The shadow buffer mirrors the remote region byte-for-byte, so readers of
+// remote memory observe consolidated data after flush, and local readers
+// can hit the shadow (the paper's hot-entry cache in §IV-B).
+class Consolidator {
+ public:
+  struct Config {
+    std::size_t block_size = 1024;     // aligned region S
+    std::uint32_t theta = 16;          // flush threshold
+    sim::Duration timeout = sim::us(100);  // lease
+    // false: the write that trips theta rides its flush (strict theta
+    //        batching — the Fig. 8 microbenchmark semantics).
+    // true:  flushes run as background chains and writers never block; a
+    //        block's effective batch grows to >= theta under load (burst-
+    //        buffer semantics — what the hashtable front-ends use).
+    bool async_flush = false;
+  };
+
+  struct Stats {
+    std::uint64_t staged_writes = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t flushed_bytes = 0;
+    std::uint64_t timeout_flushes = 0;
+  };
+
+  // Consolidates writes into the remote region [remote_base,
+  // remote_base+region_size) reachable through `qp`/`rkey`.
+  Consolidator(verbs::QueuePair& qp, std::uint64_t remote_base,
+               std::uint32_t rkey, std::size_t region_size, Config cfg);
+
+  // Stages `data` at region offset `off`. Charges the staging memcpy to
+  // the caller; if this write trips the block's theta, the caller also
+  // rides the flush (backpressure).
+  sim::TaskT<void> write(std::uint64_t off, std::span<const std::byte> data);
+
+  // Forces out one block / all dirty blocks.
+  sim::TaskT<void> flush_block(std::uint64_t block);
+  sim::TaskT<void> flush_all();
+
+  // Optional hooks run around every flush (e.g. take/release the block's
+  // remote spinlock, §IV-B hot area).
+  using FlushHook = std::function<sim::TaskT<void>(std::uint64_t block)>;
+  void set_flush_hooks(FlushHook before, FlushHook after) {
+    before_flush_ = std::move(before);
+    after_flush_ = std::move(after);
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::span<const std::byte> shadow() const { return shadow_.span(); }
+  std::uint32_t theta() const { return cfg_.theta; }
+
+  // True while the block holds staged-but-unflushed writes (readers may
+  // serve them from the shadow; a clean block must be read remotely —
+  // another writer may own the fresh copy).
+  bool block_dirty(std::uint64_t block) const {
+    const BlockState& st = blocks_.at(block);
+    return st.dirty_lo != st.dirty_hi || st.flush_inflight;
+  }
+
+ private:
+  struct BlockState {
+    std::uint32_t pending = 0;
+    std::uint64_t dirty_lo = 0;
+    std::uint64_t dirty_hi = 0;  // exclusive; lo==hi means clean
+    std::uint64_t generation = 0;
+    bool timer_armed = false;
+    bool flush_inflight = false;  // async mode: one chain per block
+  };
+
+  sim::Task timeout_watch(std::uint64_t block, std::uint64_t generation);
+  sim::Task flush_chain(std::uint64_t block);
+
+  verbs::QueuePair& qp_;
+  std::uint64_t remote_base_;
+  std::uint32_t rkey_;
+  Config cfg_;
+  verbs::Buffer shadow_;
+  verbs::MemoryRegion* shadow_mr_;
+  std::vector<BlockState> blocks_;
+  Stats stats_;
+  FlushHook before_flush_;
+  FlushHook after_flush_;
+  std::uint32_t inflight_ = 0;  // async flush chains currently running
+};
+
+}  // namespace rdmasem::remem

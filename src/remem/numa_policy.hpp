@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::remem {
+
+// ProxySocketRouter — the paper's §III-D proxy-socket strategy.
+//
+// Socket-matched connections only: local socket s talks exclusively to
+// remote socket s, cutting the QP count from s*s*2m to s*2m and keeping
+// the *remote* machine's DMA NUMA-clean. A request that must reach remote
+// socket s' from local socket s != s' is handed to the local proxy socket
+// s' over a pair of shared-memory message queues; the payload crosses with
+// the message into a staging buffer that lives on the proxy's socket, so
+// the proxy's QP gathers and lands NUMA-clean on both machines.
+//
+// WRITE payloads are staged on submit; READ results and atomic old-values
+// land in staging and are copied back to the caller's buffers with the
+// response hop.
+class ProxySocketRouter {
+ public:
+  explicit ProxySocketRouter(sim::Engine& engine, const hw::ModelParams& p);
+  ~ProxySocketRouter();
+  ProxySocketRouter(const ProxySocketRouter&) = delete;
+  ProxySocketRouter& operator=(const ProxySocketRouter&) = delete;
+
+  // Registers the NUMA-clean QP of `socket` toward `remote_machine` and
+  // spawns its worker loop. The QP's port/core must be bound to `socket`.
+  void add_route(hw::SocketId socket, std::uint32_t remote_machine,
+                 verbs::QueuePair* qp);
+
+  // Executes `wr` toward `remote_machine`'s socket `target_socket`. If the
+  // caller's socket differs, the request crosses the shm queues to the
+  // proxy socket; otherwise it posts directly on the matched QP.
+  // Proxied WRs must fit one staging slot (kSlotBytes).
+  sim::TaskT<verbs::Completion> submit(hw::SocketId caller_socket,
+                                       hw::SocketId target_socket,
+                                       std::uint32_t remote_machine,
+                                       verbs::WorkRequest wr);
+
+  std::uint64_t proxied() const { return proxied_; }
+  std::uint64_t direct() const { return direct_; }
+
+  static constexpr std::size_t kSlotBytes = 4096;
+  static constexpr std::uint32_t kSlots = 64;
+
+ private:
+  struct Request {
+    verbs::WorkRequest wr;                  // SGEs already rewritten
+    verbs::WorkRequest original;            // caller's view (for copy-back)
+    sim::Channel<verbs::Completion>* reply;
+    std::uint32_t slot;
+  };
+  struct Route {
+    verbs::QueuePair* qp = nullptr;
+    verbs::Buffer staging;
+    verbs::MemoryRegion* staging_mr = nullptr;
+    std::unique_ptr<sim::Channel<Request>> inbox;
+    std::unique_ptr<sim::Semaphore> slot_sem;
+    std::vector<std::uint32_t> free_slots;
+    Route() : staging() {}
+  };
+
+  sim::Task worker(Route* route);
+  sim::Task serve_one(Route* route, Request req);
+  Route* route_for(hw::SocketId socket, std::uint32_t machine);
+
+  sim::Engine& engine_;
+  const hw::ModelParams& p_;
+  // routes_[socket][machine]
+  std::vector<std::vector<Route>> routes_;
+  std::uint64_t proxied_ = 0;
+  std::uint64_t direct_ = 0;
+};
+
+}  // namespace rdmasem::remem

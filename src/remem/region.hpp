@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "sim/task.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::remem {
+
+// RemoteRegion — a typed window onto registered remote memory, in the
+// spirit of the "remote regions" interface the paper's related work
+// surveys (Aguilera et al., ATC'18): read/write/atomics on offsets, plus
+// RemotePtr<T> for individual remote objects. Every operation is one
+// one-sided verb; the region owns a small bounce buffer so callers work
+// with plain values.
+//
+//   RemoteRegion region(qp, rmr->addr, rmr->key, rmr->length);
+//   co_await region.write(off, value);
+//   auto v = co_await region.read<std::uint64_t>(off);
+//   auto old = co_await region.fetch_add(off, 1);
+class RemoteRegion {
+ public:
+  RemoteRegion(verbs::QueuePair& qp, std::uint64_t remote_addr,
+               std::uint32_t rkey, std::size_t size)
+      : qp_(qp), remote_addr_(remote_addr), rkey_(rkey), size_(size),
+        bounce_(kBounceBytes) {
+    bounce_mr_ = qp_.context().register_buffer(
+        bounce_, qp_.context().machine().port_socket(qp_.config().port));
+  }
+
+  std::size_t size() const { return size_; }
+  verbs::QueuePair& qp() { return qp_; }
+
+  // ---- raw byte interface -------------------------------------------------
+  sim::TaskT<void> write_bytes(std::uint64_t off,
+                               std::span<const std::byte> data) {
+    RDMASEM_CHECK_MSG(data.size() <= kBounceBytes, "write exceeds bounce");
+    RDMASEM_CHECK_MSG(off + data.size() <= size_, "write out of region");
+    std::memcpy(bounce_.data(), data.data(), data.size());
+    co_await sim::delay(qp_.context().engine(),
+                        qp_.context().params().memcpy_time(data.size()));
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sg_list = {{bounce_mr_->addr,
+                   static_cast<std::uint32_t>(data.size()),
+                   bounce_mr_->key}};
+    wr.remote_addr = remote_addr_ + off;
+    wr.rkey = rkey_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    RDMASEM_CHECK_MSG(c.ok(), "region write failed");
+  }
+
+  sim::TaskT<void> read_bytes(std::uint64_t off, std::span<std::byte> out) {
+    RDMASEM_CHECK_MSG(out.size() <= kBounceBytes, "read exceeds bounce");
+    RDMASEM_CHECK_MSG(off + out.size() <= size_, "read out of region");
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kRead;
+    wr.sg_list = {{bounce_mr_->addr, static_cast<std::uint32_t>(out.size()),
+                   bounce_mr_->key}};
+    wr.remote_addr = remote_addr_ + off;
+    wr.rkey = rkey_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    RDMASEM_CHECK_MSG(c.ok(), "region read failed");
+    std::memcpy(out.data(), bounce_.data(), out.size());
+    co_await sim::delay(qp_.context().engine(),
+                        qp_.context().params().memcpy_time(out.size()));
+  }
+
+  // ---- typed interface ----------------------------------------------------
+  template <typename T>
+  sim::TaskT<void> write(std::uint64_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    co_await write_bytes(
+        off, {reinterpret_cast<const std::byte*>(&value), sizeof(T)});
+  }
+
+  template <typename T>
+  sim::TaskT<T> read(std::uint64_t off) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    co_await read_bytes(off, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    co_return out;
+  }
+
+  // ---- atomics (8-byte, 8-aligned offsets) --------------------------------
+  sim::TaskT<std::uint64_t> fetch_add(std::uint64_t off,
+                                      std::uint64_t delta) {
+    co_return co_await atomic(verbs::Opcode::kFetchAdd, off, 0, delta);
+  }
+  // Returns the observed old value; the swap happened iff old == expected.
+  sim::TaskT<std::uint64_t> compare_swap(std::uint64_t off,
+                                         std::uint64_t expected,
+                                         std::uint64_t desired) {
+    co_return co_await atomic(verbs::Opcode::kCompSwap, off, expected,
+                              desired);
+  }
+
+ private:
+  static constexpr std::size_t kBounceBytes = 4096;
+
+  sim::TaskT<std::uint64_t> atomic(verbs::Opcode op, std::uint64_t off,
+                                   std::uint64_t cmp, std::uint64_t arg) {
+    RDMASEM_CHECK_MSG(off % 8 == 0 && off + 8 <= size_, "bad atomic offset");
+    verbs::WorkRequest wr;
+    wr.opcode = op;
+    wr.sg_list = {{bounce_mr_->addr + kBounceBytes - 8, 8, bounce_mr_->key}};
+    wr.remote_addr = remote_addr_ + off;
+    wr.rkey = rkey_;
+    wr.compare = cmp;
+    wr.swap_or_add = arg;
+    const auto c = co_await qp_.execute(std::move(wr));
+    RDMASEM_CHECK_MSG(c.ok(), "region atomic failed");
+    co_return c.atomic_old;
+  }
+
+  verbs::QueuePair& qp_;
+  std::uint64_t remote_addr_;
+  std::uint32_t rkey_;
+  std::size_t size_;
+  verbs::Buffer bounce_;
+  verbs::MemoryRegion* bounce_mr_;
+};
+
+// RemotePtr<T> — one remote object at a fixed offset of a RemoteRegion.
+template <typename T>
+class RemotePtr {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  RemotePtr(RemoteRegion& region, std::uint64_t off)
+      : region_(&region), off_(off) {}
+
+  sim::TaskT<T> load() { co_return co_await region_->read<T>(off_); }
+  sim::TaskT<void> store(const T& v) { co_await region_->write(off_, v); }
+
+  // 8-byte objects only:
+  sim::TaskT<std::uint64_t> fetch_add(std::uint64_t d) {
+    static_assert(sizeof(T) == 8);
+    co_return co_await region_->fetch_add(off_, d);
+  }
+  sim::TaskT<std::uint64_t> compare_swap(std::uint64_t e, std::uint64_t v) {
+    static_assert(sizeof(T) == 8);
+    co_return co_await region_->compare_swap(off_, e, v);
+  }
+
+  RemotePtr operator+(std::uint64_t n) const {
+    return RemotePtr(*region_, off_ + n * sizeof(T));
+  }
+  std::uint64_t offset() const { return off_; }
+
+ private:
+  RemoteRegion* region_;
+  std::uint64_t off_;
+};
+
+}  // namespace rdmasem::remem

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::remem {
+
+// Minimal request/response RPC over channel-semantic verbs (SEND/RECV) —
+// the paper's two-sided baseline for §III-E locks and sequencers. Requests
+// and replies are fixed 16-byte messages {op, arg} -> {result}.
+//
+// The server burns a CPU core per `cores`: every request charges handler
+// CPU time on a shared Resource, which is exactly why one-sided atomics
+// beat it — they never touch the remote CPU.
+class RpcServer {
+ public:
+  // handler(op, arg) -> result, executed on the server core.
+  using Handler = std::function<std::uint64_t(std::uint64_t op,
+                                              std::uint64_t arg)>;
+
+  RpcServer(verbs::Context& ctx, Handler handler,
+            sim::Duration handler_cost = sim::ns(150),
+            std::uint32_t cores = 1);
+
+  // Creates the server-side endpoint for one more client and starts its
+  // service loop. Connect the returned QP to the client's QP.
+  verbs::QueuePair* add_endpoint();
+
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct Endpoint {
+    verbs::QueuePair* qp;
+    verbs::Buffer recv_buf;
+    verbs::Buffer send_buf;
+    verbs::MemoryRegion* recv_mr;
+    verbs::MemoryRegion* send_mr;
+    verbs::CompletionQueue* cq;
+    explicit Endpoint(std::size_t n) : recv_buf(n), send_buf(n) {}
+  };
+
+  sim::Task serve(Endpoint* ep);
+
+  verbs::Context& ctx_;
+  Handler handler_;
+  sim::Duration handler_cost_;
+  sim::Resource cpu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t served_ = 0;
+  static constexpr std::size_t kSlots = 64;
+  static constexpr std::size_t kMsgBytes = 16;
+};
+
+// Client side: one QP + tiny buffers; call() round-trips one request.
+// One call at a time per client (an internal gate serializes accidental
+// concurrent callers); spawn several clients to pipeline.
+class RpcClient {
+ public:
+  explicit RpcClient(verbs::Context& ctx, const verbs::QpConfig& cfg);
+
+  verbs::QueuePair* qp() { return qp_; }
+
+  sim::TaskT<std::uint64_t> call(std::uint64_t op, std::uint64_t arg);
+
+ private:
+  verbs::QueuePair* qp_;
+  verbs::Buffer buf_;
+  verbs::MemoryRegion* mr_;
+  std::unique_ptr<sim::Semaphore> gate_;
+};
+
+// RPC op codes shared by the §III-E baselines.
+inline constexpr std::uint64_t kRpcSeqNext = 1;   // sequencer: ticket
+inline constexpr std::uint64_t kRpcTryLock = 2;   // lock: 1 = granted
+inline constexpr std::uint64_t kRpcUnlock = 3;
+inline constexpr std::uint64_t kRpcEcho = 4;
+
+// Server-side state + handler for a sequencer/lock service.
+struct RpcLockServiceState {
+  std::uint64_t counter = 0;
+  bool locked = false;
+
+  std::uint64_t handle(std::uint64_t op, std::uint64_t arg) {
+    switch (op) {
+      case kRpcSeqNext: return counter++;
+      case kRpcTryLock:
+        if (locked) return 0;
+        locked = true;
+        return 1;
+      case kRpcUnlock:
+        locked = false;
+        return 1;
+      default: return arg;
+    }
+  }
+};
+
+}  // namespace rdmasem::remem

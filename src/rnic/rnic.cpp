@@ -1,0 +1,49 @@
+#include "rnic/rnic.hpp"
+
+namespace rdmasem::rnic {
+
+Rnic::Rnic(sim::Engine& engine, const hw::ModelParams& params,
+           std::uint32_t ports, const std::string& name)
+    : engine_(engine),
+      p_(params),
+      dma_(engine, 1, name + ".dma"),
+      mcache_(params.rnic_sram_entries, params.rnic_weight_pte,
+              params.rnic_weight_mr, params.rnic_weight_qp) {
+  ports_.reserve(ports);
+  for (std::uint32_t i = 0; i < ports; ++i)
+    ports_.push_back(
+        std::make_unique<Port>(engine_, name + ".p" + std::to_string(i)));
+}
+
+sim::Duration Rnic::translate(std::uint64_t mr_id, std::uint64_t addr,
+                              std::size_t len) {
+  sim::Duration stall = 0;
+  if (!mcache_.access(hw::MetadataCache::Kind::kMr, mr_id))
+    stall += p_.rnic_mcache_miss;
+  const std::uint64_t first = addr / p_.rnic_page_size;
+  const std::uint64_t last =
+      (addr + (len ? len - 1 : 0)) / p_.rnic_page_size;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    if (!mcache_.access(hw::MetadataCache::Kind::kPte, page))
+      stall += p_.rnic_mcache_miss;
+  }
+  return stall;
+}
+
+sim::Duration Rnic::qp_touch(std::uint64_t qp_id) {
+  return mcache_.access(hw::MetadataCache::Kind::kQp, qp_id)
+             ? 0
+             : p_.rnic_mcache_miss;
+}
+
+void Rnic::invalidate_mr(std::uint64_t mr_id, std::uint64_t base,
+                         std::size_t len) {
+  mcache_.invalidate(hw::MetadataCache::Kind::kMr, mr_id);
+  const std::uint64_t first = base / p_.rnic_page_size;
+  const std::uint64_t last =
+      (base + (len ? len - 1 : 0)) / p_.rnic_page_size;
+  for (std::uint64_t page = first; page <= last; ++page)
+    mcache_.invalidate(hw::MetadataCache::Kind::kPte, page);
+}
+
+}  // namespace rdmasem::rnic

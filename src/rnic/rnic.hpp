@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/mcache.hpp"
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace rdmasem::rnic {
+
+using PortId = std::uint32_t;
+
+// Rnic — one RDMA NIC (the paper's ConnectX-3 dual-port model).
+//
+// Per port:
+//   eu          the WQE execution/processing unit. Its ~213 ns (write) /
+//               ~238 ns (read-response) per-WQE occupancy is the packet-
+//               throttling ceiling of Fig. 1. Metadata-cache misses stall
+//               this unit, which is how translation thrash converts into
+//               the random-access throughput loss of Fig. 6.
+//   rx          inbound packet processing.
+//   atomic_unit the serialized CAS/FAA engine (~2.4 MOPS, §III-E).
+//
+// Shared across ports:
+//   dma         the PCIe DMA engine (bandwidth to host memory).
+//   mcache      the on-device SRAM metadata cache (PTE / MR / QP state).
+class Rnic {
+ public:
+  Rnic(sim::Engine& engine, const hw::ModelParams& params,
+       std::uint32_t ports, const std::string& name);
+
+  struct Port {
+    sim::Resource eu;
+    sim::Resource rx;
+    sim::Resource atomic_unit;
+    Port(sim::Engine& e, const std::string& base)
+        : eu(e, 1, base + ".eu"),
+          rx(e, 1, base + ".rx"),
+          atomic_unit(e, 1, base + ".atomic") {}
+  };
+
+  Port& port(PortId p) { return *ports_.at(p); }
+  std::uint32_t port_count() const {
+    return static_cast<std::uint32_t>(ports_.size());
+  }
+  sim::Resource& dma() { return dma_; }
+  hw::MetadataCache& mcache() { return mcache_; }
+  const hw::MetadataCache& mcache() const { return mcache_; }
+
+  // Touches the translation entries covering [addr, addr+len) plus the MR
+  // state entry, and returns the execution-unit stall caused by misses.
+  sim::Duration translate(std::uint64_t mr_id, std::uint64_t addr,
+                          std::size_t len);
+
+  // Touches the QP context entry; returns the stall on a miss.
+  sim::Duration qp_touch(std::uint64_t qp_id);
+
+  // Drops all cached state for an MR's pages (deregistration).
+  void invalidate_mr(std::uint64_t mr_id, std::uint64_t base, std::size_t len);
+
+  const hw::ModelParams& params() const { return p_; }
+
+ private:
+  sim::Engine& engine_;
+  const hw::ModelParams& p_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  sim::Resource dma_;
+  hw::MetadataCache mcache_;
+};
+
+}  // namespace rdmasem::rnic

@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace rdmasem::sim {
+
+void Engine::schedule_at(Time at, std::function<void()> fn) {
+  queue_.push(Event{std::max(at, now_), seq_++, nullptr, std::move(fn)});
+}
+
+void Engine::resume_at(Time at, std::coroutine_handle<> h) {
+  queue_.push(Event{std::max(at, now_), seq_++, h, nullptr});
+}
+
+void Engine::spawn(Task&& task) {
+  auto h = task.release_detached(&detached_);
+  resume_at(now_, h);
+}
+
+Engine::~Engine() {
+  // Unblocked destruction order: drop the event queue first (pending
+  // resumptions reference frames), then destroy surviving frames.
+  queue_ = {};
+  for (void* addr : detached_)
+    std::coroutine_handle<>::from_address(addr).destroy();
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.at;
+  ++processed_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  return now_;
+}
+
+bool Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (queue_.empty()) return false;
+  now_ = std::max(now_, deadline);
+  return true;
+}
+
+std::uint64_t Engine::run_events(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rdmasem::sim

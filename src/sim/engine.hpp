@@ -1,0 +1,104 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace rdmasem::sim {
+
+// Discrete-event simulation engine: a virtual clock plus a priority queue of
+// (time, sequence, callback) events. Events with equal timestamps fire in
+// schedule order (FIFO tie-break), which keeps multi-actor simulations
+// deterministic.
+//
+// The engine is single-threaded by design — simulated concurrency comes from
+// coroutine Tasks interleaving on the virtual clock, not from OS threads.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  // Reclaims spawned coroutine frames that are still suspended (e.g.
+  // server loops parked on an empty channel).
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (clamped to now()).
+  void schedule_at(Time at, std::function<void()> fn);
+  // Schedules `fn` to run `delay` after now().
+  void schedule_in(Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+  // Schedules a coroutine resumption (cheaper + clearer than a lambda).
+  void resume_at(Time at, std::coroutine_handle<> h);
+  void resume_in(Duration delay, std::coroutine_handle<> h) {
+    resume_at(now_ + delay, h);
+  }
+
+  // Transfers ownership of a Task to the engine and starts it at now().
+  // The coroutine frame is destroyed when it finishes.
+  void spawn(Task&& task);
+
+  // Runs until the event queue is empty. Returns the final clock value.
+  Time run();
+  // Runs events with timestamp <= deadline; clock ends at
+  // max(now, min(deadline, last event time)). Returns true if events remain.
+  bool run_until(Time deadline);
+  // Drains at most `max_events` events; returns number processed.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  Rng& rng() { return rng_; }
+  void seed(std::uint64_t s) { rng_.reseed(s); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;   // used when fn is empty
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<void*> detached_;
+  Rng rng_;
+};
+
+// Awaitable returned by delay(): suspends the coroutine and resumes it
+// `d` later on the virtual clock.
+struct DelayAwaiter {
+  Engine& engine;
+  Duration d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.resume_in(d, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Engine& e, Duration d) { return {e, d}; }
+
+// Yield: reschedule at the current time, behind already-queued events.
+inline DelayAwaiter yield(Engine& e) { return {e, 0}; }
+
+}  // namespace rdmasem::sim

@@ -1,0 +1,42 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace rdmasem::sim {
+
+Resource::Resource(Engine& engine, std::uint32_t servers, std::string name)
+    : engine_(engine), servers_(servers), name_(std::move(name)) {
+  RDMASEM_CHECK_MSG(servers > 0, "resource needs at least one server");
+  free_at_.assign(servers, 0);
+  std::make_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
+}
+
+Time Resource::reserve(Duration service) {
+  std::pop_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
+  const Time start = std::max(engine_.now(), free_at_.back());
+  const Time completion = start + service;
+  free_at_.back() = completion;
+  std::push_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
+  ++requests_;
+  busy_ += service;
+  return completion;
+}
+
+Time Resource::peek(Duration service) const {
+  const Time earliest = free_at_.front();  // heap min
+  return std::max(engine_.now(), earliest) + service;
+}
+
+double Resource::utilization() const {
+  const Time t = engine_.now();
+  if (t == 0) return 0.0;
+  return static_cast<double>(busy_) /
+         (static_cast<double>(t) * static_cast<double>(servers_));
+}
+
+void Resource::reset_stats() {
+  requests_ = 0;
+  busy_ = 0;
+}
+
+}  // namespace rdmasem::sim

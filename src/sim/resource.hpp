@@ -1,0 +1,74 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::sim {
+
+// Resource — a k-server FIFO service station, the workhorse of the cost
+// model. RNIC execution units, DMA engines, PCIe links, network links,
+// memory channels, the RNIC atomic unit and RPC server cores are all
+// Resources. Contention (queueing delay) emerges from overlapping use.
+//
+//   co_await res.use(service_time);      // occupy one server for that long
+//
+// resumes the caller when service completes. Because grants are FIFO in
+// request order and servers are interchangeable, the occupancy of each
+// server can be tracked with a free-time heap instead of explicit queues —
+// O(log k) per request, no events while waiting.
+//
+// Utilization statistics (busy time, request count) are tracked for the
+// bench harness.
+class Resource {
+ public:
+  Resource(Engine& engine, std::uint32_t servers, std::string name = {});
+
+  struct UseAwaiter {
+    Resource& res;
+    Duration service;
+    Time completion = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      completion = res.reserve(service);
+      res.engine_.resume_at(completion, h);
+    }
+    // Returns the completion timestamp (== now() at resume).
+    Time await_resume() const noexcept { return completion; }
+  };
+
+  // Occupies one server for `service` starting no earlier than now().
+  UseAwaiter use(Duration service) { return UseAwaiter{*this, service}; }
+
+  // Non-coroutine form: reserves a server slot and returns the completion
+  // time. Callers that drive their own event scheduling (the RNIC pipeline)
+  // use this directly.
+  Time reserve(Duration service);
+
+  // Completion time if a request of `service` were issued now, without
+  // reserving. Used by admission heuristics.
+  Time peek(Duration service) const;
+
+  std::uint32_t servers() const { return servers_; }
+  std::uint64_t requests() const { return requests_; }
+  Duration busy_time() const { return busy_; }
+  // Fraction of [0, now] this resource spent busy (averaged over servers).
+  double utilization() const;
+  const std::string& name() const { return name_; }
+  void reset_stats();
+
+ private:
+  Engine& engine_;
+  std::uint32_t servers_;
+  std::string name_;
+  // Min-heap of per-server free times (size == servers_).
+  std::vector<Time> free_at_;
+  std::uint64_t requests_ = 0;
+  Duration busy_ = 0;
+};
+
+}  // namespace rdmasem::sim

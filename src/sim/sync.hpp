@@ -1,0 +1,115 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::sim {
+
+// OneShotEvent — level-triggered: once set(), all current and future
+// waiters proceed immediately. Used for "experiment warm-up done" barriers.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Engine& engine) : engine_(engine) {}
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_.resume_at(engine_.now(), h);
+    waiters_.clear();
+  }
+  bool is_set() const { return set_; }
+
+  struct Awaiter {
+    OneShotEvent& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// CountdownLatch — wait() suspends until count_down() has been called
+// `count` times. The standard join point for "spawn N executors, wait for
+// all of them".
+class CountdownLatch {
+ public:
+  CountdownLatch(Engine& engine, std::uint64_t count)
+      : engine_(engine), remaining_(count) {}
+
+  void count_down() {
+    RDMASEM_CHECK_MSG(remaining_ > 0, "latch underflow");
+    if (--remaining_ == 0) {
+      for (auto h : waiters_) engine_.resume_at(engine_.now(), h);
+      waiters_.clear();
+    }
+  }
+  std::uint64_t remaining() const { return remaining_; }
+
+  struct Awaiter {
+    CountdownLatch& latch;
+    bool await_ready() const noexcept { return latch.remaining_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  Engine& engine_;
+  std::uint64_t remaining_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Semaphore — counting semaphore with FIFO waiters; models bounded
+// windows (e.g. outstanding-WR credit limits on a QP).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::uint64_t initial)
+      : engine_(engine), count_(initial) {}
+
+  struct Awaiter {
+    Semaphore& sem;
+    bool await_ready() noexcept {
+      if (sem.waiters_.empty() && sem.count_ > 0) {
+        --sem.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter acquire() { return Awaiter{*this}; }
+
+  void release(std::uint64_t n = 1) {
+    count_ += n;
+    while (!waiters_.empty() && count_ > 0) {
+      --count_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.resume_at(engine_.now(), h);
+    }
+  }
+
+  std::uint64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::uint64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace rdmasem::sim

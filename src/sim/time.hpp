@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rdmasem::sim {
+
+// Simulated time in integer picoseconds. Integer time keeps the simulator
+// bit-for-bit deterministic across runs and platforms; picosecond resolution
+// lets per-byte costs (e.g. 0.2 ns/B at 40 Gbps) stay exact.
+// Range: 2^64 ps ~ 213 days of simulated time, far beyond any experiment.
+using Time = std::uint64_t;
+using Duration = std::uint64_t;
+
+inline constexpr Duration kPicosecond = 1;
+inline constexpr Duration kNanosecond = 1000;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration ps(double v) { return static_cast<Duration>(v); }
+constexpr Duration ns(double v) {
+  return static_cast<Duration>(v * static_cast<double>(kNanosecond));
+}
+constexpr Duration us(double v) {
+  return static_cast<Duration>(v * static_cast<double>(kMicrosecond));
+}
+constexpr Duration ms(double v) {
+  return static_cast<Duration>(v * static_cast<double>(kMillisecond));
+}
+
+constexpr double to_ns(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+constexpr double to_us(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace rdmasem::sim

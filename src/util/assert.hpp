@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// RDMASEM_CHECK: always-on invariant check (simulator correctness depends on
+// these holding in release builds too, so they are not compiled out).
+// Aborts with file/line and the failed expression.
+#define RDMASEM_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      std::fprintf(stderr, "RDMASEM_CHECK failed: %s at %s:%d\n", #expr,     \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define RDMASEM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      std::fprintf(stderr, "RDMASEM_CHECK failed: %s (%s) at %s:%d\n", #expr,\
+                   (msg), __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

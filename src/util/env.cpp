@@ -1,0 +1,46 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rdmasem::util {
+
+std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  char* end = nullptr;
+  const unsigned long long r = std::strtoull(v, &end, 0);
+  if (end == v) return def;
+  // Allow k/m/g suffixes for sizes ("64k", "2m").
+  if (end && *end) {
+    switch (*end) {
+      case 'k': case 'K': return r << 10;
+      case 'm': case 'M': return r << 20;
+      case 'g': case 'G': return r << 30;
+      default: return def;
+    }
+  }
+  return r;
+}
+
+double env_f64(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  char* end = nullptr;
+  const double r = std::strtod(v, &end);
+  return end == v ? def : r;
+}
+
+bool env_bool(const char* name, bool def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "no") == 0 || std::strcmp(v, "off") == 0);
+}
+
+std::string env_str(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string(v) : def;
+}
+
+}  // namespace rdmasem::util

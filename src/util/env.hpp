@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdmasem::util {
+
+// Environment-variable knobs for the bench harness (scale-down policy,
+// see DESIGN.md §7). Absent or unparsable variables yield the default.
+std::uint64_t env_u64(const char* name, std::uint64_t def);
+double env_f64(const char* name, double def);
+bool env_bool(const char* name, bool def);
+std::string env_str(const char* name, const std::string& def);
+
+}  // namespace rdmasem::util

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rdmasem::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::clear() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(xs_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+void Log2Histogram::add(std::uint64_t v) {
+  const std::size_t b = v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+  counts_[std::min(b, kBuckets - 1)]++;
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::quantile_bound(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    acc += counts_[i];
+    if (acc >= target) return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  return ~std::uint64_t{0};
+}
+
+}  // namespace rdmasem::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RDMASEM_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (std::uint64_t{1} << 30) && bytes % (std::uint64_t{1} << 30) == 0)
+    std::snprintf(buf, sizeof buf, "%lluGB",
+                  static_cast<unsigned long long>(bytes >> 30));
+  else if (bytes >= (1u << 20) && bytes % (1u << 20) == 0)
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  else if (bytes >= (1u << 10) && bytes % (1u << 10) == 0)
+    std::snprintf(buf, sizeof buf, "%lluKB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  else
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+}  // namespace rdmasem::util

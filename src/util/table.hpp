@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rdmasem::util {
+
+// Fixed-width ASCII table printer used by the bench harness to emit
+// paper-style rows ("Fig. 3"-like series). Columns are sized to fit the
+// widest cell. Numbers should be pre-formatted by the caller (fmt helpers
+// below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with a header rule; prepends `title` as a banner line if set.
+  std::string render() const;
+  void print() const;
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Float formatting helpers (fixed precision, no locale surprises).
+std::string fmt(double v, int precision = 2);
+std::string fmt_bytes(std::uint64_t bytes);  // "64B", "4KB", "2MB", "1GB"
+
+}  // namespace rdmasem::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::verbs {
+
+// Buffer — aligned host memory suitable for registration as a memory
+// region (the paper allocates RDMA-enabled memory with posix_memalign).
+// Alignment matters for reproducibility: the translation cache keys on
+// real page numbers and the DRAM model on real row numbers, so buffers
+// default to DRAM-row (8 KB) alignment — a page multiple — to make runs
+// independent of ASLR.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size, std::size_t alignment = 8192)
+      : size_(size) {
+    if (size == 0) return;
+    // Round the allocation size up to the alignment (aligned_alloc
+    // requirement).
+    const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+    data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, rounded));
+    RDMASEM_CHECK_MSG(data_ != nullptr, "buffer allocation failed");
+    std::memset(data_, 0, rounded);
+  }
+  Buffer(Buffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer() { release(); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::uint64_t addr() const { return reinterpret_cast<std::uint64_t>(data_); }
+  std::span<std::byte> span() { return {data_, size_}; }
+  std::span<const std::byte> span() const { return {data_, size_}; }
+
+  template <typename T>
+  T* as(std::size_t byte_offset = 0) {
+    RDMASEM_CHECK(byte_offset + sizeof(T) <= size_);
+    return reinterpret_cast<T*>(data_ + byte_offset);
+  }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+  }
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rdmasem::verbs

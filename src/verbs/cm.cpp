@@ -1,0 +1,50 @@
+#include "verbs/cm.hpp"
+
+#include "util/assert.hpp"
+
+namespace rdmasem::verbs {
+
+void ConnectionManager::listen(Context& ctx, ServiceId service,
+                               const QpConfig& qp_template,
+                               AcceptHandler on_accept) {
+  const auto key = std::make_pair(ctx.machine().id(), service);
+  RDMASEM_CHECK_MSG(listeners_.find(key) == listeners_.end(),
+                    "service already listening on this machine");
+  listeners_.emplace(key, Listener{&ctx, qp_template, std::move(on_accept)});
+}
+
+sim::TaskT<QueuePair*> ConnectionManager::connect(Context& ctx,
+                                                  cluster::MachineId server,
+                                                  ServiceId service,
+                                                  const QpConfig& qp_template) {
+  auto it = listeners_.find(std::make_pair(server, service));
+  RDMASEM_CHECK_MSG(it != listeners_.end(), "connection refused: no listener");
+  Listener& l = it->second;
+  auto& eng = ctx.engine();
+  const auto& p = ctx.params();
+
+  // The bootstrap handshake: REQ carries the client's QP number and rkeys
+  // as private data; REP returns the server's. Two fabric traversals of a
+  // small datagram plus CM processing on each side.
+  const sim::Duration handshake =
+      2 * (p.net_propagation + p.net_switch_hop +
+           hw::ModelParams::ser_time(256, p.link_gbps)) +
+      2 * sim::us(1.5);  // CM event processing (interrupt + thread wakeup)
+  co_await sim::delay(eng, handshake);
+
+  // QP creation + INIT->RTR->RTS transitions on both ends (driver-mediated
+  // register writes; a few microseconds each on real hardware).
+  const sim::Duration qp_setup = sim::us(4.0);
+  co_await sim::delay(eng, qp_setup);
+
+  QueuePair* client_qp = ctx.create_qp(qp_template);
+  QpConfig server_cfg = l.qp_template;
+  if (server_cfg.cq == nullptr) server_cfg.cq = l.ctx->create_cq();
+  QueuePair* server_qp = l.ctx->create_qp(server_cfg);
+  Context::connect(*client_qp, *server_qp);
+  ++established_;
+  if (l.on_accept) l.on_accept(server_qp);
+  co_return client_qp;
+}
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "verbs/context.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::verbs {
+
+// ConnectionManager — rdma_cm-style connection establishment. Production
+// RDMA code never wires QPs by hand the way tests do; it resolves a
+// (machine, service) address, exchanges QP numbers over a bootstrap
+// channel, and transitions the QPs to RTS. This layer models that:
+//
+//   server:  cm.listen(ctx, service, qp_template, on_accept);
+//   client:  auto* qp = co_await cm.connect(ctx, server_machine, service,
+//                                           qp_template);
+//
+// connect() charges the bootstrap exchange (one fabric round trip of the
+// private-data handshake) plus the QP state-transition cost on both ends,
+// then returns a connected, ready-to-post QP. The accept handler runs on
+// the server at the simulated instant its half is ready.
+class ConnectionManager {
+ public:
+  using ServiceId = std::uint32_t;
+  using AcceptHandler = std::function<void(QueuePair*)>;
+
+  explicit ConnectionManager(cluster::Cluster& cluster)
+      : cluster_(cluster) {}
+
+  // Registers a passive endpoint. New connections to (ctx's machine,
+  // service) create a server-side QP from `qp_template` and hand it to
+  // `on_accept`.
+  void listen(Context& ctx, ServiceId service, const QpConfig& qp_template,
+              AcceptHandler on_accept);
+
+  // Active side: establishes an RC connection to (server, service).
+  // Aborts if nothing listens there (a connection refusal is a
+  // programming error in a closed simulation).
+  sim::TaskT<QueuePair*> connect(Context& ctx, cluster::MachineId server,
+                                 ServiceId service,
+                                 const QpConfig& qp_template);
+
+  std::uint64_t connections_established() const { return established_; }
+
+ private:
+  struct Listener {
+    Context* ctx;
+    QpConfig qp_template;
+    AcceptHandler on_accept;
+  };
+
+  cluster::Cluster& cluster_;
+  std::map<std::pair<cluster::MachineId, ServiceId>, Listener> listeners_;
+  std::uint64_t established_ = 0;
+};
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,60 @@
+#include "verbs/context.hpp"
+
+#include "util/assert.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::verbs {
+
+Context::Context(cluster::Cluster& cluster, cluster::MachineId machine)
+    : cluster_(cluster), machine_(cluster.machine(machine)) {}
+
+Context::~Context() = default;
+
+MemoryRegion* Context::register_memory(void* p, std::size_t len,
+                                       hw::SocketId socket) {
+  RDMASEM_CHECK_MSG(p != nullptr && len > 0, "empty registration");
+  RDMASEM_CHECK_MSG(socket < params().sockets_per_machine, "bad socket");
+  auto mr = std::make_unique<MemoryRegion>();
+  mr->key = ++next_key_;
+  mr->addr = reinterpret_cast<std::uint64_t>(p);
+  mr->length = len;
+  mr->socket = socket;
+  mr->data = static_cast<std::byte*>(p);
+  MemoryRegion* out = mr.get();
+  mrs_.emplace(mr->key, std::move(mr));
+  return out;
+}
+
+void Context::deregister(std::uint32_t key) {
+  auto it = mrs_.find(key);
+  if (it == mrs_.end()) return;
+  machine_.rnic().invalidate_mr(key, it->second->addr, it->second->length);
+  mrs_.erase(it);
+}
+
+MemoryRegion* Context::lookup(std::uint32_t key) {
+  auto it = mrs_.find(key);
+  return it == mrs_.end() ? nullptr : it->second.get();
+}
+
+CompletionQueue* Context::create_cq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(engine()));
+  return cqs_.back().get();
+}
+
+QueuePair* Context::create_qp(const QpConfig& cfg) {
+  RDMASEM_CHECK_MSG(cfg.port < machine_.rnic().port_count(), "bad port");
+  RDMASEM_CHECK_MSG(cfg.core_socket < params().sockets_per_machine,
+                    "bad core socket");
+  qps_.push_back(std::make_unique<QueuePair>(*this, cfg, cluster_.next_qp_id()));
+  return qps_.back().get();
+}
+
+void Context::connect(QueuePair& a, QueuePair& b) {
+  RDMASEM_CHECK_MSG(a.peer_ == nullptr && b.peer_ == nullptr,
+                    "QP already connected");
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+}  // namespace rdmasem::verbs

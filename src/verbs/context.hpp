@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/cq.hpp"
+#include "verbs/types.hpp"
+
+namespace rdmasem::verbs {
+
+class QueuePair;
+
+// MemoryRegion — a registered slice of host memory. lkey == rkey == id
+// (the simulator does not model protection-key randomization). The region
+// remembers which NUMA socket its pages live on: all DMA cost accounting
+// is derived from that.
+struct MemoryRegion {
+  std::uint32_t key = 0;
+  std::uint64_t addr = 0;
+  std::size_t length = 0;
+  hw::SocketId socket = 0;
+  std::byte* data = nullptr;
+
+  bool contains(std::uint64_t a, std::size_t len) const {
+    return a >= addr && len <= length && a - addr <= length - len;
+  }
+  std::byte* at(std::uint64_t a) { return data + (a - addr); }
+  const std::byte* at(std::uint64_t a) const { return data + (a - addr); }
+};
+
+// QueuePair placement attributes (§III-D: which port, which core socket)
+// and transport type (§II-A).
+struct QpConfig {
+  rnic::PortId port = 0;
+  hw::SocketId core_socket = 0;   // socket of the CPU issuing doorbells
+  CompletionQueue* cq = nullptr;  // send+recv completions
+  std::uint32_t sq_depth = 4096;
+  Transport transport = Transport::kRC;
+};
+
+// Context — the per-machine verbs endpoint (ibv_context + ibv_pd rolled
+// into one). Owns memory regions, completion queues and queue pairs for
+// one machine.
+class Context {
+ public:
+  Context(cluster::Cluster& cluster, cluster::MachineId machine);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // Registers [p, p+len) as RDMA-accessible memory homed on `socket`.
+  MemoryRegion* register_memory(void* p, std::size_t len, hw::SocketId socket);
+  MemoryRegion* register_buffer(Buffer& buf, hw::SocketId socket) {
+    return register_memory(buf.data(), buf.size(), socket);
+  }
+  void deregister(std::uint32_t key);
+  MemoryRegion* lookup(std::uint32_t key);
+  std::size_t mr_count() const { return mrs_.size(); }
+
+  CompletionQueue* create_cq();
+  QueuePair* create_qp(const QpConfig& cfg);
+
+  // Wires two QPs into an RC connection (both directions).
+  static void connect(QueuePair& a, QueuePair& b);
+
+  cluster::Cluster& cluster() { return cluster_; }
+  cluster::Machine& machine() { return machine_; }
+  sim::Engine& engine() { return cluster_.engine(); }
+  const hw::ModelParams& params() const { return cluster_.params(); }
+
+  std::uint64_t next_wr_id() { return ++wr_id_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  cluster::Machine& machine_;
+  std::uint32_t next_key_ = 0;
+  std::uint64_t wr_id_ = 0;
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> mrs_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "verbs/types.hpp"
+
+namespace rdmasem::verbs {
+
+// CompletionQueue — hardware posts Completions, simulated threads consume
+// them. Several QPs may share one CQ (as in ibverbs).
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Engine& engine) : ch_(engine) {}
+
+  // Hardware side.
+  void push(const Completion& c) { ch_.push(c); }
+
+  // Software side: suspend until the next CQE.
+  sim::TaskT<Completion> next() { co_return co_await ch_.pop(); }
+
+  // Non-blocking poll (ibv_poll_cq-style).
+  std::optional<Completion> poll() { return ch_.try_pop(); }
+
+  std::size_t pending() const { return ch_.size(); }
+
+ private:
+  sim::Channel<Completion> ch_;
+};
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,485 @@
+#include "verbs/qp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::verbs {
+
+namespace {
+// Wire sizes of header-only packets.
+constexpr std::size_t kReadRequestBytes = 16;
+constexpr std::size_t kAtomicRequestBytes = 28;
+constexpr std::size_t kAckBytes = 0;  // header-only; header cost added by wire_time
+
+bool is_atomic(Opcode op) {
+  return op == Opcode::kCompSwap || op == Opcode::kFetchAdd;
+}
+}  // namespace
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kRead: return "READ";
+    case Opcode::kCompSwap: return "CMP_SWAP";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+    case Opcode::kSend: return "SEND";
+    case Opcode::kRecv: return "RECV";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "OK";
+    case Status::kLocalProtectionError: return "LOCAL_PROT_ERR";
+    case Status::kRemoteAccessError: return "REMOTE_ACCESS_ERR";
+    case Status::kRemoteInvalidRequest: return "REMOTE_INVALID_REQ";
+    case Status::kRnrRetryExceeded: return "RNR_RETRY_EXCEEDED";
+    case Status::kUnsupportedOpcode: return "UNSUPPORTED_OPCODE";
+  }
+  return "?";
+}
+
+const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kRC: return "RC";
+    case Transport::kUC: return "UC";
+    case Transport::kUD: return "UD";
+  }
+  return "?";
+}
+
+QueuePair::QueuePair(Context& ctx, const QpConfig& cfg, std::uint64_t id)
+    : ctx_(ctx), cfg_(cfg), id_(id) {}
+
+void QueuePair::post_send(const WorkRequest& wr) {
+  if (cfg_.transport == Transport::kUD) {
+    RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
+  } else {
+    RDMASEM_CHECK_MSG(peer_ != nullptr, "QP not connected");
+  }
+  RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
+  ++outstanding_;
+  ctx_.engine().spawn(run_wr(wr, /*bf=*/ctx_.params().rnic_blueflame));
+}
+
+void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
+  for (const auto& wr : wrs) {
+    if (cfg_.transport == Transport::kUD) {
+      RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
+    } else {
+      RDMASEM_CHECK_MSG(peer_ != nullptr, "QP not connected");
+    }
+    RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
+    ++outstanding_;
+    // Doorbell-listed WQEs are fetched from host memory by the RNIC.
+    ctx_.engine().spawn(run_wr(wr, /*bf=*/false));
+  }
+}
+
+void QueuePair::post_recv(const RecvRequest& rr) { recv_queue_.push_back(rr); }
+
+sim::Duration QueuePair::post_cost(std::size_t n_wrs,
+                                   std::size_t inline_bytes) const {
+  const auto& p = ctx_.params();
+  sim::Duration d = p.cpu_wqe_prep * n_wrs + p.cpu_mmio +
+                    ctx_.machine().topo().mmio_penalty(
+                        cfg_.core_socket,
+                        ctx_.machine().port_socket(cfg_.port));
+  if (inline_bytes > 0) d += p.memcpy_time(inline_bytes);
+  return d;
+}
+
+sim::TaskT<void> QueuePair::post(WorkRequest wr) {
+  const std::size_t inl = wr.inline_data ? wr.total_length() : 0;
+  co_await sim::delay(ctx_.engine(), post_cost(1, inl));
+  post_send(wr);
+}
+
+sim::TaskT<Completion> QueuePair::execute(WorkRequest wr) {
+  wr.signaled = true;
+  if (wr.wr_id == 0) wr.wr_id = ctx_.next_wr_id();
+  const std::uint64_t wid = wr.wr_id;
+  co_await post(std::move(wr));
+  co_return co_await wait(wid);
+}
+
+sim::TaskT<Completion> QueuePair::execute_batch(std::vector<WorkRequest> wrs) {
+  RDMASEM_CHECK(!wrs.empty());
+  std::size_t inl = 0;
+  for (auto& wr : wrs) {
+    if (wr.wr_id == 0) wr.wr_id = ctx_.next_wr_id();
+    if (wr.inline_data) inl += wr.total_length();
+  }
+  wrs.back().signaled = true;
+  const std::uint64_t wid = wrs.back().wr_id;
+  co_await sim::delay(ctx_.engine(), post_cost(wrs.size(), inl));
+  post_send_batch(wrs);
+  co_return co_await wait(wid);
+}
+
+sim::TaskT<Completion> QueuePair::wait(std::uint64_t wr_id) {
+  struct Awaiter {
+    QueuePair& qp;
+    std::uint64_t wr_id;
+    bool await_ready() {
+      auto it = qp.waiters_.find(wr_id);
+      return it != qp.waiters_.end() && it->second.done;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      qp.waiters_[wr_id].handle = h;
+    }
+    Completion await_resume() {
+      auto it = qp.waiters_.find(wr_id);
+      RDMASEM_CHECK(it != qp.waiters_.end() && it->second.done);
+      Completion c = it->second.result;
+      qp.waiters_.erase(it);
+      return c;
+    }
+  };
+  co_return co_await Awaiter{*this, wr_id};
+}
+
+void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
+                         std::uint64_t atomic_old) {
+  RDMASEM_CHECK(outstanding_ > 0);
+  --outstanding_;
+  ++ops_completed_;
+  bytes_completed_ += bytes;
+  Completion c;
+  c.wr_id = wr.wr_id;
+  c.status = st;
+  c.opcode = wr.opcode;
+  c.byte_len = bytes;
+  c.qp_id = id_;
+  c.completed_at = ctx_.engine().now();
+  c.atomic_old = atomic_old;
+
+  auto it = waiters_.find(wr.wr_id);
+  if (it != waiters_.end()) {
+    it->second.result = c;
+    it->second.done = true;
+    if (it->second.handle)
+      ctx_.engine().resume_at(ctx_.engine().now(), it->second.handle);
+    return;
+  }
+  if (wr.signaled && cfg_.cq) cfg_.cq->push(c);
+}
+
+void QueuePair::gather_to(const WorkRequest& wr, std::byte* dst) {
+  std::size_t off = 0;
+  for (const auto& sge : wr.sg_list) {
+    const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+    std::memcpy(dst + off, mr->at(sge.addr), sge.length);
+    off += sge.length;
+  }
+}
+
+void QueuePair::scatter_from(const WorkRequest& wr, const std::byte* src) {
+  std::size_t off = 0;
+  for (const auto& sge : wr.sg_list) {
+    MemoryRegion* mr = ctx_.lookup(sge.lkey);
+    std::memcpy(mr->at(sge.addr), src + off, sge.length);
+    off += sge.length;
+  }
+}
+
+// The per-WR hardware pipeline. Stage structure (see DESIGN.md §5):
+//
+//   WQE fetch -> send EU (+metadata stalls) -> payload gather DMA ->
+//   wire -> remote rx -> opcode-specific remote work -> ACK/response ->
+//   completion
+//
+// Each `co_await resource.use(t)` both delays this WR and occupies the
+// shared resource, so throughput ceilings and contention effects emerge
+// from overlap rather than being scripted.
+sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
+  auto& eng = ctx_.engine();
+  const auto& P = ctx_.params();
+  auto& lm = ctx_.machine();
+  auto& lr = lm.rnic();
+  auto& lport = lr.port(cfg_.port);
+
+  // Transport-level opcode checks (§II-A): WRITE needs RC/UC; READ and
+  // atomics need RC; UD carries SEND only.
+  const Transport tp = cfg_.transport;
+  const bool op_ok =
+      wr.opcode == Opcode::kSend ||
+      (wr.opcode == Opcode::kWrite && tp != Transport::kUD) ||
+      ((wr.opcode == Opcode::kRead || is_atomic(wr.opcode)) &&
+       tp == Transport::kRC);
+  if (!op_ok) {
+    complete(wr, Status::kUnsupportedOpcode, 0);
+    co_return;
+  }
+
+  QueuePair* peer = tp == Transport::kUD ? wr.ud_dest : peer_;
+  auto& rm = peer->ctx_.machine();
+  auto& rr = rm.rnic();
+  auto& rport = rr.port(peer->cfg_.port);
+  const hw::SocketId lps = lm.port_socket(cfg_.port);
+  const hw::SocketId rps = rm.port_socket(peer->cfg_.port);
+  auto& fabric = ctx_.cluster().fabric();
+
+  const std::size_t total = wr.total_length();
+
+  // ---- local validation --------------------------------------------------
+  if (wr.sg_list.size() > P.rnic_max_sge) {
+    complete(wr, Status::kLocalProtectionError, 0);
+    co_return;
+  }
+  for (const auto& sge : wr.sg_list) {
+    const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+    if (mr == nullptr || !mr->contains(sge.addr, sge.length)) {
+      complete(wr, Status::kLocalProtectionError, 0);
+      co_return;
+    }
+  }
+  const bool inlined = wr.inline_data && total <= P.rnic_max_inline;
+  const bool carries_payload =
+      (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend) && total > 0;
+
+  // Host-memory access cost: streaming DMA for bulk, row-buffer model for
+  // small payloads.
+  auto mem_cost = [&P](cluster::Machine& m, hw::SocketId socket,
+                       std::uint64_t a, std::size_t len,
+                       hw::DramModel::Op op, bool same) {
+    return len >= P.dma_stream_threshold
+               ? m.dram(socket).stream(len, same)
+               : m.dram(socket).access(a, len, op, same);
+  };
+
+  // ---- 1. WQE fetch (RNIC DMA-reads the descriptor ring) ------------------
+  if (!bf && !inlined) co_await sim::delay(eng, P.pcie_dma_read_latency);
+
+  // ---- 2. send-side execution unit ----------------------------------------
+  sim::Duration stall = lr.qp_touch(id_);
+  sim::Duration sge_extra = 0;
+  for (std::size_t i = 0; i < wr.sg_list.size(); ++i) {
+    const auto& sge = wr.sg_list[i];
+    stall += lr.translate(sge.lkey, sge.addr, sge.length);
+    if (i > 0) sge_extra += P.pcie_sge_fetch;
+  }
+  co_await lport.eu.use(P.rnic_eu_write + stall + sge_extra);
+
+  // ---- 3. payload gather from host memory over PCIe -----------------------
+  if (carries_payload && !inlined) {
+    co_await lr.dma().use(P.pcie_time(total));
+    sim::Duration numa_pen = 0;
+    for (const auto& sge : wr.sg_list) {
+      const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+      const bool same = (lps == mr->socket);
+      const sim::Duration m = mem_cost(lm, mr->socket, sge.addr, sge.length,
+                                       hw::DramModel::Op::kRead, same);
+      co_await lm.mem_channel(mr->socket).use(m);
+      numa_pen = std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+    }
+    if (numa_pen) co_await sim::delay(eng, numa_pen);
+  }
+
+  // ---- 4. wire -------------------------------------------------------------
+  std::size_t wire_bytes =
+      carries_payload ? total
+                      : (is_atomic(wr.opcode) ? kAtomicRequestBytes
+                                              : kReadRequestBytes);
+  if (tp == Transport::kUD) wire_bytes += P.ud_grh_bytes;
+
+  // Unreliable transports (UC/UD) complete locally as soon as the packet
+  // leaves the NIC; delivery is not guaranteed (§II-A). RC retransmits
+  // lost packets after a timeout.
+  const bool unreliable = tp != Transport::kRC;
+  if (unreliable)
+    complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
+
+  for (;;) {
+    co_await fabric.transit(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
+                            wire_bytes);
+    if (P.net_loss_prob <= 0.0 || !eng.rng().chance(P.net_loss_prob)) break;
+    if (unreliable) co_return;  // dropped silently; data never lands
+    co_await sim::delay(eng, P.rc_retransmit);
+  }
+
+  // ---- 5. remote receive processing ---------------------------------------
+  co_await rport.rx.use(P.rnic_rx_proc);
+  sim::Duration rstall = rr.qp_touch(peer->id_);
+
+  // Helper: send a header-only NAK back (RC) and finish with `st`;
+  // unreliable transports just drop the faulty packet.
+  auto nak = [&](Status st) -> sim::TaskT<void> {
+    if (unreliable) co_return;
+    co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                            kAckBytes);
+    complete(wr, st, 0);
+  };
+
+  switch (wr.opcode) {
+    case Opcode::kWrite: {
+      MemoryRegion* rmr = peer->ctx_.lookup(wr.rkey);
+      if (rmr == nullptr || !rmr->contains(wr.remote_addr, total)) {
+        co_await nak(Status::kRemoteAccessError);
+        co_return;
+      }
+      rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      // Inbound writes are handled by the receive pipeline; translation
+      // misses stall it (this is the Fig. 6 random-write penalty).
+      if (rstall) co_await rport.rx.use(rstall);
+      if (total > 0) {
+        co_await rr.dma().use(P.pcie_time(total));
+        const bool same = (rps == rmr->socket);
+        const sim::Duration m =
+            mem_cost(rm, rmr->socket, wr.remote_addr, total,
+                     hw::DramModel::Op::kWrite, same);
+        co_await rm.mem_channel(rmr->socket).use(m);
+        if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
+          co_await sim::delay(eng, pen);
+        co_await sim::delay(eng, P.pcie_dma_write_latency);
+        gather_to(wr, rmr->at(wr.remote_addr));  // the data actually moves
+      }
+      if (!unreliable) {
+        co_await sim::delay(eng, P.net_ack_proc);
+        co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                                kAckBytes);
+        complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
+      }
+      break;
+    }
+
+    case Opcode::kRead: {
+      MemoryRegion* rmr = peer->ctx_.lookup(wr.rkey);
+      if (rmr == nullptr || !rmr->contains(wr.remote_addr, total)) {
+        co_await nak(Status::kRemoteAccessError);
+        co_return;
+      }
+      rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      // The responder EU serves the read: DMA-read payload, packetize.
+      co_await rport.eu.use(P.rnic_eu_read + rstall);
+      if (total > 0) {
+        co_await rr.dma().use(P.pcie_time(total));
+        const bool same = (rps == rmr->socket);
+        const sim::Duration m =
+            mem_cost(rm, rmr->socket, wr.remote_addr, total,
+                     hw::DramModel::Op::kRead, same);
+        co_await rm.mem_channel(rmr->socket).use(m);
+        if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
+          co_await sim::delay(eng, pen);
+        co_await sim::delay(eng, P.pcie_dma_read_latency);
+      }
+      // Response carries the payload back.
+      co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                              total);
+      co_await lport.rx.use(P.rnic_rx_proc);
+      if (total > 0) {
+        co_await lr.dma().use(P.pcie_time(total));
+        sim::Duration numa_pen = 0;
+        for (const auto& sge : wr.sg_list) {
+          const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+          const bool same = (lps == mr->socket);
+          const sim::Duration m = mem_cost(lm, mr->socket, sge.addr,
+                                           sge.length,
+                                           hw::DramModel::Op::kWrite, same);
+          co_await lm.mem_channel(mr->socket).use(m);
+          numa_pen =
+              std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+        }
+        if (numa_pen) co_await sim::delay(eng, numa_pen);
+        co_await sim::delay(eng, P.pcie_dma_write_latency);
+        scatter_from(wr, rmr->at(wr.remote_addr));
+      }
+      complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
+      break;
+    }
+
+    case Opcode::kCompSwap:
+    case Opcode::kFetchAdd: {
+      MemoryRegion* rmr = peer->ctx_.lookup(wr.rkey);
+      if (rmr == nullptr || !rmr->contains(wr.remote_addr, 8)) {
+        co_await nak(Status::kRemoteAccessError);
+        co_return;
+      }
+      if (wr.remote_addr % 8 != 0 || wr.sg_list.empty() ||
+          wr.sg_list[0].length < 8) {
+        co_await nak(Status::kRemoteInvalidRequest);
+        co_return;
+      }
+      rstall += rr.translate(wr.rkey, wr.remote_addr, 8);
+      // The atomic unit serializes all atomics on this port: locked
+      // PCIe read-modify-write against host memory.
+      co_await rport.atomic_unit.use(P.rnic_atomic_unit + rstall);
+      const bool same = (rps == rmr->socket);
+      const sim::Duration m = rm.dram(rmr->socket).access(
+          wr.remote_addr, 8, hw::DramModel::Op::kRead, same);
+      co_await rm.mem_channel(rmr->socket).use(m);
+      auto* slot = reinterpret_cast<std::uint64_t*>(rmr->at(wr.remote_addr));
+      const std::uint64_t old = *slot;
+      if (wr.opcode == Opcode::kCompSwap) {
+        if (old == wr.compare) *slot = wr.swap_or_add;
+      } else {
+        *slot = old + wr.swap_or_add;
+      }
+      // Response carries the original value (8 bytes).
+      co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8);
+      co_await lport.rx.use(P.rnic_rx_proc);
+      co_await sim::delay(eng, P.pcie_dma_write_latency);
+      MemoryRegion* lmr = ctx_.lookup(wr.sg_list[0].lkey);
+      std::memcpy(lmr->at(wr.sg_list[0].addr), &old, 8);
+      complete(wr, Status::kSuccess, 8, old);
+      break;
+    }
+
+    case Opcode::kSend: {
+      if (peer->recv_queue_.empty()) {
+        // RC: receiver-not-ready NAK; UC/UD: the datagram evaporates.
+        co_await nak(Status::kRnrRetryExceeded);
+        co_return;
+      }
+      const RecvRequest rq = peer->recv_queue_.front();
+      peer->recv_queue_.pop_front();
+      MemoryRegion* rmr = peer->ctx_.lookup(rq.sge.lkey);
+      if (rmr == nullptr || rq.sge.length < total ||
+          !rmr->contains(rq.sge.addr, total)) {
+        co_await nak(Status::kRemoteInvalidRequest);
+        co_return;
+      }
+      rstall += rr.translate(rq.sge.lkey, rq.sge.addr, total);
+      // Channel semantics: RQ WQE consumption + CQE for the receiver.
+      co_await rport.eu.use(P.rnic_recv_extra + rstall);
+      if (total > 0) {
+        co_await rr.dma().use(P.pcie_time(total));
+        const bool same = (rps == rmr->socket);
+        const sim::Duration m = mem_cost(rm, rmr->socket, rq.sge.addr, total,
+                                         hw::DramModel::Op::kWrite, same);
+        co_await rm.mem_channel(rmr->socket).use(m);
+        co_await sim::delay(eng, P.pcie_dma_write_latency);
+        gather_to(wr, rmr->at(rq.sge.addr));
+      }
+      // Receiver-side completion.
+      if (peer->cfg_.cq) {
+        Completion rc;
+        rc.wr_id = rq.wr_id;
+        rc.status = Status::kSuccess;
+        rc.opcode = Opcode::kRecv;
+        rc.byte_len = static_cast<std::uint32_t>(total);
+        rc.qp_id = peer->id_;
+        rc.completed_at = eng.now();
+        peer->cfg_.cq->push(rc);
+      }
+      if (!unreliable) {
+        co_await sim::delay(eng, P.net_ack_proc);
+        co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                                kAckBytes);
+        complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
+      }
+      break;
+    }
+
+    case Opcode::kRecv:
+      complete(wr, Status::kRemoteInvalidRequest, 0);
+      break;
+  }
+}
+
+}  // namespace rdmasem::verbs

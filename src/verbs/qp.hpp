@@ -1,0 +1,93 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "verbs/context.hpp"
+#include "verbs/types.hpp"
+
+namespace rdmasem::verbs {
+
+// QueuePair — an RC connection endpoint. Work requests post to the send
+// queue and complete through the bound CompletionQueue; the hardware-level
+// cost pipeline (doorbell MMIO, WQE fetch, execution unit, PCIe DMA, wire,
+// remote processing, metadata-cache stalls) runs as a coroutine per WR on
+// the virtual clock, and RDMA data movement is real memcpy between the
+// two machines' registered buffers.
+//
+// Two posting layers:
+//   * post_send / post_send_batch: "hardware time" only — the WQEs become
+//     visible to the RNIC now; the caller's CPU cost is NOT charged.
+//     post_send_batch is a doorbell list: one MMIO for all WRs (§III-A).
+//   * post / execute / execute_batch: coroutine helpers that first charge
+//     the calling task the CPU posting cost (WQE prep per WR + one MMIO +
+//     NUMA MMIO penalty), then post. execute() also awaits the completion.
+class QueuePair {
+ public:
+  QueuePair(Context& ctx, const QpConfig& cfg, std::uint64_t id);
+
+  std::uint64_t id() const { return id_; }
+  const QpConfig& config() const { return cfg_; }
+  Context& context() { return ctx_; }
+  QueuePair* peer() { return peer_; }
+  bool connected() const { return peer_ != nullptr; }
+
+  // ---- hardware-time posting ------------------------------------------
+  void post_send(const WorkRequest& wr);
+  void post_send_batch(const std::vector<WorkRequest>& wrs);
+  void post_recv(const RecvRequest& rr);
+
+  // ---- CPU-charged coroutine helpers -----------------------------------
+  // CPU cost of posting `n_wrs` WRs with one doorbell.
+  sim::Duration post_cost(std::size_t n_wrs, std::size_t inline_bytes = 0) const;
+  sim::TaskT<void> post(WorkRequest wr);
+  sim::TaskT<Completion> execute(WorkRequest wr);
+  // Posts the batch with one doorbell; the last WR is forced signaled and
+  // its completion is returned (earlier WRs keep their own flags).
+  sim::TaskT<Completion> execute_batch(std::vector<WorkRequest> wrs);
+
+  // Awaits the completion of a specific wr_id. Must be registered before
+  // the completion fires, i.e. call via execute()/execute_batch() or
+  // register-then-post in the same simulation instant.
+  sim::TaskT<Completion> wait(std::uint64_t wr_id);
+
+  std::uint32_t outstanding() const { return outstanding_; }
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t bytes_completed() const { return bytes_completed_; }
+  std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+ private:
+  friend class Context;
+
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    Completion result{};
+    bool done = false;
+  };
+
+  // `bf` = BlueFlame: the WQE arrived with the doorbell MMIO (single
+  // posts), so the RNIC skips the descriptor-fetch DMA.
+  sim::Task run_wr(WorkRequest wr, bool bf);
+  void complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
+                std::uint64_t atomic_old = 0);
+  // Copies gathered local SGEs to `dst` (WRITE/SEND payload landing).
+  void gather_to(const WorkRequest& wr, std::byte* dst);
+  // Scatters `src` across local SGEs (READ response landing).
+  void scatter_from(const WorkRequest& wr, const std::byte* src);
+
+  Context& ctx_;
+  QpConfig cfg_;
+  std::uint64_t id_;
+  QueuePair* peer_ = nullptr;
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t bytes_completed_ = 0;
+  std::deque<RecvRequest> recv_queue_;
+  std::unordered_map<std::uint64_t, Waiter> waiters_;
+};
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rdmasem::verbs {
+
+class QueuePair;
+
+// Memory-semantic (one-sided) and channel-semantic (two-sided) verbs.
+// The paper's focus is the one-sided set; SEND/RECV exists for the
+// RPC baselines it compares against.
+enum class Opcode : std::uint8_t {
+  kWrite,      // RDMA Write   (one-sided)
+  kRead,       // RDMA Read    (one-sided)
+  kCompSwap,   // RDMA Atomic: compare-and-swap (one-sided, 8 bytes)
+  kFetchAdd,   // RDMA Atomic: fetch-and-add    (one-sided, 8 bytes)
+  kSend,       // channel semantics
+  kRecv,       // receive completion opcode
+};
+
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  kLocalProtectionError,   // bad lkey / SGE out of MR bounds
+  kRemoteAccessError,      // bad rkey / remote range out of MR bounds
+  kRemoteInvalidRequest,   // malformed (e.g. atomic not 8B-aligned)
+  kRnrRetryExceeded,       // SEND with no RECV posted
+  kUnsupportedOpcode,      // opcode not allowed on this transport (§II-A)
+};
+
+// Transport types (§II-A). All support channel semantics; WRITE needs
+// RC or UC; READ and atomics need RC. UC/UD complete locally once the
+// packet leaves the NIC — delivery is not guaranteed (loss injectable).
+enum class Transport : std::uint8_t {
+  kRC = 0,  // reliable connection
+  kUC,      // unreliable connection
+  kUD,      // unreliable datagram (SEND/RECV only, one QP to many peers)
+};
+
+const char* to_string(Transport t);
+
+const char* to_string(Opcode op);
+const char* to_string(Status s);
+
+// Scatter/gather element: a view of registered local memory.
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+// Work request, deliberately shaped like ibv_send_wr.
+struct WorkRequest {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  std::vector<Sge> sg_list;       // local gather (WRITE/SEND) or scatter
+                                  // target (READ); result buffer (atomics)
+  std::uint64_t remote_addr = 0;  // one-sided target
+  std::uint32_t rkey = 0;
+  std::uint64_t compare = 0;      // kCompSwap: expected value
+  std::uint64_t swap_or_add = 0;  // kCompSwap: new value; kFetchAdd: delta
+  bool signaled = true;           // generate a CQE on completion
+  bool inline_data = false;       // payload pushed with the MMIO (<= max)
+  // UD only: destination of this datagram (the "address handle"); UD QPs
+  // have no fixed peer. Ignored on RC/UC.
+  class QueuePair* ud_dest = nullptr;
+
+  std::size_t total_length() const {
+    std::size_t n = 0;
+    for (const auto& s : sg_list) n += s.length;
+    return n;
+  }
+};
+
+// Receive work request (channel semantics).
+struct RecvRequest {
+  std::uint64_t wr_id = 0;
+  Sge sge;
+};
+
+// Completion queue entry, shaped like ibv_wc.
+struct Completion {
+  std::uint64_t wr_id = 0;
+  Status status = Status::kSuccess;
+  Opcode opcode = Opcode::kWrite;
+  std::uint32_t byte_len = 0;
+  std::uint64_t qp_id = 0;
+  sim::Time completed_at = 0;
+  // For atomics: the value read from remote memory before the operation
+  // (also DMA-written into sg_list[0]).
+  std::uint64_t atomic_old = 0;
+
+  bool ok() const { return status == Status::kSuccess; }
+};
+
+}  // namespace rdmasem::verbs

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::wl {
+
+// Closed-loop measurement clients for the §III microbenchmarks.
+//
+// Each client is one simulated thread bound to one QP. `window` is the
+// number of outstanding operations it keeps in flight:
+//   window == 1 : latency mode (Fig. 1 latency, Fig. 5 per-thread)
+//   window >= 16: throughput mode (Fig. 1 MOPS, Fig. 3/4/6)
+//
+// `make_wr(client, seq)` produces the next work request for a client; it is
+// called `ops_per_client` times per client. Each completed WR counts as
+// `ops_per_wr` logical operations (used by the batch strategies, where one
+// WR can carry a whole batch).
+struct ClientSpec {
+  std::vector<verbs::QueuePair*> qps;  // one per client
+  std::uint64_t ops_per_client = 1000;
+  std::uint32_t window = 1;
+  std::uint32_t ops_per_wr = 1;
+  std::function<verbs::WorkRequest(std::uint32_t client, std::uint64_t seq)>
+      make_wr;
+};
+
+struct BenchResult {
+  double mops = 0;            // logical Mops/s over the measured interval
+  double avg_latency_us = 0;  // mean per-WR completion latency
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double per_thread_mops = 0;
+  sim::Duration elapsed = 0;
+  std::uint64_t errors = 0;
+};
+
+// Runs the spec to completion on `engine` (spawns clients, drains the
+// engine) and reports throughput/latency in simulated time.
+BenchResult run_closed_loop(sim::Engine& engine, const ClientSpec& spec);
+
+}  // namespace rdmasem::wl

@@ -1,0 +1,91 @@
+#pragma once
+
+// Rig — a ready-to-use simulated testbed: engine + eight-machine cluster +
+// one verbs context per machine, plus helpers for the common "connect two
+// machines, write/read between them" pattern. Tests, benches and examples
+// all start from here.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/context.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::wl {
+
+struct Rig {
+  sim::Engine eng;
+  cluster::Cluster cluster;
+  std::vector<std::unique_ptr<verbs::Context>> ctx;
+
+  explicit Rig(hw::ModelParams p = hw::ModelParams::connectx3_cluster())
+      : cluster(eng, p) {
+    for (std::uint32_t m = 0; m < cluster.size(); ++m)
+      ctx.push_back(std::make_unique<verbs::Context>(cluster, m));
+  }
+
+  std::vector<verbs::Context*> contexts() {
+    std::vector<verbs::Context*> out;
+    out.reserve(ctx.size());
+    for (auto& c : ctx) out.push_back(c.get());
+    return out;
+  }
+
+  // The paper's single-NIC baseline placement: RNIC port, issuing core and
+  // RDMA memory all on the socket the ConnectX-3 hangs off (socket 1).
+  verbs::QpConfig paper_qp() const {
+    verbs::QpConfig cfg;
+    cfg.port = cluster.params().rnic_socket;
+    cfg.core_socket = cluster.params().rnic_socket;
+    return cfg;
+  }
+
+  struct Conn {
+    verbs::QueuePair* local;
+    verbs::QueuePair* remote;
+  };
+  Conn connect(std::uint32_t a, std::uint32_t b) {
+    return connect(a, b, paper_qp(), paper_qp());
+  }
+  Conn connect(std::uint32_t a, std::uint32_t b, verbs::QpConfig cfg_a,
+               verbs::QpConfig cfg_b) {
+    if (cfg_a.cq == nullptr) cfg_a.cq = ctx[a]->create_cq();
+    if (cfg_b.cq == nullptr) cfg_b.cq = ctx[b]->create_cq();
+    auto* qa = ctx[a]->create_qp(cfg_a);
+    auto* qb = ctx[b]->create_qp(cfg_b);
+    verbs::Context::connect(*qa, *qb);
+    return {qa, qb};
+  }
+};
+
+inline verbs::WorkRequest make_write(const verbs::MemoryRegion& local,
+                                     std::uint64_t local_off,
+                                     const verbs::MemoryRegion& remote,
+                                     std::uint64_t remote_off,
+                                     std::uint32_t len) {
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{local.addr + local_off, len, local.key}};
+  wr.remote_addr = remote.addr + remote_off;
+  wr.rkey = remote.key;
+  return wr;
+}
+
+inline verbs::WorkRequest make_read(const verbs::MemoryRegion& local,
+                                    std::uint64_t local_off,
+                                    const verbs::MemoryRegion& remote,
+                                    std::uint64_t remote_off,
+                                    std::uint32_t len) {
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kRead;
+  wr.sg_list = {{local.addr + local_off, len, local.key}};
+  wr.remote_addr = remote.addr + remote_off;
+  wr.rkey = remote.key;
+  return wr;
+}
+
+}  // namespace rdmasem::wl

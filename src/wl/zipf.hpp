@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace rdmasem::wl {
+
+// ZipfGenerator — Zipfian key sampler over [0, n) with exponent `theta`
+// (the paper's skewed KV workload uses theta = 0.99, YCSB-style).
+//
+// Uses the Gray et al. rejection-free method ("Quickly generating
+// billion-record synthetic databases"): O(1) per sample after O(n)-free
+// setup, exact distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1);
+
+  std::uint64_t next();
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  sim::Rng rng_;
+};
+
+// UniformGenerator — convenience sibling of ZipfGenerator for the
+// non-skewed workloads.
+class UniformGenerator {
+ public:
+  UniformGenerator(std::uint64_t n, std::uint64_t seed = 1)
+      : n_(n), rng_(seed) {}
+  std::uint64_t next() { return rng_.uniform(n_); }
+
+ private:
+  std::uint64_t n_;
+  sim::Rng rng_;
+};
+
+}  // namespace rdmasem::wl

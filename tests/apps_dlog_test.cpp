@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "apps/dlog/dlog.hpp"
+#include "testbed.hpp"
+
+namespace dl = rdmasem::apps::dlog;
+using rdmasem::test::Testbed;
+
+namespace {
+std::vector<rdmasem::verbs::Context*> ctx_ptrs(Testbed& tb) {
+  std::vector<rdmasem::verbs::Context*> out;
+  for (auto& c : tb.ctx) out.push_back(c.get());
+  return out;
+}
+}  // namespace
+
+TEST(DistributedLog, AllRecordsLandIntactAndDense) {
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 4;
+  cfg.records_per_engine = 512;
+  cfg.batch_size = 8;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  const auto r = log.run();
+  EXPECT_EQ(r.records, 2048u);
+  EXPECT_EQ(log.tail(), 2048u * cfg.record_size);
+  EXPECT_TRUE(log.verify_dense_and_intact());
+}
+
+TEST(DistributedLog, SingleEngineUnbatched) {
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 1;
+  cfg.records_per_engine = 100;
+  cfg.batch_size = 1;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.verify_dense_and_intact());
+}
+
+TEST(DistributedLog, ExtentsNeverOverlapUnderContention) {
+  // 14 engines racing FAA reservations: density+checksum verification
+  // fails if any two extents overlapped.
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 14;
+  cfg.records_per_engine = 128;
+  cfg.batch_size = 4;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.verify_dense_and_intact());
+}
+
+TEST(DistributedLog, NonNumaAlsoCorrect) {
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 4;
+  cfg.records_per_engine = 256;
+  cfg.batch_size = 8;
+  cfg.numa_aware = false;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.verify_dense_and_intact());
+}
+
+TEST(DistributedLog, BatchingRaisesThroughputPerFig19) {
+  auto mops_for = [](std::uint32_t batch) {
+    Testbed tb;
+    dl::Config cfg;
+    cfg.engines = 7;
+    cfg.records_per_engine = 1024;
+    cfg.batch_size = batch;
+    dl::DistributedLog log(ctx_ptrs(tb), cfg);
+    return log.run().mops;
+  };
+  const double b1 = mops_for(1);
+  const double b8 = mops_for(8);
+  const double b32 = mops_for(32);
+  EXPECT_GT(b8 / b1, 3.0);
+  EXPECT_GT(b32 / b1, 6.0);  // paper: 9.1x at batch 32 (7 engines)
+  EXPECT_LT(b32 / b1, 16.0);
+}
+
+TEST(DistributedLog, NumaAwarenessHelpsUnderLoad) {
+  auto mops_for = [](bool numa) {
+    Testbed tb;
+    dl::Config cfg;
+    cfg.engines = 14;
+    cfg.records_per_engine = 512;
+    cfg.batch_size = 16;
+    cfg.numa_aware = numa;
+    dl::DistributedLog log(ctx_ptrs(tb), cfg);
+    return log.run().mops;
+  };
+  const double with = mops_for(true);
+  const double without = mops_for(false);
+  EXPECT_GT(with / without, 1.02);  // paper: ~14% at 14 engines
+  EXPECT_LT(with / without, 1.6);
+}
+
+TEST(DistributedLogReplication, ReplicasByteIdentical) {
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 4;
+  cfg.records_per_engine = 256;
+  cfg.batch_size = 8;
+  cfg.replicas = 3;  // primary + 2 replicas
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.verify_dense_and_intact());
+  EXPECT_TRUE(log.verify_replicas_identical());
+}
+
+TEST(DistributedLogReplication, RecoveryFromAnyReplica) {
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = 7;
+  cfg.records_per_engine = 128;
+  cfg.batch_size = 4;
+  cfg.replicas = 3;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.recover_from_replica(0));
+  EXPECT_TRUE(log.recover_from_replica(1));
+  EXPECT_FALSE(log.recover_from_replica(2));  // only 2 replicas exist
+}
+
+TEST(DistributedLogReplication, ReplicationCostsThroughput) {
+  auto mops_for = [](std::uint32_t replicas) {
+    Testbed tb;
+    dl::Config cfg;
+    cfg.engines = 7;
+    cfg.records_per_engine = 512;
+    cfg.batch_size = 16;
+    cfg.replicas = replicas;
+    dl::DistributedLog log(ctx_ptrs(tb), cfg);
+    return log.run().mops;
+  };
+  const double r1 = mops_for(1);
+  const double r3 = mops_for(3);
+  EXPECT_LT(r3, r1);             // replication is not free...
+  EXPECT_GT(r3, r1 * 0.4);       // ...but parallel writes keep it cheap
+}
+
+TEST(DistributedLogReplication, SurvivesLossyFabric) {
+  rdmasem::hw::ModelParams lossy;
+  lossy.net_loss_prob = 0.03;
+  Testbed tb(lossy);
+  dl::Config cfg;
+  cfg.engines = 4;
+  cfg.records_per_engine = 128;
+  cfg.batch_size = 4;
+  cfg.replicas = 2;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  (void)log.run();
+  EXPECT_TRUE(log.verify_dense_and_intact());
+  EXPECT_TRUE(log.verify_replicas_identical());
+}

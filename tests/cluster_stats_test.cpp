@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cluster/stats.hpp"
+#include "testbed.hpp"
+#include "wl/microbench.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace wl = rdmasem::wl;
+using rdmasem::cluster::StatsReport;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_write;
+
+TEST(ClusterStats, FreshClusterIsIdle) {
+  Testbed tb;
+  const auto s = StatsReport::capture(tb.cluster);
+  EXPECT_EQ(s.captured_at, 0u);
+  EXPECT_EQ(s.fabric_messages, 0u);
+  EXPECT_EQ(s.fabric_bytes, 0u);
+  ASSERT_EQ(s.ports.size(), tb.cluster.size() * 2);
+  for (const auto& p : s.ports) {
+    EXPECT_DOUBLE_EQ(p.eu_util, 0.0);
+    EXPECT_EQ(p.eu_requests, 0u);
+  }
+}
+
+TEST(ClusterStats, TrafficShowsUpWhereItRan) {
+  Testbed tb;
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);  // port 1 both sides
+  wl::ClientSpec spec;
+  spec.qps = {conn.local};
+  spec.window = 8;
+  spec.ops_per_client = 500;
+  spec.make_wr = [&](std::uint32_t, std::uint64_t) {
+    return make_write(*lmr, 0, *rmr, 0, 64);
+  };
+  (void)wl::run_closed_loop(tb.eng, spec);
+
+  const auto s = StatsReport::capture(tb.cluster);
+  const auto* hot = s.hottest_port();
+  ASSERT_NE(hot, nullptr);
+  // The sender's port-1 execution unit carried the WQEs.
+  EXPECT_EQ(hot->machine, 0u);
+  EXPECT_EQ(hot->port, 1u);
+  EXPECT_GT(hot->eu_util, 0.1);
+  EXPECT_EQ(hot->eu_requests, 500u);
+  // Machines 2..7 stayed silent.
+  for (const auto& p : s.ports) {
+    if (p.machine >= 2) {
+      EXPECT_DOUBLE_EQ(p.eu_util, 0.0);
+    }
+  }
+  EXPECT_EQ(s.fabric_messages, 1000u);  // 500 writes + 500 ACKs
+  EXPECT_EQ(s.fabric_bytes, 500u * 64);
+}
+
+TEST(ClusterStats, RenderContainsEveryMachine) {
+  Testbed tb;
+  const auto s = StatsReport::capture(tb.cluster);
+  const std::string out = s.render();
+  EXPECT_NE(out.find("cluster stats"), std::string::npos);
+  EXPECT_NE(out.find("fabric:"), std::string::npos);
+  // 8 machines x 2 ports = 16 data rows + header/rule/banner/footer.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_GE(lines, 20u);
+}
+
+TEST(ClusterStats, McacheCountersPropagate) {
+  Testbed tb;
+  v::Buffer src(4096);
+  v::Buffer dst(64u << 20);  // big region -> translation misses
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  wl::ClientSpec spec;
+  spec.qps = {conn.local};
+  spec.window = 8;
+  spec.ops_per_client = 2000;
+  sim::Rng rng(3);
+  spec.make_wr = [&](std::uint32_t, std::uint64_t) {
+    return make_write(*lmr, 0, *rmr, rng.uniform((64u << 20) / 64) * 64, 64);
+  };
+  (void)wl::run_closed_loop(tb.eng, spec);
+  const auto s = StatsReport::capture(tb.cluster);
+  const auto& m1 = s.machines[1];
+  EXPECT_GT(m1.mcache_misses, 500u);   // random dst pages thrash
+  EXPECT_LT(m1.mcache_hit_rate, 0.9);
+  const auto& m0 = s.machines[0];
+  EXPECT_GT(m0.mcache_hit_rate, 0.95);  // sender side reuses one page
+}

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "hw/coherence.hpp"
+#include "hw/dram.hpp"
+#include "hw/mcache.hpp"
+#include "hw/numa.hpp"
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace hw = rdmasem::hw;
+namespace sim = rdmasem::sim;
+using Kind = hw::MetadataCache::Kind;
+
+TEST(ModelParams, SerTimeMatchesLinkRate) {
+  // 1000 bytes at 40 Gbps = 200 ns.
+  EXPECT_EQ(hw::ModelParams::ser_time(1000, 40.0), sim::ns(200));
+  EXPECT_EQ(hw::ModelParams::ser_time(0, 40.0), 0u);
+}
+
+TEST(ModelParams, WireTimeIncludesHeader) {
+  hw::ModelParams p;
+  EXPECT_GT(p.wire_time(0), 0u);  // headers still serialize
+  EXPECT_EQ(p.wire_time(100) - p.wire_time(0),
+            hw::ModelParams::ser_time(100, p.link_gbps));
+}
+
+TEST(ModelParams, MemcpyTimeHasFixedOverhead) {
+  hw::ModelParams p;
+  EXPECT_GE(p.memcpy_time(1), p.cpu_memcpy_overhead);
+  EXPECT_GT(p.memcpy_time(1 << 20), p.memcpy_time(1 << 10));
+}
+
+// ---------------------------------------------------------------------------
+// MetadataCache
+
+TEST(MetadataCache, HitAfterInsert) {
+  hw::MetadataCache c(16, 1, 2, 4);
+  EXPECT_FALSE(c.access(Kind::kPte, 1));  // cold miss
+  EXPECT_TRUE(c.access(Kind::kPte, 1));   // now resident
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(MetadataCache, KindsDoNotCollide) {
+  hw::MetadataCache c(16, 1, 2, 4);
+  c.access(Kind::kPte, 7);
+  EXPECT_FALSE(c.access(Kind::kQp, 7));  // distinct object, distinct key
+}
+
+TEST(MetadataCache, LruEvictionOrder) {
+  hw::MetadataCache c(3, 1, 2, 4);  // three PTE slots
+  c.access(Kind::kPte, 1);
+  c.access(Kind::kPte, 2);
+  c.access(Kind::kPte, 3);
+  c.access(Kind::kPte, 1);          // refresh 1; LRU order now 2,3,1
+  c.access(Kind::kPte, 4);          // evicts 2
+  EXPECT_TRUE(c.access(Kind::kPte, 1));
+  EXPECT_TRUE(c.access(Kind::kPte, 3));
+  EXPECT_FALSE(c.access(Kind::kPte, 2));  // was evicted
+}
+
+TEST(MetadataCache, WeightedOccupancy) {
+  hw::MetadataCache c(8, 1, 2, 4);
+  c.access(Kind::kQp, 1);   // weight 4
+  c.access(Kind::kMr, 1);   // weight 2
+  c.access(Kind::kPte, 1);  // weight 1
+  EXPECT_EQ(c.occupancy(), 7u);
+  c.access(Kind::kQp, 2);   // needs 4 -> evicts LRU until it fits
+  EXPECT_LE(c.occupancy(), 8u);
+}
+
+TEST(MetadataCache, WorkingSetBeyondCapacityThrashes) {
+  hw::MetadataCache c(64, 1, 2, 4);
+  // Cycle through 128 PTEs repeatedly: pure LRU on a loop > capacity
+  // never hits.
+  for (int round = 0; round < 4; ++round)
+    for (std::uint64_t i = 0; i < 128; ++i) c.access(Kind::kPte, i);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(MetadataCache, WorkingSetWithinCapacityAllHits) {
+  hw::MetadataCache c(64, 1, 2, 4);
+  for (std::uint64_t i = 0; i < 32; ++i) c.access(Kind::kPte, i);
+  c.reset_stats();
+  for (int round = 0; round < 4; ++round)
+    for (std::uint64_t i = 0; i < 32; ++i) c.access(Kind::kPte, i);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 1.0);
+}
+
+TEST(MetadataCache, InvalidateRemoves) {
+  hw::MetadataCache c(16, 1, 2, 4);
+  c.access(Kind::kMr, 5);
+  c.invalidate(Kind::kMr, 5);
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_FALSE(c.access(Kind::kMr, 5));
+}
+
+TEST(MetadataCache, OversizedObjectNeverInserted) {
+  hw::MetadataCache c(2, 1, 2, 4);  // QP weight 4 > capacity 2
+  EXPECT_FALSE(c.access(Kind::kQp, 1));
+  EXPECT_FALSE(c.access(Kind::kQp, 1));  // still a miss, no crash
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(MetadataCache, ClearEmpties) {
+  hw::MetadataCache c(16, 1, 2, 4);
+  c.access(Kind::kPte, 1);
+  c.clear();
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_FALSE(c.access(Kind::kPte, 1));
+}
+
+// ---------------------------------------------------------------------------
+// DramModel
+
+TEST(Dram, SequentialCheaperThanRandom) {
+  hw::ModelParams p;
+  hw::DramModel seq(p), rnd(p);
+  sim::Duration t_seq = 0, t_rnd = 0;
+  sim::Rng rng(42);
+  const std::uint64_t region = 1ull << 30;
+  for (int i = 0; i < 10000; ++i) {
+    t_seq += seq.access(static_cast<std::uint64_t>(i) * 64, 64,
+                        hw::DramModel::Op::kWrite);
+    t_rnd += rnd.access(rng.uniform(region / 64) * 64, 64,
+                        hw::DramModel::Op::kWrite);
+  }
+  // The paper's local asymmetry anchor: ~2.9x for writes.
+  const double ratio =
+      static_cast<double>(t_rnd) / static_cast<double>(t_seq);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Dram, SubLineSequentialHitsLine) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  (void)d.access(0, 8, hw::DramModel::Op::kRead);
+  // Next 8B in the same 64B line: line-hit price.
+  const auto t = d.access(8, 8, hw::DramModel::Op::kRead);
+  EXPECT_EQ(t, p.dram_line_hit);
+}
+
+TEST(Dram, RowMissRecorded) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  d.access(0, 64, hw::DramModel::Op::kRead);
+  d.access(1ull << 26, 64, hw::DramModel::Op::kRead);  // far away row
+  EXPECT_GE(d.row_misses(), 2u);
+}
+
+TEST(Dram, CrossSocketCostsMore) {
+  hw::ModelParams p;
+  hw::DramModel a(p), b(p);
+  const auto local = a.access(0, 64, hw::DramModel::Op::kRead, true);
+  const auto remote = b.access(0, 64, hw::DramModel::Op::kRead, false);
+  EXPECT_GT(remote, local);
+}
+
+TEST(Dram, BandwidthFloorForBulk) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  const std::size_t size = 1 << 20;
+  const auto t = d.access(0, size, hw::DramModel::Op::kRead);
+  EXPECT_GE(t, hw::ModelParams::ser_time(size, p.mem_local_gbps));
+}
+
+TEST(Dram, StreamRemoteSlower) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  EXPECT_GT(d.stream(1 << 20, false), d.stream(1 << 20, true));
+}
+
+TEST(Dram, IdleLatencyMatchesTable2) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  EXPECT_EQ(d.idle_latency(true), sim::ns(92));
+  EXPECT_EQ(d.idle_latency(false), sim::ns(162));
+}
+
+TEST(Dram, ResetClearsState) {
+  hw::ModelParams p;
+  hw::DramModel d(p);
+  d.access(0, 64, hw::DramModel::Op::kRead);
+  d.reset();
+  EXPECT_EQ(d.row_hits(), 0u);
+  EXPECT_EQ(d.row_misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CoherenceModel
+
+TEST(Coherence, UncontendedIsBase) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  EXPECT_EQ(c.rmw_cost(1, false), p.coh_atomic_base);
+}
+
+TEST(Coherence, CostGrowsWithContenders) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  c.add_contender(1);
+  const auto one = c.rmw_cost(1, false);
+  for (int i = 0; i < 7; ++i) c.add_contender(1);
+  const auto eight = c.rmw_cost(1, false);
+  EXPECT_GT(eight, one * 4);
+}
+
+TEST(Coherence, FaaDegradesMoreGracefullyThanCas) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  for (int i = 0; i < 14; ++i) c.add_contender(1);
+  EXPECT_LT(c.rmw_cost(1, false, hw::CoherenceModel::Rmw::kFaa),
+            c.rmw_cost(1, false, hw::CoherenceModel::Rmw::kCas) / 3);
+}
+
+TEST(Coherence, RemoveContenderRestores) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  c.add_contender(1);
+  c.add_contender(1);
+  c.remove_contender(1);
+  c.remove_contender(1);
+  EXPECT_EQ(c.contenders(1), 0u);
+  EXPECT_EQ(c.rmw_cost(1, false), p.coh_atomic_base);
+}
+
+TEST(Coherence, CrossSocketSurcharge) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  EXPECT_EQ(c.rmw_cost(1, true) - c.rmw_cost(1, false), p.coh_cross_socket);
+}
+
+TEST(Coherence, LinesAreIndependent) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  for (int i = 0; i < 8; ++i) c.add_contender(1);
+  EXPECT_EQ(c.rmw_cost(2, false), p.coh_atomic_base);
+}
+
+TEST(Coherence, LineResourceSerializes) {
+  sim::Engine e;
+  hw::ModelParams p;
+  hw::CoherenceModel c(e, p);
+  auto& r = c.line_resource(1);
+  EXPECT_EQ(r.reserve(sim::ns(10)), sim::ns(10));
+  EXPECT_EQ(r.reserve(sim::ns(10)), sim::ns(20));
+  EXPECT_EQ(&c.line_resource(1), &r);  // stable identity
+}
+
+// ---------------------------------------------------------------------------
+// NumaTopology
+
+TEST(Numa, PortSocketBinding) {
+  hw::ModelParams p;
+  hw::NumaTopology t(p);
+  EXPECT_EQ(t.port_socket(0), 0u);
+  EXPECT_EQ(t.port_socket(1), 1u);
+  EXPECT_EQ(t.port_socket(2), 0u);  // wraps
+}
+
+TEST(Numa, PenaltiesZeroWhenLocal) {
+  hw::ModelParams p;
+  hw::NumaTopology t(p);
+  EXPECT_EQ(t.cpu_mem_penalty(0, 0), 0u);
+  EXPECT_EQ(t.dma_mem_penalty(1, 1), 0u);
+  EXPECT_EQ(t.mmio_penalty(1, 1), 0u);
+}
+
+TEST(Numa, PenaltiesMatchParams) {
+  hw::ModelParams p;
+  hw::NumaTopology t(p);
+  EXPECT_EQ(t.cpu_mem_penalty(0, 1),
+            p.mem_remote_socket_latency - p.mem_local_latency);
+  EXPECT_EQ(t.dma_mem_penalty(0, 1), p.pcie_dma_alt_socket);
+  EXPECT_EQ(t.mmio_penalty(0, 1), p.cpu_mmio_alt_socket);
+}

@@ -1,0 +1,220 @@
+// Property-style sweeps (TEST_P): invariants that must hold across the
+// whole parameter space, not just hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "apps/dlog/dlog.hpp"
+#include "apps/shuffle/shuffle.hpp"
+#include "remem/atomics.hpp"
+#include "remem/consolidate.hpp"
+#include "testbed.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace remem = rdmasem::remem;
+namespace sh = rdmasem::apps::shuffle;
+namespace dl = rdmasem::apps::dlog;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_read;
+using rdmasem::test::make_write;
+
+namespace {
+std::vector<rdmasem::verbs::Context*> ctx_ptrs(Testbed& tb) {
+  std::vector<rdmasem::verbs::Context*> out;
+  for (auto& c : tb.ctx) out.push_back(c.get());
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// P1: WRITE-then-READ round-trips bytes exactly, for every size and offset.
+
+class WriteReadRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t /*size*/,
+                                                 std::uint64_t /*offset*/>> {};
+
+TEST_P(WriteReadRoundTrip, BytesSurviveTheFabric) {
+  const auto [size, offset] = GetParam();
+  Testbed tb;
+  v::Buffer local(1 << 15), remote(1 << 15);
+  auto* lmr = tb.ctx[0]->register_buffer(local, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(remote, 1);
+  auto conn = tb.connect(0, 1);
+  for (std::uint32_t i = 0; i < size; ++i)
+    local.data()[i] = static_cast<std::byte>(i * 131 + size);
+
+  tb.eng.spawn([](Testbed&, v::QueuePair* qp, v::MemoryRegion* l,
+                  v::MemoryRegion* r, std::uint32_t sz,
+                  std::uint64_t off) -> sim::Task {
+    auto wc = co_await qp->execute(make_write(*l, 0, *r, off, sz));
+    EXPECT_TRUE(wc.ok());
+    auto rc = co_await qp->execute(make_read(*l, 1 << 14, *r, off, sz));
+    EXPECT_TRUE(rc.ok());
+  }(tb, conn.local, lmr, rmr, size, offset));
+  tb.eng.run();
+
+  EXPECT_EQ(std::memcmp(remote.data() + offset, local.data(), size), 0);
+  EXPECT_EQ(std::memcmp(local.data() + (1 << 14), local.data(), size), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WriteReadRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 3u, 8u, 63u, 64u, 65u, 256u,
+                                         1000u, 4096u, 8192u),
+                       ::testing::Values(0ull, 1ull, 4095ull, 8192ull)));
+
+// ---------------------------------------------------------------------------
+// P2: shuffle conserves every entry, for all (executors, mode, batch).
+
+class ShuffleConservation
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, sh::BatchMode, std::uint32_t>> {};
+
+TEST_P(ShuffleConservation, ChecksumAndCountConserved) {
+  const auto [execs, mode, batch] = GetParam();
+  Testbed tb;
+  sh::Config cfg;
+  cfg.executors = execs;
+  cfg.entries_per_executor = 600;
+  cfg.batch = mode;
+  cfg.batch_size = batch;
+  sh::Shuffle s(ctx_ptrs(tb), cfg);
+  const auto r = s.run();
+  EXPECT_EQ(r.entries, static_cast<std::uint64_t>(execs) * 600);
+  EXPECT_EQ(s.received_checksum(), s.sent_checksum());
+  std::uint64_t total = 0;
+  for (std::uint32_t e = 0; e < execs; ++e) total += s.received_count(e);
+  EXPECT_EQ(total, r.entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShuffleConservation,
+    ::testing::Combine(::testing::Values(2u, 3u, 5u, 8u),
+                       ::testing::Values(sh::BatchMode::kNone,
+                                         sh::BatchMode::kSgl,
+                                         sh::BatchMode::kSp,
+                                         sh::BatchMode::kDoorbell),
+                       ::testing::Values(1u, 4u, 16u)));
+
+// ---------------------------------------------------------------------------
+// P3: the distributed log is dense + intact for all (engines, batch).
+
+class DlogDensity
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(DlogDensity, DenseAndIntact) {
+  const auto [engines, batch] = GetParam();
+  Testbed tb;
+  dl::Config cfg;
+  cfg.engines = engines;
+  cfg.records_per_engine = 160;
+  cfg.batch_size = batch;
+  dl::DistributedLog log(ctx_ptrs(tb), cfg);
+  const auto r = log.run();
+  EXPECT_EQ(r.records, static_cast<std::uint64_t>(engines) * 160);
+  EXPECT_TRUE(log.verify_dense_and_intact());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DlogDensity,
+    ::testing::Combine(::testing::Values(1u, 3u, 7u, 14u),
+                       ::testing::Values(1u, 7u, 16u, 32u)));
+
+// ---------------------------------------------------------------------------
+// P4: consolidator shadow == remote after drain, under random workloads.
+
+class ConsolidatorConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsolidatorConvergence, RemoteMatchesShadowAfterDrain) {
+  const int seed = GetParam();
+  Testbed tb;
+  v::Buffer dst(1 << 14);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  remem::Consolidator cons(*conn.local, rmr->addr, rmr->key, dst.size(),
+                           {.block_size = 512,
+                            .theta = static_cast<std::uint32_t>(1 + seed % 9),
+                            .timeout = sim::us(40 + 13 * seed),
+                            .async_flush = seed % 2 == 1});
+  tb.eng.spawn([](Testbed& t, remem::Consolidator& c, int sd) -> sim::Task {
+    sim::Rng rng(static_cast<std::uint64_t>(sd) * 77 + 5);
+    std::vector<std::byte> data(24);
+    for (int i = 0; i < 500; ++i) {
+      for (auto& b : data)
+        b = static_cast<std::byte>(rng.uniform(256));
+      const std::uint64_t block = rng.uniform((1 << 14) / 512);
+      const std::uint64_t off = rng.uniform(512 - data.size());
+      co_await c.write(block * 512 + off, data);
+      if (rng.chance(0.05)) co_await sim::delay(t.eng, sim::us(60));
+    }
+    co_await c.flush_all();
+  }(tb, cons, seed));
+  tb.eng.run();
+
+  EXPECT_EQ(std::memcmp(dst.data(), cons.shadow().data(), dst.size()), 0);
+  EXPECT_EQ(cons.stats().staged_writes, 500u);
+  EXPECT_GT(cons.stats().flushes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidatorConvergence,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// P5: remote sequencer tickets stay dense for any client/machine layout.
+
+class SequencerDensity
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(SequencerDensity, TicketsDense) {
+  const auto [clients, per_client] = GetParam();
+  Testbed tb;
+  v::Buffer mem(64);
+  auto* mr = tb.ctx[0]->register_buffer(mem, 1);
+  std::vector<std::unique_ptr<remem::RemoteSequencer>> seqs;
+  std::vector<std::uint64_t> tickets;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    seqs.push_back(std::make_unique<remem::RemoteSequencer>(
+        *tb.connect(1 + c % 7, 0).local, mr->addr, mr->key));
+    tb.eng.spawn([](remem::RemoteSequencer& s, std::uint32_t n,
+                    std::vector<std::uint64_t>& out) -> sim::Task {
+      for (std::uint32_t i = 0; i < n; ++i)
+        out.push_back(co_await s.next());
+    }(*seqs.back(), per_client, tickets));
+  }
+  tb.eng.run();
+  ASSERT_EQ(tickets.size(),
+            static_cast<std::size_t>(clients) * per_client);
+  std::sort(tickets.begin(), tickets.end());
+  for (std::uint64_t i = 0; i < tickets.size(); ++i)
+    EXPECT_EQ(tickets[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SequencerDensity,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 13u),
+                       ::testing::Values(5u, 40u)));
+
+// ---------------------------------------------------------------------------
+// P6: fabric byte accounting equals what the workload shipped.
+
+TEST(FabricAccounting, BytesMatchWorkload) {
+  Testbed tb;
+  v::Buffer src(1 << 14), dst(1 << 14);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  tb.eng.spawn([](Testbed&, v::QueuePair* qp, v::MemoryRegion* l,
+                  v::MemoryRegion* r) -> sim::Task {
+    for (int i = 0; i < 10; ++i)
+      (void)co_await qp->execute(make_write(*l, 0, *r, 0, 100));
+  }(tb, conn.local, lmr, rmr));
+  tb.eng.run();
+  // 10 writes of 100 B payload + 10 zero-byte ACKs.
+  EXPECT_EQ(tb.cluster.fabric().bytes(), 1000u);
+  EXPECT_EQ(tb.cluster.fabric().messages(), 20u);
+}

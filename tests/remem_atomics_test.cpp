@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "remem/atomics.hpp"
+#include "remem/rpc.hpp"
+#include "testbed.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace remem = rdmasem::remem;
+using rdmasem::test::Testbed;
+
+namespace {
+
+// Shared lock word + N client QPs from machines 1..N to machine 0.
+struct LockRig {
+  Testbed tb;
+  v::Buffer lockmem;
+  v::MemoryRegion* mr;
+
+  LockRig() : lockmem(4096) {
+    mr = tb.ctx[0]->register_buffer(lockmem, 1);
+  }
+  v::QueuePair* client(std::uint32_t machine) {
+    return tb.connect(machine, 0).local;
+  }
+};
+
+}  // namespace
+
+TEST(RemoteSpinlock, MutualExclusionHolds) {
+  LockRig rig;
+  int in_critical = 0, max_in_critical = 0, acquired = 0;
+  std::vector<std::unique_ptr<remem::RemoteSpinlock>> locks;
+  for (std::uint32_t t = 0; t < 4; ++t)
+    locks.push_back(std::make_unique<remem::RemoteSpinlock>(
+        *rig.client(1 + t % 3), rig.mr->addr, rig.mr->key));
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    auto worker = [](LockRig& r, remem::RemoteSpinlock& l, int& in, int& mx,
+                     int& acq) -> sim::Task {
+      for (int i = 0; i < 20; ++i) {
+        co_await l.lock();
+        ++in;
+        mx = std::max(mx, in);
+        ++acq;
+        co_await sim::delay(r.tb.eng, sim::ns(300));  // critical section
+        --in;
+        co_await l.unlock();
+      }
+    };
+    rig.tb.eng.spawn(
+        worker(rig, *locks[t], in_critical, max_in_critical, acquired));
+  }
+  rig.tb.eng.run();
+  EXPECT_EQ(max_in_critical, 1);
+  EXPECT_EQ(acquired, 80);
+  EXPECT_EQ(*rig.lockmem.as<std::uint64_t>(), 0u);  // released at the end
+}
+
+TEST(RemoteSpinlock, BackoffReducesCasTraffic) {
+  auto cas_per_acquisition = [](remem::BackoffPolicy bp) {
+    LockRig rig;
+    std::vector<std::unique_ptr<remem::RemoteSpinlock>> locks;
+    for (std::uint32_t t = 0; t < 6; ++t)
+      locks.push_back(std::make_unique<remem::RemoteSpinlock>(
+          *rig.client(1 + t % 3), rig.mr->addr, rig.mr->key, bp));
+    for (auto& l : locks) {
+      auto worker = [](LockRig& r, remem::RemoteSpinlock& lk) -> sim::Task {
+        for (int i = 0; i < 15; ++i) {
+          co_await lk.lock();
+          co_await sim::delay(r.tb.eng, sim::ns(200));
+          co_await lk.unlock();
+        }
+      };
+      rig.tb.eng.spawn(worker(rig, *l));
+    }
+    rig.tb.eng.run();
+    std::uint64_t cas = 0, acq = 0;
+    for (auto& l : locks) {
+      cas += l->cas_attempts();
+      acq += l->acquisitions();
+    }
+    EXPECT_EQ(acq, 90u);
+    return static_cast<double>(cas) / static_cast<double>(acq);
+  };
+  const double naive = cas_per_acquisition(remem::BackoffPolicy::none());
+  const double backoff =
+      cas_per_acquisition(remem::BackoffPolicy::exponential());
+  EXPECT_LT(backoff, naive * 0.7);  // backoff kills wasted CAS slots
+}
+
+TEST(RemoteSequencer, TicketsAreUniqueAndDense) {
+  LockRig rig;
+  std::vector<std::uint64_t> tickets;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    auto worker = [](LockRig& r, std::uint32_t tid,
+                     std::vector<std::uint64_t>& out) -> sim::Task {
+      remem::RemoteSequencer seq(*r.client(1 + tid % 3), r.mr->addr,
+                                 r.mr->key);
+      for (int i = 0; i < 25; ++i) out.push_back(co_await seq.next());
+    };
+    rig.tb.eng.spawn(worker(rig, t, tickets));
+  }
+  rig.tb.eng.run();
+  ASSERT_EQ(tickets.size(), 100u);
+  std::sort(tickets.begin(), tickets.end());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(tickets[i], i);
+  EXPECT_EQ(*rig.lockmem.as<std::uint64_t>(), 100u);
+}
+
+TEST(LocalSpinlock, MutualExclusionAndMeltdownShape) {
+  // Local lock: throughput/thread collapses as contenders rise (Fig. 10a).
+  auto total_mops = [](std::uint32_t threads) {
+    Testbed tb;
+    auto& m = tb.cluster.machine(0);
+    remem::LocalSpinlock lock(tb.eng, m, /*line=*/1);
+    int errors = 0;
+    std::uint64_t acq = 0;
+    sim::Time end = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      auto worker = [](Testbed& tbb, remem::LocalSpinlock& l,
+                       std::uint32_t tid, int& err, std::uint64_t& a,
+                       sim::Time& e) -> sim::Task {
+        const rdmasem::hw::SocketId sock = tid % 2;
+        for (int i = 0; i < 400; ++i) {
+          co_await l.lock(sock);
+          if (!l.held()) ++err;
+          ++a;
+          co_await l.unlock(sock);
+        }
+        e = std::max(e, tbb.eng.now());
+      };
+      tb.eng.spawn(worker(tb, lock, t, errors, acq, end));
+    }
+    tb.eng.run();
+    EXPECT_EQ(errors, 0);
+    return static_cast<double>(acq) / sim::to_us(end);
+  };
+  const double t1 = total_mops(1);
+  const double t8 = total_mops(8);
+  EXPECT_GT(t1, 30.0);       // uncontended local lock is very fast
+  EXPECT_LT(t8, t1 * 0.15);  // paper: collapses to ~1% at high contention
+}
+
+TEST(LocalSequencer, ContendersSlowItDown) {
+  Testbed tb;
+  auto& m = tb.cluster.machine(0);
+  remem::LocalSequencer seq(tb.eng, m, 2);
+  auto run_n = [&](std::uint32_t contenders) {
+    for (std::uint32_t i = 0; i < contenders; ++i) seq.add_contender();
+    double out = 0;
+    auto worker = [](Testbed& tbb, remem::LocalSequencer& s, double& res)
+        -> sim::Task {
+      const sim::Time start = tbb.eng.now();
+      for (int i = 0; i < 1000; ++i) (void)co_await s.next(0);
+      res = 1000.0 / sim::to_us(tbb.eng.now() - start);
+    };
+    tb.eng.spawn(worker(tb, seq, out));
+    tb.eng.run();
+    for (std::uint32_t i = 0; i < contenders; ++i) seq.remove_contender();
+    return out;
+  };
+  const double solo = run_n(1);
+  const double crowded = run_n(12);
+  EXPECT_GT(solo, crowded * 4.0);
+}
+
+TEST(LocalSequencer, ValuesMonotone) {
+  Testbed tb;
+  remem::LocalSequencer seq(tb.eng, tb.cluster.machine(0), 3);
+  std::vector<std::uint64_t> vals;
+  auto worker = [](Testbed&, remem::LocalSequencer& s,
+                   std::vector<std::uint64_t>& out) -> sim::Task {
+    for (int i = 0; i < 10; ++i) out.push_back(co_await s.next(0));
+  };
+  tb.eng.spawn(worker(tb, seq, vals));
+  tb.eng.run();
+  for (std::uint64_t i = 0; i < vals.size(); ++i) EXPECT_EQ(vals[i], i);
+}
+
+TEST(Rpc, EchoRoundTrip) {
+  Testbed tb;
+  remem::RpcLockServiceState state;
+  remem::RpcServer server(
+      *tb.ctx[0],
+      [&state](std::uint64_t op, std::uint64_t arg) {
+        return state.handle(op, arg);
+      });
+  remem::RpcClient client(*tb.ctx[1], tb.paper_qp());
+  v::Context::connect(*server.add_endpoint(), *client.qp());
+
+  std::uint64_t got = 0;
+  auto task = [](remem::RpcClient& c, std::uint64_t& out) -> sim::Task {
+    out = co_await c.call(remem::kRpcEcho, 12345);
+  };
+  tb.eng.spawn(task(client, got));
+  tb.eng.run();
+  EXPECT_EQ(got, 12345u);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Rpc, SequencerServiceIsDense) {
+  Testbed tb;
+  remem::RpcLockServiceState state;
+  remem::RpcServer server(
+      *tb.ctx[0],
+      [&state](std::uint64_t op, std::uint64_t arg) {
+        return state.handle(op, arg);
+      });
+  std::vector<std::unique_ptr<remem::RpcClient>> clients;
+  std::vector<std::uint64_t> tickets;
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    clients.push_back(std::make_unique<remem::RpcClient>(
+        *tb.ctx[1 + t], tb.paper_qp()));
+    v::Context::connect(*server.add_endpoint(), *clients.back()->qp());
+    auto worker = [](remem::RpcClient& c,
+                     std::vector<std::uint64_t>& out) -> sim::Task {
+      for (int i = 0; i < 20; ++i)
+        out.push_back(co_await c.call(remem::kRpcSeqNext, 0));
+    };
+    tb.eng.spawn(worker(*clients.back(), tickets));
+  }
+  tb.eng.run();
+  ASSERT_EQ(tickets.size(), 60u);
+  std::sort(tickets.begin(), tickets.end());
+  for (std::uint64_t i = 0; i < 60; ++i) EXPECT_EQ(tickets[i], i);
+}
+
+TEST(Rpc, TryLockGrantsExclusively) {
+  Testbed tb;
+  remem::RpcLockServiceState state;
+  remem::RpcServer server(
+      *tb.ctx[0],
+      [&state](std::uint64_t op, std::uint64_t arg) {
+        return state.handle(op, arg);
+      });
+  remem::RpcClient c1(*tb.ctx[1], tb.paper_qp());
+  remem::RpcClient c2(*tb.ctx[2], tb.paper_qp());
+  v::Context::connect(*server.add_endpoint(), *c1.qp());
+  v::Context::connect(*server.add_endpoint(), *c2.qp());
+
+  auto task = [](Testbed&, remem::RpcClient& a,
+                 remem::RpcClient& b) -> sim::Task {
+    EXPECT_EQ(co_await a.call(remem::kRpcTryLock, 0), 1u);  // granted
+    EXPECT_EQ(co_await b.call(remem::kRpcTryLock, 0), 0u);  // denied
+    EXPECT_EQ(co_await a.call(remem::kRpcUnlock, 0), 1u);
+    EXPECT_EQ(co_await b.call(remem::kRpcTryLock, 0), 1u);  // now granted
+  };
+  tb.eng.spawn(task(tb, c1, c2));
+  tb.eng.run();
+}
+
+TEST(AtomicsComparison, RemoteSequencerBeatsRpcSequencer) {
+  // §III-E: remote FAA ~1.9-2.3x the RPC sequencer.
+  auto remote_mops = [] {
+    LockRig rig;
+    std::uint64_t ops = 0;
+    sim::Time end = 0;
+    for (std::uint32_t t = 0; t < 6; ++t) {
+      auto worker = [](LockRig& r, std::uint32_t tid, std::uint64_t& o,
+                       sim::Time& e) -> sim::Task {
+        remem::RemoteSequencer seq(*r.client(1 + tid % 3), r.mr->addr,
+                                   r.mr->key);
+        for (int i = 0; i < 500; ++i) {
+          (void)co_await seq.next();
+          ++o;
+        }
+        e = std::max(e, r.tb.eng.now());
+      };
+      rig.tb.eng.spawn(worker(rig, t, ops, end));
+    }
+    rig.tb.eng.run();
+    return static_cast<double>(ops) / sim::to_us(end);
+  };
+  auto rpc_mops = [] {
+    Testbed tb;
+    remem::RpcLockServiceState state;
+    remem::RpcServer server(
+        *tb.ctx[0],
+        [&state](std::uint64_t op, std::uint64_t arg) {
+          return state.handle(op, arg);
+        });
+    std::vector<std::unique_ptr<remem::RpcClient>> clients;
+    std::uint64_t ops = 0;
+    sim::Time end = 0;
+    for (std::uint32_t t = 0; t < 6; ++t) {
+      clients.push_back(std::make_unique<remem::RpcClient>(
+          *tb.ctx[1 + t % 3], tb.paper_qp()));
+      v::Context::connect(*server.add_endpoint(), *clients.back()->qp());
+      auto worker = [](remem::RpcClient& c, Testbed& tbb, std::uint64_t& o,
+                       sim::Time& e) -> sim::Task {
+        for (int i = 0; i < 500; ++i) {
+          (void)co_await c.call(remem::kRpcSeqNext, 0);
+          ++o;
+        }
+        e = std::max(e, tbb.eng.now());
+      };
+      tb.eng.spawn(worker(*clients.back(), tb, ops, end));
+    }
+    tb.eng.run();
+    return static_cast<double>(ops) / sim::to_us(end);
+  };
+  const double remote = remote_mops();
+  const double rpc = rpc_mops();
+  EXPECT_GT(remote / rpc, 1.3);
+  EXPECT_LT(remote / rpc, 3.5);
+}

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "remem/batch.hpp"
+#include "sim/sync.hpp"
+#include "testbed.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace remem = rdmasem::remem;
+using rdmasem::test::Testbed;
+
+namespace {
+
+struct BatchRig {
+  Testbed tb;
+  v::Buffer src;
+  v::Buffer dst;
+  v::MemoryRegion* lmr;
+  v::MemoryRegion* rmr;
+  Testbed::Conn conn;
+
+  BatchRig() : src(1 << 16), dst(1 << 16), conn(tb.connect(0, 1)) {
+    lmr = tb.ctx[0]->register_buffer(src, 1);
+    rmr = tb.ctx[1]->register_buffer(dst, 1);
+    for (std::size_t i = 0; i < src.size(); ++i)
+      src.data()[i] = static_cast<std::byte>(i * 7 + 3);
+  }
+
+  // `n` scattered 32 B pieces at stride 512 -> contiguous at remote.
+  std::vector<remem::BatchItem> items(std::size_t n) {
+    std::vector<remem::BatchItem> out;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back({{lmr->addr + i * 512, 32, lmr->key},
+                     rmr->addr + i * 32});
+    return out;
+  }
+
+  bool remote_matches_gather(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (std::memcmp(dst.data() + i * 32, src.data() + i * 512, 32) != 0)
+        return false;
+    return true;
+  }
+
+  double flush_mops(remem::Batcher& b, std::size_t n, int reps) {
+    double out = 0;
+    auto task = [](BatchRig& r, remem::Batcher& batcher, std::size_t nn,
+                   int rr, double& res) -> sim::Task {
+      auto its = r.items(nn);
+      const sim::Time start = r.tb.eng.now();
+      for (int i = 0; i < rr; ++i) {
+        auto c = co_await batcher.flush_write(its, r.rmr->addr, r.rmr->key);
+        RDMASEM_CHECK(c.ok());
+      }
+      res = static_cast<double>(nn) * rr /
+            sim::to_us(r.tb.eng.now() - start);
+    };
+    tb.eng.spawn(task(*this, b, n, reps, out));
+    tb.eng.run();
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(Batchers, SpMovesDataCorrectly) {
+  BatchRig rig;
+  remem::SpBatcher sp(*rig.conn.local, 1 << 14);
+  rig.flush_mops(sp, 8, 1);
+  EXPECT_TRUE(rig.remote_matches_gather(8));
+}
+
+TEST(Batchers, SglMovesDataCorrectly) {
+  BatchRig rig;
+  remem::SglBatcher sgl(*rig.conn.local);
+  rig.flush_mops(sgl, 8, 1);
+  EXPECT_TRUE(rig.remote_matches_gather(8));
+}
+
+TEST(Batchers, DoorbellMovesDataToPerItemAddresses) {
+  BatchRig rig;
+  remem::DoorbellBatcher db(*rig.conn.local);
+  rig.flush_mops(db, 8, 1);
+  // Doorbell writes each item at its own remote_addr (same layout here).
+  EXPECT_TRUE(rig.remote_matches_gather(8));
+}
+
+TEST(Batchers, PaperOrderingSpGeSglGtDoorbell) {
+  // §III-A: SP >= SGL >> Doorbell in throughput for small payloads.
+  BatchRig rig;
+  remem::SpBatcher sp(*rig.conn.local, 1 << 14);
+  remem::SglBatcher sgl(*rig.conn.local);
+  remem::DoorbellBatcher db(*rig.conn.local);
+  const double m_sp = rig.flush_mops(sp, 16, 300);
+  const double m_sgl = rig.flush_mops(sgl, 16, 300);
+  const double m_db = rig.flush_mops(db, 16, 300);
+  EXPECT_GE(m_sp, m_sgl * 0.95);
+  EXPECT_GT(m_sgl, m_db * 1.3);
+  // Fig. 4 text: SP is 1.11x~2.14x SGL.
+  EXPECT_LT(m_sp / m_sgl, 2.5);
+}
+
+TEST(Batchers, SpScalesWithBatchSize) {
+  BatchRig rig;
+  remem::SpBatcher sp(*rig.conn.local, 1 << 14);
+  const double b1 = rig.flush_mops(sp, 1, 300);
+  const double b16 = rig.flush_mops(sp, 16, 300);
+  EXPECT_GT(b16 / b1, 4.0);  // strong scaling
+}
+
+TEST(Batchers, DoorbellBarelyScalesWithBatchSize) {
+  BatchRig rig;
+  remem::DoorbellBatcher db(*rig.conn.local);
+  const double b1 = rig.flush_mops(db, 1, 300);
+  const double b32 = rig.flush_mops(db, 32, 100);
+  const double gain = b32 / b1;
+  EXPECT_GT(gain, 1.2);  // it does help (fewer MMIOs)...
+  EXPECT_LT(gain, 5.0);  // ...but stays WQE-throttled (paper: ~2.5x)
+}
+
+TEST(Batchers, SglDegradesAtLargeBatch) {
+  // "High performance only exists in a small range": per-SGE fetch costs
+  // make large SGL batches sublinear vs SP.
+  BatchRig rig;
+  remem::SpBatcher sp(*rig.conn.local, 1 << 14);
+  remem::SglBatcher sgl(*rig.conn.local);
+  const double sp32 = rig.flush_mops(sp, 32, 200);
+  const double sgl32 = rig.flush_mops(sgl, 32, 200);
+  const double sp4 = rig.flush_mops(sp, 4, 200);
+  const double sgl4 = rig.flush_mops(sgl, 4, 200);
+  EXPECT_GT(sp32 / sgl32, sp4 / sgl4);  // the gap widens with batch size
+}
+
+namespace {
+void oversized_sgl_flush() {
+  BatchRig rig;
+  remem::SglBatcher sgl(*rig.conn.local);
+  auto items = rig.items(rig.tb.cluster.params().rnic_max_sge + 1);
+  auto task = [](BatchRig& r, remem::SglBatcher& b,
+                 std::vector<remem::BatchItem>& its) -> sim::Task {
+    (void)co_await b.flush_write(its, r.rmr->addr, r.rmr->key);
+  };
+  rig.tb.eng.spawn(task(rig, sgl, items));
+  rig.tb.eng.run();
+}
+}  // namespace
+
+TEST(BatchersDeathTest, SglRejectsBatchBeyondSgeLimit) {
+  EXPECT_DEATH(oversized_sgl_flush(), "SGE limit");
+}
+
+TEST(Batchers, ThreadScalingMatchesFig5) {
+  // Fig. 5: with window-1 batch-4 clients sharing a port, Doorbell's
+  // per-thread throughput collapses with thread count while SP barely
+  // moves (it spends 1 WQE per 4 logical ops).
+  auto per_thread = [](auto make_batcher, std::uint32_t threads) {
+    BatchRig rig;
+    std::vector<std::unique_ptr<remem::Batcher>> batchers;
+    std::vector<v::QueuePair*> qps;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      auto conn = rig.tb.connect(0, 1);
+      batchers.push_back(make_batcher(*conn.local));
+      qps.push_back(conn.local);
+    }
+    double total = 0;
+    sim::CountdownLatch done(rig.tb.eng, threads);
+    sim::Time end = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      auto loop = [](BatchRig& r, remem::Batcher& b, sim::CountdownLatch& d,
+                     sim::Time& e) -> sim::Task {
+        auto its = r.items(4);
+        for (int i = 0; i < 300; ++i)
+          (void)co_await b.flush_write(its, r.rmr->addr, r.rmr->key);
+        e = std::max(e, r.tb.eng.now());
+        d.count_down();
+      };
+      rig.tb.eng.spawn(loop(rig, *batchers[t], done, end));
+    }
+    rig.tb.eng.run();
+    total = 4.0 * 300 * threads / rdmasem::sim::to_us(end);
+    return total / threads;
+  };
+
+  auto mk_sp = [](v::QueuePair& qp) -> std::unique_ptr<remem::Batcher> {
+    return std::make_unique<remem::SpBatcher>(qp, 1 << 12);
+  };
+  auto mk_db = [](v::QueuePair& qp) -> std::unique_ptr<remem::Batcher> {
+    return std::make_unique<remem::DoorbellBatcher>(qp);
+  };
+  const double sp1 = per_thread(mk_sp, 1);
+  const double sp8 = per_thread(mk_sp, 8);
+  const double db1 = per_thread(mk_db, 1);
+  const double db8 = per_thread(mk_db, 8);
+  const double sp_drop = 1.0 - sp8 / sp1;
+  const double db_drop = 1.0 - db8 / db1;
+  EXPECT_LT(sp_drop, 0.45);          // SP holds up
+  EXPECT_GT(db_drop, sp_drop + 0.2); // Doorbell collapses harder
+}

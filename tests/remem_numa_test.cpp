@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "remem/numa_policy.hpp"
+#include "testbed.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace remem = rdmasem::remem;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_write;
+
+namespace {
+
+// Socket-matched QPs from machine 0 to machine 1, registered as router
+// routes: socket s uses port s with a core on socket s.
+struct ProxyRig {
+  Testbed tb;
+  v::Buffer src, dst0, dst1;
+  v::MemoryRegion* lmr;
+  v::MemoryRegion* rmr0;  // remote memory on socket 0
+  v::MemoryRegion* rmr1;  // remote memory on socket 1
+  remem::ProxySocketRouter router;
+
+  ProxyRig()
+      : src(4096), dst0(4096), dst1(4096),
+        router(tb.eng, tb.cluster.params()) {
+    lmr = tb.ctx[0]->register_buffer(src, 1);
+    rmr0 = tb.ctx[1]->register_buffer(dst0, 0);
+    rmr1 = tb.ctx[1]->register_buffer(dst1, 1);
+    for (rdmasem::hw::SocketId s = 0; s < 2; ++s) {
+      v::QpConfig cfg;
+      cfg.port = s;
+      cfg.core_socket = s;
+      auto conn = tb.connect(0, 1, cfg, cfg);
+      router.add_route(s, 1, conn.local);
+    }
+    std::memcpy(src.data(), "proxy-data", 10);
+  }
+};
+
+}  // namespace
+
+TEST(ProxyRouter, DirectPathWhenSocketsMatch) {
+  ProxyRig rig;
+  auto task = [](ProxyRig& r) -> sim::Task {
+    auto c = co_await r.router.submit(
+        /*caller=*/1, /*target=*/1, /*machine=*/1,
+        make_write(*r.lmr, 0, *r.rmr1, 0, 10));
+    EXPECT_TRUE(c.ok());
+  };
+  rig.tb.eng.spawn(task(rig));
+  rig.tb.eng.run();
+  EXPECT_EQ(rig.router.direct(), 1u);
+  EXPECT_EQ(rig.router.proxied(), 0u);
+  EXPECT_EQ(std::memcmp(rig.dst1.data(), "proxy-data", 10), 0);
+}
+
+TEST(ProxyRouter, CrossSocketGoesThroughProxy) {
+  ProxyRig rig;
+  auto task = [](ProxyRig& r) -> sim::Task {
+    // Caller on socket 1 targets remote socket 0: local socket 0 proxies.
+    auto c = co_await r.router.submit(
+        /*caller=*/1, /*target=*/0, /*machine=*/1,
+        make_write(*r.lmr, 0, *r.rmr0, 0, 10));
+    EXPECT_TRUE(c.ok());
+  };
+  rig.tb.eng.spawn(task(rig));
+  rig.tb.eng.run();
+  EXPECT_EQ(rig.router.proxied(), 1u);
+  EXPECT_EQ(std::memcmp(rig.dst0.data(), "proxy-data", 10), 0);
+}
+
+TEST(ProxyRouter, ProxyBeatsMismatchedDirectAccessUnderLoad) {
+  // The §III-D claim is a throughput claim (Table III puts the mem-alt
+  // *latency* gap at only 4-10%): under load, remote inter-socket DMA
+  // burns QPI/memory-channel bandwidth on the remote machine, while the
+  // proxy route keeps the remote side NUMA-clean at the price of two
+  // local IPC hops. Compare loaded throughput of 512 B writes.
+  auto loaded_mops = [](bool use_proxy) {
+    ProxyRig rig;
+    auto mismatch = rig.tb.connect(0, 1);  // port1/core1 -> remote socket-0 mem
+    const int kClients = 16, kOps = 150;
+    sim::Time end = 0;
+    for (int cidx = 0; cidx < kClients; ++cidx) {
+      auto task = [](ProxyRig& r, v::QueuePair* direct_qp, bool proxy,
+                     sim::Time& e) -> sim::Task {
+        for (int i = 0; i < kOps; ++i) {
+          auto wr = make_write(*r.lmr, 0, *r.rmr0, 0, 512);
+          if (proxy) {
+            (void)co_await r.router.submit(1, 0, 1, std::move(wr));
+          } else {
+            (void)co_await direct_qp->execute(std::move(wr));
+          }
+        }
+        e = std::max(e, r.tb.eng.now());
+      };
+      rig.tb.eng.spawn(task(rig, mismatch.local, use_proxy, end));
+    }
+    rig.tb.eng.run();
+    return kClients * kOps / sim::to_us(end);
+  };
+  const double proxy = loaded_mops(true);
+  const double direct = loaded_mops(false);
+  EXPECT_GT(proxy / direct, 1.1);
+}
+
+TEST(ProxyRouter, ManyConcurrentSubmitsAllComplete) {
+  ProxyRig rig;
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto task = [](ProxyRig& r, int idx, int& done) -> sim::Task {
+      const rdmasem::hw::SocketId caller = idx % 2;
+      const rdmasem::hw::SocketId target = (idx / 2) % 2;
+      auto* mr = target == 0 ? r.rmr0 : r.rmr1;
+      auto c = co_await r.router.submit(
+          caller, target, 1,
+          make_write(*r.lmr, 0, *mr, static_cast<std::uint64_t>(idx) * 16,
+                     10));
+      EXPECT_TRUE(c.ok());
+      ++done;
+    };
+    rig.tb.eng.spawn(task(rig, i, completed));
+  }
+  rig.tb.eng.run();
+  EXPECT_EQ(completed, 50);
+}
+
+namespace {
+void submit_without_route() {
+  Testbed tb;
+  remem::ProxySocketRouter router(tb.eng, tb.cluster.params());
+  v::Buffer src(64);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto task = [](remem::ProxySocketRouter& r,
+                 v::MemoryRegion* mr) -> sim::Task {
+    v::WorkRequest wr;
+    wr.opcode = v::Opcode::kWrite;
+    wr.sg_list = {{mr->addr, 8, mr->key}};
+    (void)co_await r.submit(0, 0, 1, wr);
+  };
+  tb.eng.spawn(task(router, lmr));
+  tb.eng.run();
+}
+}  // namespace
+
+TEST(ProxyRouterDeathTest, UnregisteredRouteAborts) {
+  EXPECT_DEATH(submit_without_route(), "no route");
+}

@@ -1,0 +1,13 @@
+#pragma once
+
+// Test-side aliases for the shared simulation rig (src/wl/rig.hpp).
+
+#include "wl/rig.hpp"
+
+namespace rdmasem::test {
+
+using Testbed = wl::Rig;
+using wl::make_read;
+using wl::make_write;
+
+}  // namespace rdmasem::test

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace u = rdmasem::util;
+
+TEST(RunningStat, Empty) {
+  u::RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  u::RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  u::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ClearResets) {
+  u::RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Samples, PercentileNearestRank) {
+  u::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Samples, MeanAndUnsortedInput) {
+  u::Samples s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  // Adding after sorting must re-sort.
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+}
+
+TEST(Log2Histogram, BucketsAndQuantiles) {
+  u::Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(10);    // bucket of 8..15
+  for (int i = 0; i < 100; ++i) h.add(1000);  // bucket of 512..1023
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_LE(h.quantile_bound(0.25), 15u);
+  EXPECT_GE(h.quantile_bound(0.99), 512u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  u::Table t({"size", "lat_us"});
+  t.add_row({"64", "1.16"});
+  t.add_row({"8192", "3.50"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("8192"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, TitleBanner) {
+  u::Table t({"a"});
+  t.set_title("Fig. 1");
+  EXPECT_NE(t.render().find("== Fig. 1 =="), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(u::fmt(1.005, 2), "1.00");  // snprintf rounding of binary 1.005
+  EXPECT_EQ(u::fmt(2.5, 1), "2.5");
+  EXPECT_EQ(u::fmt(3.0, 0), "3");
+}
+
+TEST(Fmt, Bytes) {
+  EXPECT_EQ(u::fmt_bytes(64), "64B");
+  EXPECT_EQ(u::fmt_bytes(4096), "4KB");
+  EXPECT_EQ(u::fmt_bytes(2u << 20), "2MB");
+  EXPECT_EQ(u::fmt_bytes(1ull << 30), "1GB");
+  EXPECT_EQ(u::fmt_bytes(1500), "1500B");
+}
+
+TEST(Env, U64DefaultAndParse) {
+  ::unsetenv("RDMASEM_TEST_KNOB");
+  EXPECT_EQ(u::env_u64("RDMASEM_TEST_KNOB", 7), 7u);
+  ::setenv("RDMASEM_TEST_KNOB", "42", 1);
+  EXPECT_EQ(u::env_u64("RDMASEM_TEST_KNOB", 7), 42u);
+  ::setenv("RDMASEM_TEST_KNOB", "4k", 1);
+  EXPECT_EQ(u::env_u64("RDMASEM_TEST_KNOB", 7), 4096u);
+  ::setenv("RDMASEM_TEST_KNOB", "2M", 1);
+  EXPECT_EQ(u::env_u64("RDMASEM_TEST_KNOB", 7), 2u << 20);
+  ::setenv("RDMASEM_TEST_KNOB", "bogus", 1);
+  EXPECT_EQ(u::env_u64("RDMASEM_TEST_KNOB", 7), 7u);
+  ::unsetenv("RDMASEM_TEST_KNOB");
+}
+
+TEST(Env, BoolForms) {
+  ::setenv("RDMASEM_TEST_KNOB", "0", 1);
+  EXPECT_FALSE(u::env_bool("RDMASEM_TEST_KNOB", true));
+  ::setenv("RDMASEM_TEST_KNOB", "off", 1);
+  EXPECT_FALSE(u::env_bool("RDMASEM_TEST_KNOB", true));
+  ::setenv("RDMASEM_TEST_KNOB", "1", 1);
+  EXPECT_TRUE(u::env_bool("RDMASEM_TEST_KNOB", false));
+  ::unsetenv("RDMASEM_TEST_KNOB");
+  EXPECT_TRUE(u::env_bool("RDMASEM_TEST_KNOB", true));
+}
+
+TEST(Env, F64AndStr) {
+  ::setenv("RDMASEM_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(u::env_f64("RDMASEM_TEST_KNOB", 1.0), 2.5);
+  EXPECT_EQ(u::env_str("RDMASEM_TEST_KNOB", "d"), "2.5");
+  ::unsetenv("RDMASEM_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(u::env_f64("RDMASEM_TEST_KNOB", 1.0), 1.0);
+  EXPECT_EQ(u::env_str("RDMASEM_TEST_KNOB", "d"), "d");
+}

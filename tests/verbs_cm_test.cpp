@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "testbed.hpp"
+#include "verbs/cm.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_write;
+
+TEST(ConnectionManager, ConnectDeliversUsableQp) {
+  Testbed tb;
+  v::ConnectionManager cm(tb.cluster);
+  v::Buffer dst(4096);
+  auto* rmr = tb.ctx[0]->register_buffer(dst, 1);
+  cm.listen(*tb.ctx[0], /*service=*/7, tb.paper_qp(), nullptr);
+
+  v::Buffer src(4096);
+  auto* lmr = tb.ctx[3]->register_buffer(src, 1);
+  std::memcpy(src.data(), "via-cm", 6);
+  bool done = false;
+  tb.eng.spawn([](Testbed& t, v::ConnectionManager& c, v::MemoryRegion* l,
+                  v::MemoryRegion* r, bool& ok) -> sim::Task {
+    auto cfg = t.paper_qp();
+    cfg.cq = t.ctx[3]->create_cq();
+    auto* qp = co_await c.connect(*t.ctx[3], 0, 7, cfg);
+    EXPECT_NE(qp, nullptr);
+    EXPECT_TRUE(qp->connected());
+    auto wc = co_await qp->execute(make_write(*l, 0, *r, 0, 6));
+    EXPECT_TRUE(wc.ok());
+    ok = true;
+  }(tb, cm, lmr, rmr, done));
+  tb.eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(std::memcmp(dst.data(), "via-cm", 6), 0);
+  EXPECT_EQ(cm.connections_established(), 1u);
+  // Establishment is not free: handshake + QP transitions take >5us.
+  EXPECT_GT(tb.eng.now(), sim::us(5));
+}
+
+TEST(ConnectionManager, AcceptHandlerSeesEveryConnection) {
+  Testbed tb;
+  v::ConnectionManager cm(tb.cluster);
+  std::vector<v::QueuePair*> accepted;
+  cm.listen(*tb.ctx[0], 9, tb.paper_qp(),
+            [&](v::QueuePair* qp) { accepted.push_back(qp); });
+  for (int m = 1; m <= 5; ++m) {
+    tb.eng.spawn([](Testbed& t, v::ConnectionManager& c, int mm) -> sim::Task {
+      auto cfg = t.paper_qp();
+      cfg.cq = t.ctx[static_cast<std::size_t>(mm)]->create_cq();
+      auto* qp = co_await c.connect(*t.ctx[static_cast<std::size_t>(mm)],
+                                    0, 9, cfg);
+      EXPECT_TRUE(qp->connected());
+    }(tb, cm, m));
+  }
+  tb.eng.run();
+  EXPECT_EQ(accepted.size(), 5u);
+  EXPECT_EQ(cm.connections_established(), 5u);
+  for (auto* qp : accepted) EXPECT_TRUE(qp->connected());
+}
+
+TEST(ConnectionManager, ServicesAreIndependent) {
+  Testbed tb;
+  v::ConnectionManager cm(tb.cluster);
+  int a = 0, b = 0;
+  cm.listen(*tb.ctx[0], 1, tb.paper_qp(), [&](v::QueuePair*) { ++a; });
+  cm.listen(*tb.ctx[0], 2, tb.paper_qp(), [&](v::QueuePair*) { ++b; });
+  cm.listen(*tb.ctx[1], 1, tb.paper_qp(), [&](v::QueuePair*) { ++b; });
+  tb.eng.spawn([](Testbed& t, v::ConnectionManager& c) -> sim::Task {
+    auto cfg = t.paper_qp();
+    (void)co_await c.connect(*t.ctx[2], 0, 1, cfg);
+    (void)co_await c.connect(*t.ctx[2], 0, 1, cfg);
+  }(tb, cm));
+  tb.eng.run();
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 0);
+}
+
+namespace {
+void connect_to_nowhere() {
+  Testbed tb;
+  v::ConnectionManager cm(tb.cluster);
+  tb.eng.spawn([](Testbed& t, v::ConnectionManager& c) -> sim::Task {
+    (void)co_await c.connect(*t.ctx[1], 0, 42, t.paper_qp());
+  }(tb, cm));
+  tb.eng.run();
+}
+}  // namespace
+
+TEST(ConnectionManagerDeathTest, RefusedWithoutListener) {
+  EXPECT_DEATH(connect_to_nowhere(), "connection refused");
+}

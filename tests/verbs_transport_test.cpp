@@ -1,0 +1,227 @@
+// Transport-type semantics (§II-A): RC supports everything; UC loses READ
+// and atomics; UD is datagram SEND/RECV only. UC/UD complete locally and
+// drop lost packets; RC retransmits.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "testbed.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_read;
+using rdmasem::test::make_write;
+
+namespace {
+
+void run(Testbed& tb, sim::Task t) {
+  tb.eng.spawn(std::move(t));
+  tb.eng.run();
+}
+
+Testbed::Conn connect_with(Testbed& tb, v::Transport tp) {
+  auto cfg = tb.paper_qp();
+  cfg.transport = tp;
+  return tb.connect(0, 1, cfg, cfg);
+}
+
+}  // namespace
+
+TEST(TransportUC, WriteWorksAndCompletesLocally) {
+  Testbed tb;
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto uc = connect_with(tb, v::Transport::kUC);
+  auto rc = tb.connect(0, 1);
+  std::memcpy(src.data(), "uc-bytes", 8);
+
+  double uc_lat = 0, rc_lat = 0;
+  run(tb, [](Testbed& t, v::QueuePair* u, v::QueuePair* r,
+             v::MemoryRegion* l, v::MemoryRegion* rm, double& ul,
+             double& rl) -> sim::Task {
+    // Warm the metadata caches, then measure steady state.
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await u->execute(make_write(*l, 0, *rm, 0, 8));
+      (void)co_await r->execute(make_write(*l, 0, *rm, 64, 8));
+    }
+    sim::Time t0 = t.eng.now();
+    auto c1 = co_await u->execute(make_write(*l, 0, *rm, 0, 8));
+    ul = sim::to_us(t.eng.now() - t0);
+    EXPECT_TRUE(c1.ok());
+    t0 = t.eng.now();
+    auto c2 = co_await r->execute(make_write(*l, 0, *rm, 64, 8));
+    rl = sim::to_us(t.eng.now() - t0);
+    EXPECT_TRUE(c2.ok());
+  }(tb, uc.local, rc.local, lmr, rmr, uc_lat, rc_lat));
+
+  // Data landed in both cases...
+  EXPECT_EQ(std::memcmp(dst.data(), "uc-bytes", 8), 0);
+  EXPECT_EQ(std::memcmp(dst.data() + 64, "uc-bytes", 8), 0);
+  // ...but the UC completion didn't wait for the remote ACK round trip.
+  EXPECT_LT(uc_lat, rc_lat * 0.75);
+}
+
+TEST(TransportUC, ReadAndAtomicsRejected) {
+  Testbed tb;
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto uc = connect_with(tb, v::Transport::kUC);
+
+  run(tb, [](Testbed&, v::QueuePair* qp, v::MemoryRegion* l,
+             v::MemoryRegion* r) -> sim::Task {
+    auto c = co_await qp->execute(make_read(*l, 0, *r, 0, 8));
+    EXPECT_EQ(c.status, v::Status::kUnsupportedOpcode);
+    v::WorkRequest faa;
+    faa.opcode = v::Opcode::kFetchAdd;
+    faa.sg_list = {{l->addr, 8, l->key}};
+    faa.remote_addr = r->addr;
+    faa.rkey = r->key;
+    faa.swap_or_add = 1;
+    auto c2 = co_await qp->execute(faa);
+    EXPECT_EQ(c2.status, v::Status::kUnsupportedOpcode);
+  }(tb, uc.local, lmr, rmr));
+}
+
+TEST(TransportUD, DatagramToManyPeersFromOneQp) {
+  // The UD selling point: ONE local QP reaches every peer (no per-peer
+  // connection state). One sender datagram-casts to three receivers.
+  Testbed tb;
+  v::Buffer sbuf(4096);
+  auto* smr = tb.ctx[0]->register_buffer(sbuf, 1);
+  auto ud_cfg = tb.paper_qp();
+  ud_cfg.transport = v::Transport::kUD;
+  ud_cfg.cq = tb.ctx[0]->create_cq();
+  auto* sender = tb.ctx[0]->create_qp(ud_cfg);
+
+  struct Receiver {
+    v::Buffer buf{4096};
+    v::MemoryRegion* mr;
+    v::QueuePair* qp;
+  };
+  std::vector<Receiver> rx(3);
+  for (int i = 0; i < 3; ++i) {
+    rx[i].mr = tb.ctx[1 + i]->register_buffer(rx[i].buf, 1);
+    auto cfg = tb.paper_qp();
+    cfg.transport = v::Transport::kUD;
+    cfg.cq = tb.ctx[1 + i]->create_cq();
+    rx[i].qp = tb.ctx[1 + i]->create_qp(cfg);
+    rx[i].qp->post_recv({99, {rx[i].mr->addr, 256, rx[i].mr->key}});
+  }
+  std::memcpy(sbuf.data(), "datagram", 8);
+
+  run(tb, [](Testbed&, v::QueuePair* s, v::MemoryRegion* m,
+             std::vector<Receiver>& rs) -> sim::Task {
+    for (auto& r : rs) {
+      v::WorkRequest wr;
+      wr.opcode = v::Opcode::kSend;
+      wr.sg_list = {{m->addr, 8, m->key}};
+      wr.ud_dest = r.qp;
+      auto c = co_await s->execute(wr);
+      EXPECT_TRUE(c.ok());
+    }
+  }(tb, sender, smr, rx));
+
+  for (auto& r : rx) {
+    EXPECT_EQ(std::memcmp(r.buf.data(), "datagram", 8), 0);
+    auto c = r.qp->config().cq->poll();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->opcode, v::Opcode::kRecv);
+  }
+}
+
+TEST(TransportUD, WriteRejected) {
+  Testbed tb;
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto ud_cfg = tb.paper_qp();
+  ud_cfg.transport = v::Transport::kUD;
+  ud_cfg.cq = tb.ctx[0]->create_cq();
+  auto* sender = tb.ctx[0]->create_qp(ud_cfg);
+  auto rcfg = ud_cfg;
+  rcfg.cq = tb.ctx[1]->create_cq();
+  auto* receiver = tb.ctx[1]->create_qp(rcfg);
+
+  run(tb, [](Testbed&, v::QueuePair* s, v::QueuePair* d, v::MemoryRegion* l,
+             v::MemoryRegion* r) -> sim::Task {
+    auto wr = make_write(*l, 0, *r, 0, 8);
+    wr.ud_dest = d;
+    auto c = co_await s->execute(wr);
+    EXPECT_EQ(c.status, v::Status::kUnsupportedOpcode);
+  }(tb, sender, receiver, lmr, rmr));
+}
+
+TEST(TransportLoss, UcDropsSilentlyRcRetransmits) {
+  rdmasem::hw::ModelParams p;
+  p.net_loss_prob = 0.5;
+  Testbed tb(p);
+  v::Buffer src(4096), dst(1 << 16);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto uc = connect_with(tb, v::Transport::kUC);
+  auto rc = tb.connect(0, 1);
+  std::memcpy(src.data(), "XXXXXXXX", 8);
+
+  const int n = 200;
+  run(tb, [](Testbed&, v::QueuePair* u, v::QueuePair* r, v::MemoryRegion* l,
+             v::MemoryRegion* rm, int count) -> sim::Task {
+    for (int i = 0; i < count; ++i) {
+      // UC completes OK even when the packet is lost.
+      auto c1 = co_await u->execute(
+          make_write(*l, 0, *rm, static_cast<std::uint64_t>(i) * 16, 8));
+      EXPECT_TRUE(c1.ok());
+      // RC retransmits until delivery.
+      auto c2 = co_await r->execute(
+          make_write(*l, 0, *rm, static_cast<std::uint64_t>(i) * 16 + 8, 8));
+      EXPECT_TRUE(c2.ok());
+    }
+  }(tb, uc.local, rc.local, lmr, rmr, n));
+
+  int uc_landed = 0, rc_landed = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::memcmp(dst.data() + i * 16, "XXXXXXXX", 8) == 0) ++uc_landed;
+    if (std::memcmp(dst.data() + i * 16 + 8, "XXXXXXXX", 8) == 0) ++rc_landed;
+  }
+  EXPECT_EQ(rc_landed, n);            // RC always delivers
+  EXPECT_GT(uc_landed, n / 4);        // UC delivers ~half
+  EXPECT_LT(uc_landed, n * 3 / 4);
+}
+
+TEST(TransportUD, GrhOverheadVisibleOnWire) {
+  // A UD datagram carries a 40 B GRH: its serialization takes longer than
+  // the same payload over RC for large messages.
+  auto bytes_on_wire = [](v::Transport tp) {
+    rdmasem::hw::ModelParams p;
+    Testbed tb(p);
+    v::Buffer sbuf(8192), rbuf(8192);
+    auto* smr = tb.ctx[0]->register_buffer(sbuf, 1);
+    auto* rmr = tb.ctx[1]->register_buffer(rbuf, 1);
+    auto cfg = tb.paper_qp();
+    cfg.transport = tp;
+    auto cfg2 = cfg;
+    cfg.cq = tb.ctx[0]->create_cq();
+    cfg2.cq = tb.ctx[1]->create_cq();
+    auto* s = tb.ctx[0]->create_qp(cfg);
+    auto* d = tb.ctx[1]->create_qp(cfg2);
+    if (tp != v::Transport::kUD) v::Context::connect(*s, *d);
+    d->post_recv({1, {rmr->addr, 8192, rmr->key}});
+    tb.eng.spawn([](Testbed&, v::QueuePair* qp, v::QueuePair* dd,
+                    v::MemoryRegion* m, v::Transport t) -> sim::Task {
+      v::WorkRequest wr;
+      wr.opcode = v::Opcode::kSend;
+      wr.sg_list = {{m->addr, 4096, m->key}};
+      if (t == v::Transport::kUD) wr.ud_dest = dd;
+      (void)co_await qp->execute(wr);
+    }(tb, s, d, smr, tp));
+    tb.eng.run();
+    return tb.cluster.fabric().bytes();
+  };
+  // fabric.bytes() counts payloads; GRH shows up in timing, so compare
+  // simulated completion times instead via a secondary check below.
+  EXPECT_EQ(bytes_on_wire(v::Transport::kRC), 4096u);
+  EXPECT_EQ(bytes_on_wire(v::Transport::kUD), 4096u + 40u);
+}

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "wl/zipf.hpp"
+
+namespace wl = rdmasem::wl;
+
+TEST(Zipf, DomainRespected) {
+  wl::ZipfGenerator z(100, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(), 100u);
+}
+
+TEST(Zipf, SkewConcentratesOnHotKeys) {
+  wl::ZipfGenerator z(1u << 20, 0.99, 7);
+  std::map<std::uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.next()];
+  // With theta=0.99 the hottest key should own several percent of traffic
+  // and a tiny fraction of keys should own most of it.
+  int hottest = 0;
+  for (auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, n / 100);
+  // Head mass: top-64 keys >> uniform share.
+  std::vector<int> cs;
+  for (auto& [k, c] : counts) cs.push_back(c);
+  std::sort(cs.rbegin(), cs.rend());
+  long head = 0;
+  for (int i = 0; i < 64 && i < static_cast<int>(cs.size()); ++i)
+    head += cs[static_cast<size_t>(i)];
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  wl::ZipfGenerator a(1000, 0.99, 42), b(1000, 0.99, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, Theta05LessSkewedThan099) {
+  auto head_mass = [](double theta) {
+    wl::ZipfGenerator z(1u << 16, theta, 9);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i) ++counts[z.next()];
+    std::vector<int> cs;
+    for (auto& [k, c] : counts) cs.push_back(c);
+    std::sort(cs.rbegin(), cs.rend());
+    long head = 0;
+    for (int i = 0; i < 16 && i < static_cast<int>(cs.size()); ++i)
+      head += cs[static_cast<size_t>(i)];
+    return head;
+  };
+  EXPECT_GT(head_mass(0.99), head_mass(0.5) * 2);
+}
+
+TEST(Uniform, CoversDomain) {
+  wl::UniformGenerator u(10, 3);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[u.next()];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
