@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hashtable_mixed.dir/ext_hashtable_mixed.cpp.o"
+  "CMakeFiles/ext_hashtable_mixed.dir/ext_hashtable_mixed.cpp.o.d"
+  "ext_hashtable_mixed"
+  "ext_hashtable_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hashtable_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mr_pressure.dir/ext_mr_pressure.cpp.o"
+  "CMakeFiles/ext_mr_pressure.dir/ext_mr_pressure.cpp.o.d"
+  "ext_mr_pressure"
+  "ext_mr_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mr_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

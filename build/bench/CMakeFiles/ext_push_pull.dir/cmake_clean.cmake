@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_push_pull.dir/ext_push_pull.cpp.o"
+  "CMakeFiles/ext_push_pull.dir/ext_push_pull.cpp.o.d"
+  "ext_push_pull"
+  "ext_push_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_qp_scalability.cpp" "bench/CMakeFiles/ext_qp_scalability.dir/ext_qp_scalability.cpp.o" "gcc" "bench/CMakeFiles/ext_qp_scalability.dir/ext_qp_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/rdmasem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/rdmasem_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/remem/CMakeFiles/rdmasem_remem.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rdmasem_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmasem_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmasem_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/rdmasem_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rdmasem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmasem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmasem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qp_scalability.dir/ext_qp_scalability.cpp.o"
+  "CMakeFiles/ext_qp_scalability.dir/ext_qp_scalability.cpp.o.d"
+  "ext_qp_scalability"
+  "ext_qp_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qp_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_packet_throttling.dir/fig01_packet_throttling.cpp.o"
+  "CMakeFiles/fig01_packet_throttling.dir/fig01_packet_throttling.cpp.o.d"
+  "fig01_packet_throttling"
+  "fig01_packet_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_packet_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_batch_payload.dir/fig03_batch_payload.cpp.o"
+  "CMakeFiles/fig03_batch_payload.dir/fig03_batch_payload.cpp.o.d"
+  "fig03_batch_payload"
+  "fig03_batch_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_batch_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rand_seq.dir/fig06_rand_seq.cpp.o"
+  "CMakeFiles/fig06_rand_seq.dir/fig06_rand_seq.cpp.o.d"
+  "fig06_rand_seq"
+  "fig06_rand_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rand_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_atomics.dir/fig10_atomics.cpp.o"
+  "CMakeFiles/fig10_atomics.dir/fig10_atomics.cpp.o.d"
+  "fig10_atomics"
+  "fig10_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hashtable_opts.dir/fig12_hashtable_opts.cpp.o"
+  "CMakeFiles/fig12_hashtable_opts.dir/fig12_hashtable_opts.cpp.o.d"
+  "fig12_hashtable_opts"
+  "fig12_hashtable_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hashtable_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hashtable_hotkeys.dir/fig13_hashtable_hotkeys.cpp.o"
+  "CMakeFiles/fig13_hashtable_hotkeys.dir/fig13_hashtable_hotkeys.cpp.o.d"
+  "fig13_hashtable_hotkeys"
+  "fig13_hashtable_hotkeys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hashtable_hotkeys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_shuffle.dir/fig15_shuffle.cpp.o"
+  "CMakeFiles/fig15_shuffle.dir/fig15_shuffle.cpp.o.d"
+  "fig15_shuffle"
+  "fig15_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

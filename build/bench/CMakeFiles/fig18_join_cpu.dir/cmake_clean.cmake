@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_join_cpu.dir/fig18_join_cpu.cpp.o"
+  "CMakeFiles/fig18_join_cpu.dir/fig18_join_cpu.cpp.o.d"
+  "fig18_join_cpu"
+  "fig18_join_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_join_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dlog.dir/fig19_dlog.cpp.o"
+  "CMakeFiles/fig19_dlog.dir/fig19_dlog.cpp.o.d"
+  "fig19_dlog"
+  "fig19_dlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_numa_local.dir/table02_numa_local.cpp.o"
+  "CMakeFiles/table02_numa_local.dir/table02_numa_local.cpp.o.d"
+  "table02_numa_local"
+  "table02_numa_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_numa_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

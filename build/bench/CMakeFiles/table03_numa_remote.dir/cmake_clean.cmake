@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_numa_remote.dir/table03_numa_remote.cpp.o"
+  "CMakeFiles/table03_numa_remote.dir/table03_numa_remote.cpp.o.d"
+  "table03_numa_remote"
+  "table03_numa_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_numa_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_queue.dir/remote_queue.cpp.o"
+  "CMakeFiles/remote_queue.dir/remote_queue.cpp.o.d"
+  "remote_queue"
+  "remote_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dlog/dlog.cpp" "src/apps/CMakeFiles/rdmasem_apps.dir/dlog/dlog.cpp.o" "gcc" "src/apps/CMakeFiles/rdmasem_apps.dir/dlog/dlog.cpp.o.d"
+  "/root/repo/src/apps/hashtable/hashtable.cpp" "src/apps/CMakeFiles/rdmasem_apps.dir/hashtable/hashtable.cpp.o" "gcc" "src/apps/CMakeFiles/rdmasem_apps.dir/hashtable/hashtable.cpp.o.d"
+  "/root/repo/src/apps/join/chmap.cpp" "src/apps/CMakeFiles/rdmasem_apps.dir/join/chmap.cpp.o" "gcc" "src/apps/CMakeFiles/rdmasem_apps.dir/join/chmap.cpp.o.d"
+  "/root/repo/src/apps/join/join.cpp" "src/apps/CMakeFiles/rdmasem_apps.dir/join/join.cpp.o" "gcc" "src/apps/CMakeFiles/rdmasem_apps.dir/join/join.cpp.o.d"
+  "/root/repo/src/apps/shuffle/shuffle.cpp" "src/apps/CMakeFiles/rdmasem_apps.dir/shuffle/shuffle.cpp.o" "gcc" "src/apps/CMakeFiles/rdmasem_apps.dir/shuffle/shuffle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/remem/CMakeFiles/rdmasem_remem.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rdmasem_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/rdmasem_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmasem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmasem_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmasem_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/rdmasem_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rdmasem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmasem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

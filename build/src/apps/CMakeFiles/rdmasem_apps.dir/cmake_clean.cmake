@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_apps.dir/dlog/dlog.cpp.o"
+  "CMakeFiles/rdmasem_apps.dir/dlog/dlog.cpp.o.d"
+  "CMakeFiles/rdmasem_apps.dir/hashtable/hashtable.cpp.o"
+  "CMakeFiles/rdmasem_apps.dir/hashtable/hashtable.cpp.o.d"
+  "CMakeFiles/rdmasem_apps.dir/join/chmap.cpp.o"
+  "CMakeFiles/rdmasem_apps.dir/join/chmap.cpp.o.d"
+  "CMakeFiles/rdmasem_apps.dir/join/join.cpp.o"
+  "CMakeFiles/rdmasem_apps.dir/join/join.cpp.o.d"
+  "CMakeFiles/rdmasem_apps.dir/shuffle/shuffle.cpp.o"
+  "CMakeFiles/rdmasem_apps.dir/shuffle/shuffle.cpp.o.d"
+  "librdmasem_apps.a"
+  "librdmasem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rdmasem_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/rdmasem_cluster.dir/stats.cpp.o"
+  "CMakeFiles/rdmasem_cluster.dir/stats.cpp.o.d"
+  "librdmasem_cluster.a"
+  "librdmasem_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

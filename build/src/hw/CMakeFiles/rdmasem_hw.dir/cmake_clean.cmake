@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_hw.dir/dram.cpp.o"
+  "CMakeFiles/rdmasem_hw.dir/dram.cpp.o.d"
+  "CMakeFiles/rdmasem_hw.dir/mcache.cpp.o"
+  "CMakeFiles/rdmasem_hw.dir/mcache.cpp.o.d"
+  "librdmasem_hw.a"
+  "librdmasem_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_net.dir/fabric.cpp.o"
+  "CMakeFiles/rdmasem_net.dir/fabric.cpp.o.d"
+  "librdmasem_net.a"
+  "librdmasem_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remem/atomics.cpp" "src/remem/CMakeFiles/rdmasem_remem.dir/atomics.cpp.o" "gcc" "src/remem/CMakeFiles/rdmasem_remem.dir/atomics.cpp.o.d"
+  "/root/repo/src/remem/batch.cpp" "src/remem/CMakeFiles/rdmasem_remem.dir/batch.cpp.o" "gcc" "src/remem/CMakeFiles/rdmasem_remem.dir/batch.cpp.o.d"
+  "/root/repo/src/remem/consolidate.cpp" "src/remem/CMakeFiles/rdmasem_remem.dir/consolidate.cpp.o" "gcc" "src/remem/CMakeFiles/rdmasem_remem.dir/consolidate.cpp.o.d"
+  "/root/repo/src/remem/numa_policy.cpp" "src/remem/CMakeFiles/rdmasem_remem.dir/numa_policy.cpp.o" "gcc" "src/remem/CMakeFiles/rdmasem_remem.dir/numa_policy.cpp.o.d"
+  "/root/repo/src/remem/rpc.cpp" "src/remem/CMakeFiles/rdmasem_remem.dir/rpc.cpp.o" "gcc" "src/remem/CMakeFiles/rdmasem_remem.dir/rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verbs/CMakeFiles/rdmasem_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmasem_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmasem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmasem_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/rdmasem_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rdmasem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmasem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

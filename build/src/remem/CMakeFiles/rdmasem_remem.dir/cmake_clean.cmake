@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_remem.dir/atomics.cpp.o"
+  "CMakeFiles/rdmasem_remem.dir/atomics.cpp.o.d"
+  "CMakeFiles/rdmasem_remem.dir/batch.cpp.o"
+  "CMakeFiles/rdmasem_remem.dir/batch.cpp.o.d"
+  "CMakeFiles/rdmasem_remem.dir/consolidate.cpp.o"
+  "CMakeFiles/rdmasem_remem.dir/consolidate.cpp.o.d"
+  "CMakeFiles/rdmasem_remem.dir/numa_policy.cpp.o"
+  "CMakeFiles/rdmasem_remem.dir/numa_policy.cpp.o.d"
+  "CMakeFiles/rdmasem_remem.dir/rpc.cpp.o"
+  "CMakeFiles/rdmasem_remem.dir/rpc.cpp.o.d"
+  "librdmasem_remem.a"
+  "librdmasem_remem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_remem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

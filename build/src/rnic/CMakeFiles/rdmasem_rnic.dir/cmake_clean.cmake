@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_rnic.dir/rnic.cpp.o"
+  "CMakeFiles/rdmasem_rnic.dir/rnic.cpp.o.d"
+  "librdmasem_rnic.a"
+  "librdmasem_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_sim.dir/engine.cpp.o"
+  "CMakeFiles/rdmasem_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rdmasem_sim.dir/resource.cpp.o"
+  "CMakeFiles/rdmasem_sim.dir/resource.cpp.o.d"
+  "librdmasem_sim.a"
+  "librdmasem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_util.dir/env.cpp.o"
+  "CMakeFiles/rdmasem_util.dir/env.cpp.o.d"
+  "CMakeFiles/rdmasem_util.dir/stats.cpp.o"
+  "CMakeFiles/rdmasem_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rdmasem_util.dir/table.cpp.o"
+  "CMakeFiles/rdmasem_util.dir/table.cpp.o.d"
+  "librdmasem_util.a"
+  "librdmasem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verbs/cm.cpp" "src/verbs/CMakeFiles/rdmasem_verbs.dir/cm.cpp.o" "gcc" "src/verbs/CMakeFiles/rdmasem_verbs.dir/cm.cpp.o.d"
+  "/root/repo/src/verbs/context.cpp" "src/verbs/CMakeFiles/rdmasem_verbs.dir/context.cpp.o" "gcc" "src/verbs/CMakeFiles/rdmasem_verbs.dir/context.cpp.o.d"
+  "/root/repo/src/verbs/qp.cpp" "src/verbs/CMakeFiles/rdmasem_verbs.dir/qp.cpp.o" "gcc" "src/verbs/CMakeFiles/rdmasem_verbs.dir/qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rdmasem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rdmasem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmasem_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/rdmasem_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdmasem_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmasem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_verbs.dir/cm.cpp.o"
+  "CMakeFiles/rdmasem_verbs.dir/cm.cpp.o.d"
+  "CMakeFiles/rdmasem_verbs.dir/context.cpp.o"
+  "CMakeFiles/rdmasem_verbs.dir/context.cpp.o.d"
+  "CMakeFiles/rdmasem_verbs.dir/qp.cpp.o"
+  "CMakeFiles/rdmasem_verbs.dir/qp.cpp.o.d"
+  "librdmasem_verbs.a"
+  "librdmasem_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

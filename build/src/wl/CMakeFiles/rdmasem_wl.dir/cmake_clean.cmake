@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmasem_wl.dir/microbench.cpp.o"
+  "CMakeFiles/rdmasem_wl.dir/microbench.cpp.o.d"
+  "CMakeFiles/rdmasem_wl.dir/zipf.cpp.o"
+  "CMakeFiles/rdmasem_wl.dir/zipf.cpp.o.d"
+  "librdmasem_wl.a"
+  "librdmasem_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmasem_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdmasem_wl.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_hashtable_test.dir/apps_hashtable_test.cpp.o"
+  "CMakeFiles/apps_hashtable_test.dir/apps_hashtable_test.cpp.o.d"
+  "apps_hashtable_test"
+  "apps_hashtable_test.pdb"
+  "apps_hashtable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_hashtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

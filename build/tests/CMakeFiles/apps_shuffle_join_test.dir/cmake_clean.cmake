@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_shuffle_join_test.dir/apps_shuffle_join_test.cpp.o"
+  "CMakeFiles/apps_shuffle_join_test.dir/apps_shuffle_join_test.cpp.o.d"
+  "apps_shuffle_join_test"
+  "apps_shuffle_join_test.pdb"
+  "apps_shuffle_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_shuffle_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

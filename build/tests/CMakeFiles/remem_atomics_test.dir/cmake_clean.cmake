@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remem_atomics_test.dir/remem_atomics_test.cpp.o"
+  "CMakeFiles/remem_atomics_test.dir/remem_atomics_test.cpp.o.d"
+  "remem_atomics_test"
+  "remem_atomics_test.pdb"
+  "remem_atomics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remem_atomics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remem_batch_test.dir/remem_batch_test.cpp.o"
+  "CMakeFiles/remem_batch_test.dir/remem_batch_test.cpp.o.d"
+  "remem_batch_test"
+  "remem_batch_test.pdb"
+  "remem_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remem_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

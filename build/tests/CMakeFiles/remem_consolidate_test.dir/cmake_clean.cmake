@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remem_consolidate_test.dir/remem_consolidate_test.cpp.o"
+  "CMakeFiles/remem_consolidate_test.dir/remem_consolidate_test.cpp.o.d"
+  "remem_consolidate_test"
+  "remem_consolidate_test.pdb"
+  "remem_consolidate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remem_consolidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remem_numa_test.dir/remem_numa_test.cpp.o"
+  "CMakeFiles/remem_numa_test.dir/remem_numa_test.cpp.o.d"
+  "remem_numa_test"
+  "remem_numa_test.pdb"
+  "remem_numa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remem_numa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

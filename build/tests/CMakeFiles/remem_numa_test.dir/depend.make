@@ -1,0 +1,2 @@
+# Empty dependencies file for remem_numa_test.
+# This may be replaced when dependencies are built.

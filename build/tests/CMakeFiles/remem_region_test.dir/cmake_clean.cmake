@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remem_region_test.dir/remem_region_test.cpp.o"
+  "CMakeFiles/remem_region_test.dir/remem_region_test.cpp.o.d"
+  "remem_region_test"
+  "remem_region_test.pdb"
+  "remem_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remem_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

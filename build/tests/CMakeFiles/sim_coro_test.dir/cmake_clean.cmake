@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_coro_test.dir/sim_coro_test.cpp.o"
+  "CMakeFiles/sim_coro_test.dir/sim_coro_test.cpp.o.d"
+  "sim_coro_test"
+  "sim_coro_test.pdb"
+  "sim_coro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_coro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_transport_test.dir/verbs_transport_test.cpp.o"
+  "CMakeFiles/verbs_transport_test.dir/verbs_transport_test.cpp.o.d"
+  "verbs_transport_test"
+  "verbs_transport_test.pdb"
+  "verbs_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

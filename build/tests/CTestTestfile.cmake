@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_coro_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/remem_batch_test[1]_include.cmake")
+include("/root/repo/build/tests/remem_consolidate_test[1]_include.cmake")
+include("/root/repo/build/tests/remem_atomics_test[1]_include.cmake")
+include("/root/repo/build/tests/remem_numa_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_hashtable_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_shuffle_join_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_dlog_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/remem_region_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_cm_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
