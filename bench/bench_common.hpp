@@ -86,12 +86,22 @@ inline std::uint64_t micro_ops(std::uint64_t def = 8000) {
 }
 
 // Reports a result through google-benchmark: manual time = simulated time,
-// plus MOPS / latency counters in paper units.
+// plus MOPS / latency counters in paper units. Failed completions are
+// surfaced as an `errors` counter and (when non-zero) a per-Status label
+// instead of accumulating silently.
 inline void report(benchmark::State& state, const wl::BenchResult& r) {
   state.SetIterationTime(sim::to_sec(r.elapsed));
   state.counters["sim_MOPS"] = r.mops;
   state.counters["sim_lat_us"] = r.avg_latency_us;
   state.counters["per_thread_MOPS"] = r.per_thread_mops;
+  state.counters["errors"] = static_cast<double>(r.errors);
+  if (r.errors) state.SetLabel(r.error_breakdown());
+}
+
+// Table cell for the errors column of a paper-style table.
+inline std::string errors_cell(const wl::BenchResult& r) {
+  return r.errors ? std::to_string(r.errors) + " (" + r.error_breakdown() + ")"
+                  : "0";
 }
 
 }  // namespace rdmasem::bench

@@ -15,7 +15,8 @@ using bench::MicroRig;
 
 FigureCollector collector(
     "Fig. 1  Packet Throttling (Write/Read latency & throughput vs size)",
-    {"size", "write_lat_us", "read_lat_us", "write_MOPS", "read_MOPS"});
+    {"size", "write_lat_us", "read_lat_us", "write_MOPS", "read_MOPS",
+     "errors"});
 
 struct Point {
   double wlat, rlat, wmops, rmops, wp99;
@@ -24,6 +25,7 @@ struct Point {
 void BM_fig1(benchmark::State& state) {
   const auto size = static_cast<std::uint32_t>(state.range(0));
   Point p{};
+  wl::BenchResult wr, rr;
   for (auto _ : state) {
     {
       MicroRig rig(1 << 14, 1 << 14, 1);
@@ -39,7 +41,6 @@ void BM_fig1(benchmark::State& state) {
                        bench::micro_ops(400))
                    .avg_latency_us;
     }
-    wl::BenchResult wr, rr;
     {
       MicroRig rig(1 << 14, 1 << 14, 4);
       wr = rig.run(wl::make_write(*rig.lmr, 0, *rig.rmr, 0, size), 16,
@@ -59,8 +60,13 @@ void BM_fig1(benchmark::State& state) {
   state.counters["write_p99_us"] = p.wp99;
   state.counters["write_MOPS"] = p.wmops;
   state.counters["read_MOPS"] = p.rmops;
+  wr.errors += rr.errors;
+  for (std::size_t i = 0; i < wr.by_status.size(); ++i)
+    wr.by_status[i] += rr.by_status[i];
+  state.counters["errors"] = static_cast<double>(wr.errors);
   collector.add({util::fmt_bytes(size), util::fmt(p.wlat), util::fmt(p.rlat),
-                 util::fmt(p.wmops), util::fmt(p.rmops)});
+                 util::fmt(p.wmops), util::fmt(p.rmops),
+                 bench::errors_cell(wr)});
 }
 
 BENCHMARK(BM_fig1)

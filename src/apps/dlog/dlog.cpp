@@ -52,16 +52,21 @@ DistributedLog::DistributedLog(std::vector<verbs::Context*> ctxs,
   log_mem_ = verbs::Buffer(log_bytes);
   log_mr_ = log_ctx->register_buffer(log_mem_, p.rnic_socket);
 
-  // Replica images on machines after the log machine (they share hosts
-  // with the engines; replication is one-sided so their CPUs stay idle).
+  // Replica images fill machines from the top of the cluster (replication
+  // is one-sided so their CPUs stay idle). Engines fill from the bottom,
+  // so crash drills can kill a replica host without killing writers.
   RDMASEM_CHECK_MSG(cfg_.replicas >= 1, "need at least the primary");
+  auto replica_host = [this](std::uint32_t r) {
+    return static_cast<std::uint32_t>(
+        (cfg_.log_machine + ctxs_.size() - 1 - r) % ctxs_.size());
+  };
   for (std::uint32_t r = 0; r + 1 < cfg_.replicas; ++r) {
-    const std::uint32_t m =
-        (cfg_.log_machine + 1 + r) % static_cast<std::uint32_t>(ctxs_.size());
     replica_mem_.emplace_back(log_bytes);
-    replica_mrs_.push_back(
-        ctxs_.at(m)->register_buffer(replica_mem_.back(), p.rnic_socket));
+    replica_mrs_.push_back(ctxs_.at(replica_host(r))
+                               ->register_buffer(replica_mem_.back(),
+                                                 p.rnic_socket));
   }
+  replica_dead_.assign(cfg_.replicas - 1, false);
 
   const auto writers = static_cast<std::uint32_t>(ctxs_.size()) - 1;
   for (std::uint32_t e = 0; e < cfg_.engines; ++e) {
@@ -94,10 +99,13 @@ DistributedLog::DistributedLog(std::vector<verbs::Context*> ctxs,
     en->qp = qa;
     // One extra QP per replica image (engine machine -> replica machine).
     for (std::uint32_t r = 0; r + 1 < cfg_.replicas; ++r) {
-      const std::uint32_t m = (cfg_.log_machine + 1 + r) %
-                              static_cast<std::uint32_t>(ctxs_.size());
+      const std::uint32_t m = replica_host(r);
       verbs::QpConfig ra = a;
       ra.cq = en->ctx->create_cq();
+      // Failover needs dead-peer detection: bound the retry budget so a
+      // crashed replica host turns into kRetryExceeded instead of
+      // retrying forever.
+      if (cfg_.failover) ra.retry_cnt = cfg_.failover_retry_cnt;
       verbs::QpConfig rb = b;
       rb.cq = ctxs_.at(m)->create_cq();
       auto* rqa = en->ctx->create_qp(ra);
@@ -171,37 +179,58 @@ sim::Task DistributedLog::run_engine(Engine* en, sim::CountdownLatch& done) {
       const auto c = co_await en->qp->execute(std::move(wr));
       RDMASEM_CHECK_MSG(c.ok(), "log append failed");
     } else {
-      // Tailwind-style replication: the primary and every replica write
-      // go out in parallel (waiters registered before posting); the
-      // append commits when ALL copies have landed.
-      sim::CountdownLatch landed(eng, 1 + en->replica_qps.size());
-      auto arm = [&eng, &landed](verbs::QueuePair* q,
-                                 verbs::WorkRequest w) {
+      // Tailwind-style replication: the primary and every live replica
+      // write go out in parallel (waiters registered before posting); the
+      // append is acknowledged when ALL of them have landed. A replica
+      // whose connection died (host crash -> retry exhaustion) is dropped
+      // from the set — the failover path — so later appends stream to the
+      // survivors only; without failover any failure aborts.
+      std::uint32_t live = 0;
+      for (auto* q : en->replica_qps) live += (q != nullptr) ? 1u : 0u;
+      sim::CountdownLatch landed(eng, 1 + live);
+      auto arm = [&](verbs::QueuePair* q, verbs::WorkRequest w,
+                     int replica) {
         w.wr_id = q->context().next_wr_id();
         w.signaled = true;
-        auto waiter = [](verbs::QueuePair* qq, std::uint64_t wid,
-                         sim::CountdownLatch& d) -> sim::Task {
+        auto waiter = [](DistributedLog* log, Engine* e,
+                         verbs::QueuePair* qq, std::uint64_t wid,
+                         int rep, sim::CountdownLatch& d) -> sim::Task {
           const auto c = co_await qq->wait(wid);
-          RDMASEM_CHECK_MSG(c.ok(), "replicated append failed");
+          if (!c.ok()) {
+            RDMASEM_CHECK_MSG(log->cfg_.failover && rep >= 0,
+                              "replicated append failed");
+            log->drop_replica(e, static_cast<std::uint32_t>(rep));
+          }
           d.count_down();
         };
-        eng.spawn(waiter(q, w.wr_id, landed));
+        eng.spawn(waiter(this, en, q, w.wr_id, replica, landed));
         return w;
       };
       // Primary.
-      co_await en->qp->post(arm(en->qp, wr));
+      co_await en->qp->post(arm(en->qp, wr, -1));
       // Replicas: same extent offset in each replica image.
       for (std::size_t r = 0; r < en->replica_qps.size(); ++r) {
+        auto* rq = en->replica_qps[r];
+        if (rq == nullptr) continue;  // dropped by an earlier append
         verbs::WorkRequest rep = wr;
         rep.remote_addr = replica_mrs_[r]->addr + 64 + offset;
         rep.rkey = replica_mrs_[r]->key;
-        co_await en->replica_qps[r]->post(arm(en->replica_qps[r], rep));
+        co_await rq->post(arm(rq, rep, static_cast<int>(r)));
       }
       co_await landed.wait();
     }
     en->appended += count;
   }
   done.count_down();
+}
+
+void DistributedLog::drop_replica(Engine* en, std::uint32_t r) {
+  if (en->replica_qps[r] == nullptr) return;
+  en->replica_qps[r] = nullptr;  // this engine stops replicating to r
+  replica_dead_[r] = true;       // r is no longer a recovery candidate
+  ++failovers_;
+  if (first_failover_at_ == 0)
+    first_failover_at_ = ctxs_[0]->engine().now();
 }
 
 Result DistributedLog::run() {
@@ -218,6 +247,8 @@ Result DistributedLog::run() {
               cfg_.records_per_engine;
   r.mops = static_cast<double>(r.records) / sim::to_us(r.elapsed);
   r.log_bytes = tail();
+  r.failovers = failovers_;
+  r.first_failover_at = first_failover_at_;
   return r;
 }
 
@@ -254,14 +285,17 @@ bool DistributedLog::verify_dense_and_intact() const {
 }
 
 bool DistributedLog::verify_replicas_identical() const {
-  for (const auto& rep : replica_mem_)
-    if (std::memcmp(rep.data() + 64, log_mem_.data() + 64, tail()) != 0)
+  for (std::size_t r = 0; r < replica_mem_.size(); ++r) {
+    if (replica_dead_[r]) continue;  // dropped by failover; image is stale
+    if (std::memcmp(replica_mem_[r].data() + 64, log_mem_.data() + 64,
+                    tail()) != 0)
       return false;
+  }
   return true;
 }
 
 bool DistributedLog::recover_from_replica(std::uint32_t r) const {
-  if (r >= replica_mem_.size()) return false;
+  if (r >= replica_mem_.size() || replica_dead_[r]) return false;
   // The tail word lives only on the primary (it is the FAA target); a
   // recovering node learns the extent from the replica's record area.
   return verify_image(replica_mem_[r].data() + 64, tail());

@@ -42,6 +42,17 @@ struct Config {
   bool numa_aware = true;
   std::uint32_t log_machine = 0;
   std::uint64_t seed = 5;
+  // Failure handling. With failover on, a replica connection that dies
+  // (retry exhaustion after its host crashes) is dropped and appends
+  // continue on the survivors; an append is acknowledged once the primary
+  // and every LIVE replica have landed it. Off (default), any failed
+  // append aborts — the pre-fault behavior. Replica QPs get the finite
+  // `failover_retry_cnt` budget so dead peers are detected instead of
+  // retried forever. For crash drills, keep engine hosts disjoint from
+  // replica hosts: replicas fill machines from the top (N-1 downward),
+  // engines from the bottom (1 upward).
+  bool failover = false;
+  std::uint32_t failover_retry_cnt = 3;
 };
 
 struct Result {
@@ -49,6 +60,10 @@ struct Result {
   sim::Duration elapsed = 0;
   std::uint64_t records = 0;
   std::uint64_t log_bytes = 0;
+  // Failover observability: engine->replica connections dropped and the
+  // sim time the first drop was detected (0 = no failover happened).
+  std::uint64_t failovers = 0;
+  sim::Time first_failover_at = 0;
 };
 
 class DistributedLog {
@@ -65,16 +80,23 @@ class DistributedLog {
   std::uint64_t tail() const;
   bool verify_dense_and_intact() const;
 
-  // Replication: every replica's record area must be byte-identical to
-  // the primary's (valid after run()).
+  // Replication: every LIVE replica's record area must be byte-identical
+  // to the primary's (valid after run(); dead replicas are skipped).
   bool verify_replicas_identical() const;
   // Disaster drill: verify the log can be rebuilt from replica `r` alone
   // (its image passes the same density/integrity checks).
   bool recover_from_replica(std::uint32_t r) const;
 
+  // False once any engine dropped replica `r` (failover after a crash).
+  bool replica_alive(std::uint32_t r) const {
+    return r < replica_dead_.size() && !replica_dead_[r];
+  }
+  std::uint64_t failovers() const { return failovers_; }
+
  private:
   struct Engine;
   sim::Task run_engine(Engine* en, sim::CountdownLatch& done);
+  void drop_replica(Engine* en, std::uint32_t r);
 
   bool verify_image(const std::byte* records_base,
                     std::uint64_t record_bytes) const;
@@ -87,6 +109,9 @@ class DistributedLog {
   std::vector<verbs::Buffer> replica_mem_;
   std::vector<verbs::MemoryRegion*> replica_mrs_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<bool> replica_dead_;
+  std::uint64_t failovers_ = 0;
+  sim::Time first_failover_at_ = 0;
 };
 
 }  // namespace rdmasem::apps::dlog

@@ -19,10 +19,26 @@ Machine::Machine(sim::Engine& engine, const hw::ModelParams& params,
 Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
     : engine_(engine),
       p_(params),
+      faults_(params.machines, params.rnic_ports),
+      injector_(engine, faults_),
       fabric_(engine, p_, params.machines, params.rnic_ports) {
   machines_.reserve(params.machines);
   for (MachineId m = 0; m < params.machines; ++m)
     machines_.push_back(std::make_unique<Machine>(engine, p_, m));
+  fabric_.set_faults(&faults_);
+  // A stalled RNIC stops fetching WQEs, processing inbound packets and
+  // serving atomics for the stall window: occupy one full window on every
+  // pipeline resource so in-flight and queued work waits it out.
+  injector_.add_listener([this](const fault::FaultEvent& ev, bool begin) {
+    if (ev.kind != fault::FaultKind::kNicStall || !begin) return;
+    auto& r = machine(ev.machine).rnic();
+    for (rnic::PortId p = 0; p < r.port_count(); ++p) {
+      r.port(p).eu.reserve(ev.duration);
+      r.port(p).rx.reserve(ev.duration);
+      r.port(p).atomic_unit.reserve(ev.duration);
+    }
+    r.dma().reserve(ev.duration);
+  });
 }
 
 }  // namespace rdmasem::cluster

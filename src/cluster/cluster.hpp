@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "hw/coherence.hpp"
 #include "hw/dram.hpp"
 #include "hw/numa.hpp"
@@ -57,6 +59,14 @@ class Cluster {
   sim::Engine& engine() { return engine_; }
   const hw::ModelParams& params() const { return p_; }
   net::Fabric& fabric() { return fabric_; }
+  // Fault injection: the cluster owns the fault state (consulted by the
+  // fabric on every transit) and the injector that applies FaultPlans.
+  // A NIC-stall listener registered at construction freezes the stalled
+  // machine's RNIC pipeline resources for the stall window.
+  fault::FaultState& faults() { return faults_; }
+  fault::FaultInjector& injector() { return injector_; }
+  // Convenience: schedule a whole plan on the virtual clock.
+  void inject(const fault::FaultPlan& plan) { injector_.schedule(plan); }
   Machine& machine(MachineId m) { return *machines_.at(m); }
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(machines_.size());
@@ -68,6 +78,8 @@ class Cluster {
  private:
   sim::Engine& engine_;
   hw::ModelParams p_;
+  fault::FaultState faults_;
+  fault::FaultInjector injector_;
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::uint64_t qp_id_ = 0;

@@ -1,0 +1,163 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::fault {
+
+namespace {
+std::uint64_t pair_key(MachineId a, MachineId b) {
+  const MachineId lo = std::min(a, b);
+  const MachineId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLossBurst: return "LOSS_BURST";
+    case FaultKind::kLatencySpike: return "LATENCY_SPIKE";
+    case FaultKind::kLinkDown: return "LINK_DOWN";
+    case FaultKind::kPartition: return "PARTITION";
+    case FaultKind::kNicStall: return "NIC_STALL";
+    case FaultKind::kCrash: return "CRASH";
+    case FaultKind::kRestart: return "RESTART";
+  }
+  return "?";
+}
+
+// ---- FaultPlan builders ----------------------------------------------------
+
+FaultPlan& FaultPlan::loss_burst(sim::Time at, sim::Duration dur, MachineId m,
+                                 PortId p, double prob) {
+  events.push_back({FaultKind::kLossBurst, at, dur, m, p, 0, prob, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_spike(sim::Time at, sim::Duration dur,
+                                    MachineId m, PortId p,
+                                    sim::Duration extra) {
+  events.push_back({FaultKind::kLatencySpike, at, dur, m, p, 0, 1.0, extra});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(sim::Time at, sim::Duration dur, MachineId m,
+                                PortId p) {
+  events.push_back({FaultKind::kLinkDown, at, dur, m, p, 0, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(sim::Time at, sim::Duration dur, MachineId a,
+                                MachineId b) {
+  events.push_back({FaultKind::kPartition, at, dur, a, 0, b, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_stall(sim::Time at, sim::Duration dur, MachineId m) {
+  events.push_back({FaultKind::kNicStall, at, dur, m, 0, 0, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::Time at, MachineId m) {
+  events.push_back({FaultKind::kCrash, at, 0, m, 0, 0, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(sim::Time at, MachineId m) {
+  events.push_back({FaultKind::kRestart, at, 0, m, 0, 0, 1.0, 0});
+  return *this;
+}
+
+FaultPlan FaultPlan::chaos(sim::Rng& rng, sim::Time horizon,
+                           std::uint32_t machines, std::uint32_t ports,
+                           const ChaosOptions& opts) {
+  RDMASEM_CHECK_MSG(machines >= 2 && ports >= 1, "chaos needs a fabric");
+  FaultPlan plan;
+  for (std::uint32_t i = 0; i < opts.events; ++i) {
+    const auto at = static_cast<sim::Time>(
+        rng.uniform(static_cast<std::uint64_t>(horizon)));
+    const auto dur = static_cast<sim::Duration>(
+        1 + rng.uniform(static_cast<std::uint64_t>(opts.window_max)));
+    MachineId m = static_cast<MachineId>(rng.uniform(machines));
+    if (m == opts.spare_machine) m = (m + 1) % machines;
+    const PortId p = static_cast<PortId>(rng.uniform(ports));
+    // Transient faults only by default; crashes opt in (they require the
+    // workload to have a recovery story).
+    switch (rng.uniform(opts.allow_crash ? 5 : 4)) {
+      case 0:
+        plan.loss_burst(at, dur, m, p, rng.uniform01() * opts.loss_prob_max);
+        break;
+      case 1:
+        plan.latency_spike(
+            at, dur, m, p,
+            static_cast<sim::Duration>(
+                1 + rng.uniform(static_cast<std::uint64_t>(opts.latency_max))));
+        break;
+      case 2:
+        plan.link_down(at, dur, m, p);
+        break;
+      case 3: {
+        MachineId b = static_cast<MachineId>(rng.uniform(machines));
+        if (b == opts.spare_machine) b = (b + 1) % machines;
+        if (b != m) plan.partition(at, dur, m, b);
+        else plan.nic_stall(at, dur, m);
+        break;
+      }
+      default:
+        plan.crash(at, m);
+        plan.restart(at + dur, m);
+        break;
+    }
+  }
+  return plan;
+}
+
+// ---- FaultState ------------------------------------------------------------
+
+FaultState::FaultState(std::uint32_t machines, std::uint32_t ports_per_machine)
+    : machines_(machines),
+      ports_(ports_per_machine),
+      links_(static_cast<std::size_t>(machines) * ports_per_machine),
+      crashed_(machines, 0) {}
+
+void FaultState::crash(MachineId m) { ++crashed_.at(m); }
+
+void FaultState::restore(MachineId m) {
+  RDMASEM_CHECK_MSG(crashed_.at(m) > 0, "restart of a machine that is up");
+  --crashed_[m];
+}
+
+void FaultState::add_partition(MachineId a, MachineId b) {
+  ++partitions_[pair_key(a, b)];
+}
+
+void FaultState::remove_partition(MachineId a, MachineId b) {
+  auto it = partitions_.find(pair_key(a, b));
+  RDMASEM_CHECK_MSG(it != partitions_.end() && it->second > 0,
+                    "partition heal without partition");
+  if (--it->second == 0) partitions_.erase(it);
+}
+
+bool FaultState::partitioned(MachineId a, MachineId b) const {
+  return partitions_.count(pair_key(a, b)) > 0;
+}
+
+bool FaultState::blocked(MachineId src, PortId sport, MachineId dst,
+                         PortId dport) const {
+  if (machine_down(src) || machine_down(dst)) return true;
+  if (link(src, sport).down || link(dst, dport).down) return true;
+  return src != dst && partitioned(src, dst);
+}
+
+sim::Duration FaultState::extra_latency(MachineId src, PortId sport,
+                                        MachineId dst, PortId dport) const {
+  return link(src, sport).extra_latency + link(dst, dport).extra_latency;
+}
+
+double FaultState::loss_override(MachineId src, PortId sport, MachineId dst,
+                                 PortId dport) const {
+  return std::max(link(src, sport).loss_prob, link(dst, dport).loss_prob);
+}
+
+}  // namespace rdmasem::fault

@@ -1,0 +1,93 @@
+#include "fault/injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace rdmasem::fault {
+
+void FaultInjector::schedule(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events) {
+    engine_.schedule_at(ev.at, [this, ev] { begin(ev); });
+    const bool windowed = ev.kind != FaultKind::kCrash &&
+                          ev.kind != FaultKind::kRestart;
+    if (windowed)
+      engine_.schedule_at(ev.at + ev.duration, [this, ev] { end(ev); });
+  }
+}
+
+void FaultInjector::begin(const FaultEvent& ev) {
+  ++injected_;
+  switch (ev.kind) {
+    case FaultKind::kLossBurst:
+      state_.link(ev.machine, ev.port).loss_prob = ev.loss_prob;
+      state_.retain();
+      break;
+    case FaultKind::kLatencySpike:
+      state_.link(ev.machine, ev.port).extra_latency += ev.extra_latency;
+      state_.retain();
+      break;
+    case FaultKind::kLinkDown:
+      ++state_.link(ev.machine, ev.port).down;
+      state_.retain();
+      break;
+    case FaultKind::kPartition:
+      state_.add_partition(ev.machine, ev.peer);
+      state_.retain();
+      break;
+    case FaultKind::kNicStall:
+      // The pipeline freeze itself is a listener effect (the cluster owns
+      // the RNIC resources); the state only flags activity.
+      state_.retain();
+      break;
+    case FaultKind::kCrash:
+      state_.crash(ev.machine);
+      state_.retain();
+      break;
+    case FaultKind::kRestart:
+      state_.restore(ev.machine);
+      state_.release();
+      break;
+  }
+  notify(ev, /*is_begin=*/true);
+}
+
+void FaultInjector::end(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kLossBurst:
+      state_.link(ev.machine, ev.port).loss_prob = -1.0;
+      state_.release();
+      break;
+    case FaultKind::kLatencySpike: {
+      auto& lf = state_.link(ev.machine, ev.port);
+      RDMASEM_CHECK_MSG(lf.extra_latency >= ev.extra_latency,
+                        "latency spike underflow");
+      lf.extra_latency -= ev.extra_latency;
+      state_.release();
+      break;
+    }
+    case FaultKind::kLinkDown: {
+      auto& lf = state_.link(ev.machine, ev.port);
+      RDMASEM_CHECK_MSG(lf.down > 0, "link up without link down");
+      --lf.down;
+      state_.release();
+      break;
+    }
+    case FaultKind::kPartition:
+      state_.remove_partition(ev.machine, ev.peer);
+      state_.release();
+      break;
+    case FaultKind::kNicStall:
+      state_.release();
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+      // Begin-only edges; a crash lifts via an explicit kRestart event.
+      return;
+  }
+  notify(ev, /*is_begin=*/false);
+}
+
+void FaultInjector::notify(const FaultEvent& ev, bool is_begin) {
+  for (const auto& l : listeners_) l(ev, is_begin);
+}
+
+}  // namespace rdmasem::fault

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+
+namespace rdmasem::fault {
+
+// FaultInjector — applies a FaultPlan on the virtual clock. Each event
+// schedules a begin (and, for window faults, an end) engine event that
+// mutates the shared FaultState; listeners observe both edges so higher
+// layers can add effects the state alone cannot express (the cluster
+// freezes RNIC pipeline resources on kNicStall, tests log transitions).
+//
+// The injector only depends on sim + FaultState: everything above net
+// reacts through the state (fabric) or a listener (cluster), keeping the
+// fault layer free of upward dependencies.
+class FaultInjector {
+ public:
+  // `begin` is true at fault onset, false when a window fault lifts
+  // (crash/restart are begin-only edges).
+  using Listener = std::function<void(const FaultEvent&, bool begin)>;
+
+  FaultInjector(sim::Engine& engine, FaultState& state)
+      : engine_(engine), state_(state) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void add_listener(Listener l) { listeners_.push_back(std::move(l)); }
+
+  // Schedules every event of `plan`. Events in the past fire at now()
+  // (engine semantics). May be called multiple times; plans compose.
+  void schedule(const FaultPlan& plan);
+
+  // Immediate injection (used by tests and the schedule machinery).
+  void begin(const FaultEvent& ev);
+  void end(const FaultEvent& ev);
+
+  std::uint64_t injected() const { return injected_; }
+  FaultState& state() { return state_; }
+
+ private:
+  void notify(const FaultEvent& ev, bool is_begin);
+
+  sim::Engine& engine_;
+  FaultState& state_;
+  std::vector<Listener> listeners_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace rdmasem::fault

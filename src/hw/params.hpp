@@ -110,8 +110,13 @@ struct ModelParams {
   // timeout; UC/UD silently drop. Default 0 (lossless IB fabric); raise
   // it for failure-injection experiments.
   double net_loss_prob = 0.0;
-  // RC retransmission delay after a lost packet (timeout + resend).
+  // RC retransmission delay after the first lost packet (timeout +
+  // resend). Consecutive losses of the same transfer back off
+  // exponentially (doubling per attempt) up to rc_retransmit_cap.
   Duration rc_retransmit = us(8.0);
+  Duration rc_retransmit_cap = us(512.0);
+  // Receiver-not-ready pause before a SEND retransmit (QpConfig::rnr_retry).
+  Duration rnr_timer = us(4.0);
   // Global-routing-header overhead carried by every UD datagram.
   std::size_t ud_grh_bytes = 40;
   // Payloads at or above this size move through host memory as streaming

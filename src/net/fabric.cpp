@@ -24,9 +24,29 @@ sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
     co_await sim::delay(engine_, p_.net_switch_hop);
     co_return;
   }
+  sim::Duration hop = p_.net_propagation + p_.net_switch_hop;
+  // Congestion / rerouting faults show up as extra propagation latency.
+  if (faults_ != nullptr && faults_->active())
+    hop += faults_->extra_latency(src, sport, dst, dport);
   co_await tx_link(src, sport).use(wire);
-  co_await sim::delay(engine_, p_.net_propagation + p_.net_switch_hop);
+  co_await sim::delay(engine_, hop);
   co_await rx_link(dst, dport).use(wire);
+}
+
+bool Fabric::dropped(MachineId src, PortId sport, MachineId dst, PortId dport) {
+  double prob = p_.net_loss_prob;
+  if (faults_ != nullptr && faults_->active()) {
+    if (faults_->blocked(src, sport, dst, dport)) {
+      ++drops_;
+      return true;  // no path: crashed node, dead link or partition
+    }
+    const double burst = faults_->loss_override(src, sport, dst, dport);
+    if (burst >= 0.0) prob = burst;
+  }
+  if (prob <= 0.0) return false;
+  const bool lost = engine_.rng().chance(prob);
+  if (lost) ++drops_;
+  return lost;
 }
 
 }  // namespace rdmasem::net

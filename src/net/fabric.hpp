@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "hw/params.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -36,11 +37,23 @@ class Fabric {
   sim::TaskT<void> transit(MachineId src, PortId sport, MachineId dst,
                            PortId dport, std::size_t payload_bytes);
 
+  // Loss decision for a message that just transited src -> dst. Consults
+  // the per-link fault state first (loss bursts, dead links, partitions,
+  // crashed endpoints), then the global `net_loss_prob` calibration knob.
+  // Draws the engine RNG only when the effective probability is positive,
+  // so lossless runs stay trace-identical to the pre-fault simulator.
+  bool dropped(MachineId src, PortId sport, MachineId dst, PortId dport);
+
+  // Attaches the cluster's fault state; nullptr = lossless-lab behavior.
+  void set_faults(const fault::FaultState* f) { faults_ = f; }
+  const fault::FaultState* faults() const { return faults_; }
+
   sim::Resource& tx_link(MachineId m, PortId p) { return *tx_[index(m, p)]; }
   sim::Resource& rx_link(MachineId m, PortId p) { return *rx_[index(m, p)]; }
 
   std::uint64_t messages() const { return messages_; }
   std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t drops() const { return drops_; }
 
  private:
   std::size_t index(MachineId m, PortId p) const {
@@ -52,8 +65,10 @@ class Fabric {
   std::uint32_t ports_;
   std::vector<std::unique_ptr<sim::Resource>> tx_;
   std::vector<std::unique_ptr<sim::Resource>> rx_;
+  const fault::FaultState* faults_ = nullptr;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
 };
 
 }  // namespace rdmasem::net

@@ -12,7 +12,7 @@ RemoteSpinlock::RemoteSpinlock(verbs::QueuePair& qp, std::uint64_t remote_addr,
       scratch_, qp_.context().machine().port_socket(qp_.config().port));
 }
 
-sim::TaskT<std::uint32_t> RemoteSpinlock::lock() {
+sim::TaskT<Outcome<std::uint32_t>> RemoteSpinlock::lock() {
   std::uint32_t attempts = 0;
   for (;;) {
     verbs::WorkRequest wr;
@@ -25,7 +25,7 @@ sim::TaskT<std::uint32_t> RemoteSpinlock::lock() {
     ++attempts;
     ++cas_attempts_;
     const auto c = co_await qp_.execute(std::move(wr));
-    RDMASEM_CHECK_MSG(c.ok(), "remote CAS failed");
+    if (!c.ok()) co_return c.status;
     if (c.atomic_old == 0) {
       ++acquisitions_;
       co_return attempts;
@@ -35,7 +35,7 @@ sim::TaskT<std::uint32_t> RemoteSpinlock::lock() {
   }
 }
 
-sim::TaskT<void> RemoteSpinlock::unlock() {
+sim::TaskT<verbs::Status> RemoteSpinlock::unlock() {
   // Release: plain 8-byte RDMA write of 0 (store-release is enough; RC
   // ordering makes it visible after the critical section's writes).
   *scratch_.as<std::uint64_t>(8) = 0;
@@ -45,7 +45,7 @@ sim::TaskT<void> RemoteSpinlock::unlock() {
   wr.remote_addr = remote_addr_;
   wr.rkey = rkey_;
   const auto c = co_await qp_.execute(std::move(wr));
-  RDMASEM_CHECK_MSG(c.ok(), "remote unlock failed");
+  co_return c.status;
 }
 
 RemoteLockClient::RemoteLockClient(verbs::QueuePair& qp, BackoffPolicy backoff)
@@ -54,8 +54,8 @@ RemoteLockClient::RemoteLockClient(verbs::QueuePair& qp, BackoffPolicy backoff)
       scratch_, qp_.context().machine().port_socket(qp_.config().port));
 }
 
-sim::TaskT<std::uint32_t> RemoteLockClient::lock(std::uint64_t remote_addr,
-                                                 std::uint32_t rkey) {
+sim::TaskT<Outcome<std::uint32_t>> RemoteLockClient::lock(
+    std::uint64_t remote_addr, std::uint32_t rkey) {
   std::uint32_t attempts = 0;
   for (;;) {
     verbs::WorkRequest wr;
@@ -68,7 +68,7 @@ sim::TaskT<std::uint32_t> RemoteLockClient::lock(std::uint64_t remote_addr,
     ++attempts;
     ++cas_attempts_;
     const auto c = co_await qp_.execute(std::move(wr));
-    RDMASEM_CHECK_MSG(c.ok(), "remote CAS failed");
+    if (!c.ok()) co_return c.status;
     if (c.atomic_old == 0) {
       ++acquisitions_;
       co_return attempts;
@@ -78,8 +78,8 @@ sim::TaskT<std::uint32_t> RemoteLockClient::lock(std::uint64_t remote_addr,
   }
 }
 
-sim::TaskT<void> RemoteLockClient::unlock(std::uint64_t remote_addr,
-                                          std::uint32_t rkey) {
+sim::TaskT<verbs::Status> RemoteLockClient::unlock(std::uint64_t remote_addr,
+                                                   std::uint32_t rkey) {
   *scratch_.as<std::uint64_t>(8) = 0;
   verbs::WorkRequest wr;
   wr.opcode = verbs::Opcode::kWrite;
@@ -87,7 +87,7 @@ sim::TaskT<void> RemoteLockClient::unlock(std::uint64_t remote_addr,
   wr.remote_addr = remote_addr;
   wr.rkey = rkey;
   const auto c = co_await qp_.execute(std::move(wr));
-  RDMASEM_CHECK_MSG(c.ok(), "remote unlock failed");
+  co_return c.status;
 }
 
 RemoteSequencer::RemoteSequencer(verbs::QueuePair& qp,
@@ -97,7 +97,7 @@ RemoteSequencer::RemoteSequencer(verbs::QueuePair& qp,
       scratch_, qp_.context().machine().port_socket(qp_.config().port));
 }
 
-sim::TaskT<std::uint64_t> RemoteSequencer::next(std::uint64_t delta) {
+sim::TaskT<Outcome<std::uint64_t>> RemoteSequencer::next(std::uint64_t delta) {
   verbs::WorkRequest wr;
   wr.opcode = verbs::Opcode::kFetchAdd;
   wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
@@ -105,7 +105,7 @@ sim::TaskT<std::uint64_t> RemoteSequencer::next(std::uint64_t delta) {
   wr.rkey = rkey_;
   wr.swap_or_add = delta;
   const auto c = co_await qp_.execute(std::move(wr));
-  RDMASEM_CHECK_MSG(c.ok(), "remote FAA failed");
+  if (!c.ok()) co_return c.status;
   co_return c.atomic_old;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "cluster/cluster.hpp"
+#include "remem/outcome.hpp"
 #include "sim/task.hpp"
 #include "verbs/buffer.hpp"
 #include "verbs/qp.hpp"
@@ -40,9 +41,10 @@ class RemoteSpinlock {
   RemoteSpinlock(verbs::QueuePair& qp, std::uint64_t remote_addr,
                  std::uint32_t rkey, BackoffPolicy backoff = {});
 
-  // Acquires the lock; returns the number of CAS attempts used.
-  sim::TaskT<std::uint32_t> lock();
-  sim::TaskT<void> unlock();
+  // Acquires the lock; returns the number of CAS attempts used, or the
+  // failing verbs status once the QP dies (faults).
+  sim::TaskT<Outcome<std::uint32_t>> lock();
+  sim::TaskT<verbs::Status> unlock();
 
   std::uint64_t acquisitions() const { return acquisitions_; }
   std::uint64_t cas_attempts() const { return cas_attempts_; }
@@ -65,9 +67,10 @@ class RemoteLockClient {
  public:
   explicit RemoteLockClient(verbs::QueuePair& qp, BackoffPolicy backoff = {});
 
-  sim::TaskT<std::uint32_t> lock(std::uint64_t remote_addr,
-                                 std::uint32_t rkey);
-  sim::TaskT<void> unlock(std::uint64_t remote_addr, std::uint32_t rkey);
+  sim::TaskT<Outcome<std::uint32_t>> lock(std::uint64_t remote_addr,
+                                          std::uint32_t rkey);
+  sim::TaskT<verbs::Status> unlock(std::uint64_t remote_addr,
+                                   std::uint32_t rkey);
 
   std::uint64_t acquisitions() const { return acquisitions_; }
   std::uint64_t cas_attempts() const { return cas_attempts_; }
@@ -89,7 +92,7 @@ class RemoteSequencer {
                   std::uint32_t rkey);
 
   // Returns the ticket (the pre-increment value).
-  sim::TaskT<std::uint64_t> next(std::uint64_t delta = 1);
+  sim::TaskT<Outcome<std::uint64_t>> next(std::uint64_t delta = 1);
 
  private:
   verbs::QueuePair& qp_;

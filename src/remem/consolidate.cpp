@@ -24,8 +24,8 @@ Consolidator::Consolidator(verbs::QueuePair& qp, std::uint64_t remote_base,
   blocks_.resize(region_size / cfg_.block_size);
 }
 
-sim::TaskT<void> Consolidator::write(std::uint64_t off,
-                                     std::span<const std::byte> data) {
+sim::TaskT<verbs::Status> Consolidator::write(std::uint64_t off,
+                                              std::span<const std::byte> data) {
   RDMASEM_CHECK_MSG(off + data.size() <= shadow_.size(),
                     "consolidated write out of region");
   const std::uint64_t block = off / cfg_.block_size;
@@ -56,12 +56,13 @@ sim::TaskT<void> Consolidator::write(std::uint64_t off,
         eng.spawn(flush_chain(block));
       }
     } else {
-      co_await flush_block(block);
+      co_return co_await flush_block(block);
     }
   } else if (!st.timer_armed) {
     st.timer_armed = true;
     eng.spawn(timeout_watch(block, st.generation));
   }
+  co_return verbs::Status::kSuccess;
 }
 
 sim::Task Consolidator::flush_chain(std::uint64_t block) {
@@ -69,18 +70,20 @@ sim::Task Consolidator::flush_chain(std::uint64_t block) {
   // writers re-dirty it faster than theta; residual dirt below theta is
   // left to the lease timer.
   for (;;) {
-    co_await flush_block(block);
+    const auto st_flush = co_await flush_block(block);
     BlockState& st = blocks_[block];
-    if (st.pending < cfg_.theta) break;
+    // A dead QP can never drain the block: stop the chain, the residue
+    // stays in the shadow for a failover path to re-stage.
+    if (st_flush != verbs::Status::kSuccess || st.pending < cfg_.theta) break;
   }
   BlockState& st = blocks_[block];
   st.flush_inflight = false;
   --inflight_;
 }
 
-sim::TaskT<void> Consolidator::flush_block(std::uint64_t block) {
+sim::TaskT<verbs::Status> Consolidator::flush_block(std::uint64_t block) {
   BlockState& st = blocks_[block];
-  if (st.dirty_lo == st.dirty_hi) co_return;  // clean
+  if (st.dirty_lo == st.dirty_hi) co_return verbs::Status::kSuccess;  // clean
   const std::uint64_t lo = st.dirty_lo;
   const std::uint64_t hi = st.dirty_hi;
   st.pending = 0;
@@ -98,15 +101,25 @@ sim::TaskT<void> Consolidator::flush_block(std::uint64_t block) {
   ++stats_.flushes;
   stats_.flushed_bytes += hi - lo;
   const auto c = co_await qp_.execute(std::move(wr));
-  RDMASEM_CHECK_MSG(c.ok(), "consolidator flush failed");
+  if (!c.ok()) {
+    ++stats_.failed_flushes;
+    co_return c.status;
+  }
   if (after_flush_) co_await after_flush_(block);
+  co_return verbs::Status::kSuccess;
 }
 
-sim::TaskT<void> Consolidator::flush_all() {
-  for (std::uint64_t b = 0; b < blocks_.size(); ++b) co_await flush_block(b);
+sim::TaskT<verbs::Status> Consolidator::flush_all() {
+  auto first_err = verbs::Status::kSuccess;
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    const auto st = co_await flush_block(b);
+    if (st != verbs::Status::kSuccess && first_err == verbs::Status::kSuccess)
+      first_err = st;
+  }
   // Let background chains land (they may have captured extents already).
   while (inflight_ > 0)
     co_await sim::delay(qp_.context().engine(), sim::us(1));
+  co_return first_err;
 }
 
 sim::Task Consolidator::timeout_watch(std::uint64_t block,

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "remem/outcome.hpp"
 #include "sim/task.hpp"
 #include "verbs/buffer.hpp"
 #include "verbs/qp.hpp"
@@ -42,6 +43,9 @@ class Consolidator {
     std::uint64_t flushes = 0;
     std::uint64_t flushed_bytes = 0;
     std::uint64_t timeout_flushes = 0;
+    // Flushes whose RDMA write failed (QP dead). The extent stays in the
+    // shadow, so a caller with a failover path can re-stage it.
+    std::uint64_t failed_flushes = 0;
   };
 
   // Consolidates writes into the remote region [remote_base,
@@ -51,12 +55,14 @@ class Consolidator {
 
   // Stages `data` at region offset `off`. Charges the staging memcpy to
   // the caller; if this write trips the block's theta, the caller also
-  // rides the flush (backpressure).
-  sim::TaskT<void> write(std::uint64_t off, std::span<const std::byte> data);
+  // rides the flush (backpressure) and sees its status.
+  sim::TaskT<verbs::Status> write(std::uint64_t off,
+                                  std::span<const std::byte> data);
 
-  // Forces out one block / all dirty blocks.
-  sim::TaskT<void> flush_block(std::uint64_t block);
-  sim::TaskT<void> flush_all();
+  // Forces out one block / all dirty blocks. Returns the first failing
+  // status (kSuccess when everything landed).
+  sim::TaskT<verbs::Status> flush_block(std::uint64_t block);
+  sim::TaskT<verbs::Status> flush_all();
 
   // Optional hooks run around every flush (e.g. take/release the block's
   // remote spinlock, §IV-B hot area).

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "verbs/types.hpp"
+
+namespace rdmasem::remem {
+
+// Outcome<T> — a verbs::Status plus a value, for remote-memory operations
+// that can fail once faults are injected (retry exhaustion, flushed QPs).
+//
+// Two call-site styles coexist:
+//
+//   * Legacy fail-fast: use the result as a plain T. The implicit
+//     conversion asserts success, so pre-fault code keeps its abort-on-
+//     failure semantics without changing a line:
+//
+//       const std::uint64_t old = co_await region.fetch_add(0, 1);
+//
+//   * Fault-aware: inspect before unwrapping and run a recovery path:
+//
+//       auto r = co_await region.fetch_add(0, 1);
+//       if (!r.ok()) co_return handle(r.status());
+//
+// Operations with no interesting value (writes, unlocks) return a bare
+// verbs::Status instead.
+template <typename T>
+class Outcome {
+ public:
+  Outcome() = default;
+  Outcome(T value) : value_(std::move(value)) {}
+  Outcome(verbs::Status st) : status_(st) {
+    RDMASEM_CHECK_MSG(st != verbs::Status::kSuccess,
+                      "success Outcome needs a value");
+  }
+
+  bool ok() const { return status_ == verbs::Status::kSuccess; }
+  verbs::Status status() const { return status_; }
+
+  const T& value() const {
+    RDMASEM_CHECK_MSG(ok(), "Outcome::value() on failure");
+    return value_;
+  }
+  T value_or(T alt) const { return ok() ? value_ : std::move(alt); }
+
+  // Checked unwrap: aborts (with the status name) when the operation
+  // failed and the caller never looked.
+  operator T() const {
+    RDMASEM_CHECK_MSG(ok(), verbs::to_string(status_));
+    return value_;
+  }
+
+ private:
+  verbs::Status status_ = verbs::Status::kSuccess;
+  T value_{};
+};
+
+}  // namespace rdmasem::remem

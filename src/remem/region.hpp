@@ -5,6 +5,7 @@
 #include <span>
 #include <type_traits>
 
+#include "remem/outcome.hpp"
 #include "sim/task.hpp"
 #include "verbs/buffer.hpp"
 #include "verbs/qp.hpp"
@@ -20,8 +21,12 @@ namespace rdmasem::remem {
 //
 //   RemoteRegion region(qp, rmr->addr, rmr->key, rmr->length);
 //   co_await region.write(off, value);
-//   auto v = co_await region.read<std::uint64_t>(off);
-//   auto old = co_await region.fetch_add(off, 1);
+//   std::uint64_t v = co_await region.read<std::uint64_t>(off);
+//   std::uint64_t old = co_await region.fetch_add(off, 1);
+//
+// Failure surface: writes return the verbs::Status; reads and atomics
+// return Outcome<T>. Call sites that unwrap without checking keep the
+// pre-fault abort-on-failure behavior (see outcome.hpp).
 class RemoteRegion {
  public:
   RemoteRegion(verbs::QueuePair& qp, std::uint64_t remote_addr,
@@ -36,8 +41,8 @@ class RemoteRegion {
   verbs::QueuePair& qp() { return qp_; }
 
   // ---- raw byte interface -------------------------------------------------
-  sim::TaskT<void> write_bytes(std::uint64_t off,
-                               std::span<const std::byte> data) {
+  sim::TaskT<verbs::Status> write_bytes(std::uint64_t off,
+                                        std::span<const std::byte> data) {
     RDMASEM_CHECK_MSG(data.size() <= kBounceBytes, "write exceeds bounce");
     RDMASEM_CHECK_MSG(off + data.size() <= size_, "write out of region");
     std::memcpy(bounce_.data(), data.data(), data.size());
@@ -51,10 +56,11 @@ class RemoteRegion {
     wr.remote_addr = remote_addr_ + off;
     wr.rkey = rkey_;
     const auto c = co_await qp_.execute(std::move(wr));
-    RDMASEM_CHECK_MSG(c.ok(), "region write failed");
+    co_return c.status;
   }
 
-  sim::TaskT<void> read_bytes(std::uint64_t off, std::span<std::byte> out) {
+  sim::TaskT<verbs::Status> read_bytes(std::uint64_t off,
+                                       std::span<std::byte> out) {
     RDMASEM_CHECK_MSG(out.size() <= kBounceBytes, "read exceeds bounce");
     RDMASEM_CHECK_MSG(off + out.size() <= size_, "read out of region");
     verbs::WorkRequest wr;
@@ -64,37 +70,40 @@ class RemoteRegion {
     wr.remote_addr = remote_addr_ + off;
     wr.rkey = rkey_;
     const auto c = co_await qp_.execute(std::move(wr));
-    RDMASEM_CHECK_MSG(c.ok(), "region read failed");
+    if (!c.ok()) co_return c.status;
     std::memcpy(out.data(), bounce_.data(), out.size());
     co_await sim::delay(qp_.context().engine(),
                         qp_.context().params().memcpy_time(out.size()));
+    co_return verbs::Status::kSuccess;
   }
 
   // ---- typed interface ----------------------------------------------------
   template <typename T>
-  sim::TaskT<void> write(std::uint64_t off, const T& value) {
+  sim::TaskT<verbs::Status> write(std::uint64_t off, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    co_await write_bytes(
+    co_return co_await write_bytes(
         off, {reinterpret_cast<const std::byte*>(&value), sizeof(T)});
   }
 
   template <typename T>
-  sim::TaskT<T> read(std::uint64_t off) {
+  sim::TaskT<Outcome<T>> read(std::uint64_t off) {
     static_assert(std::is_trivially_copyable_v<T>);
     T out{};
-    co_await read_bytes(off, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    const auto st = co_await read_bytes(
+        off, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    if (st != verbs::Status::kSuccess) co_return st;
     co_return out;
   }
 
   // ---- atomics (8-byte, 8-aligned offsets) --------------------------------
-  sim::TaskT<std::uint64_t> fetch_add(std::uint64_t off,
-                                      std::uint64_t delta) {
+  sim::TaskT<Outcome<std::uint64_t>> fetch_add(std::uint64_t off,
+                                               std::uint64_t delta) {
     co_return co_await atomic(verbs::Opcode::kFetchAdd, off, 0, delta);
   }
   // Returns the observed old value; the swap happened iff old == expected.
-  sim::TaskT<std::uint64_t> compare_swap(std::uint64_t off,
-                                         std::uint64_t expected,
-                                         std::uint64_t desired) {
+  sim::TaskT<Outcome<std::uint64_t>> compare_swap(std::uint64_t off,
+                                                  std::uint64_t expected,
+                                                  std::uint64_t desired) {
     co_return co_await atomic(verbs::Opcode::kCompSwap, off, expected,
                               desired);
   }
@@ -102,8 +111,10 @@ class RemoteRegion {
  private:
   static constexpr std::size_t kBounceBytes = 4096;
 
-  sim::TaskT<std::uint64_t> atomic(verbs::Opcode op, std::uint64_t off,
-                                   std::uint64_t cmp, std::uint64_t arg) {
+  sim::TaskT<Outcome<std::uint64_t>> atomic(verbs::Opcode op,
+                                            std::uint64_t off,
+                                            std::uint64_t cmp,
+                                            std::uint64_t arg) {
     RDMASEM_CHECK_MSG(off % 8 == 0 && off + 8 <= size_, "bad atomic offset");
     verbs::WorkRequest wr;
     wr.opcode = op;
@@ -113,7 +124,7 @@ class RemoteRegion {
     wr.compare = cmp;
     wr.swap_or_add = arg;
     const auto c = co_await qp_.execute(std::move(wr));
-    RDMASEM_CHECK_MSG(c.ok(), "region atomic failed");
+    if (!c.ok()) co_return c.status;
     co_return c.atomic_old;
   }
 
@@ -134,15 +145,18 @@ class RemotePtr {
   RemotePtr(RemoteRegion& region, std::uint64_t off)
       : region_(&region), off_(off) {}
 
-  sim::TaskT<T> load() { co_return co_await region_->read<T>(off_); }
-  sim::TaskT<void> store(const T& v) { co_await region_->write(off_, v); }
+  sim::TaskT<Outcome<T>> load() { co_return co_await region_->read<T>(off_); }
+  sim::TaskT<verbs::Status> store(const T& v) {
+    co_return co_await region_->write(off_, v);
+  }
 
   // 8-byte objects only:
-  sim::TaskT<std::uint64_t> fetch_add(std::uint64_t d) {
+  sim::TaskT<Outcome<std::uint64_t>> fetch_add(std::uint64_t d) {
     static_assert(sizeof(T) == 8);
     co_return co_await region_->fetch_add(off_, d);
   }
-  sim::TaskT<std::uint64_t> compare_swap(std::uint64_t e, std::uint64_t v) {
+  sim::TaskT<Outcome<std::uint64_t>> compare_swap(std::uint64_t e,
+                                                  std::uint64_t v) {
     static_assert(sizeof(T) == 8);
     co_return co_await region_->compare_swap(off_, e, v);
   }

@@ -39,7 +39,8 @@ sim::Task RpcServer::serve(Endpoint* ep) {
   for (;;) {
     const verbs::Completion rc = co_await ep->cq->next();
     if (rc.opcode != verbs::Opcode::kRecv) continue;  // our reply CQEs
-    RDMASEM_CHECK(rc.ok());
+    // The endpoint QP died (flushed RECVs): this service loop retires.
+    if (!rc.ok()) co_return;
     const std::size_t slot = rc.wr_id;
     std::uint64_t op = 0, arg = 0;
     std::memcpy(&op, ep->recv_buf.data() + slot * kMsgBytes, 8);
@@ -79,8 +80,8 @@ RpcClient::RpcClient(verbs::Context& ctx, const verbs::QpConfig& cfg)
   gate_ = std::make_unique<sim::Semaphore>(ctx.engine(), 1);
 }
 
-sim::TaskT<std::uint64_t> RpcClient::call(std::uint64_t op,
-                                          std::uint64_t arg) {
+sim::TaskT<Outcome<std::uint64_t>> RpcClient::call(std::uint64_t op,
+                                                   std::uint64_t arg) {
   auto& ctx = qp_->context();
   co_await gate_->acquire();
   // Arm the reply buffer first, then send the request.
@@ -90,12 +91,20 @@ sim::TaskT<std::uint64_t> RpcClient::call(std::uint64_t op,
   verbs::WorkRequest req;
   req.opcode = verbs::Opcode::kSend;
   req.sg_list = {{mr_->addr, 16, mr_->key}};
-  req.signaled = false;
+  req.signaled = false;  // errors still generate a CQE (IBV rule)
   co_await qp_->post(req);
   for (;;) {
     const verbs::Completion c = co_await qp_->config().cq->next();
+    if (c.opcode == verbs::Opcode::kSend && !c.ok()) {
+      // Request never made it (retry exhaustion / flush).
+      gate_->release();
+      co_return c.status;
+    }
     if (c.opcode != verbs::Opcode::kRecv) continue;
-    RDMASEM_CHECK_MSG(c.ok(), "rpc reply failed");
+    if (!c.ok()) {
+      gate_->release();
+      co_return c.status;
+    }
     std::uint64_t result = 0;
     std::memcpy(&result, buf_.data() + 64, 8);
     gate_->release();

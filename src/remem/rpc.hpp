@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "remem/outcome.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -68,7 +69,10 @@ class RpcClient {
 
   verbs::QueuePair* qp() { return qp_; }
 
-  sim::TaskT<std::uint64_t> call(std::uint64_t op, std::uint64_t arg);
+  // Round-trips one request; fails (instead of hanging) when the
+  // connection dies mid-call — the flushed RECV carries the status back.
+  sim::TaskT<Outcome<std::uint64_t>> call(std::uint64_t op,
+                                          std::uint64_t arg);
 
  private:
   verbs::QueuePair* qp_;

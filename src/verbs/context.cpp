@@ -53,8 +53,14 @@ QueuePair* Context::create_qp(const QpConfig& cfg) {
 void Context::connect(QueuePair& a, QueuePair& b) {
   RDMASEM_CHECK_MSG(a.peer_ == nullptr && b.peer_ == nullptr,
                     "QP already connected");
+  RDMASEM_CHECK_MSG(a.state_ == QpState::kReset && b.state_ == QpState::kReset,
+                    "connect needs both QPs in RESET");
   a.peer_ = &b;
   b.peer_ = &a;
+  // The simulator collapses the INIT/RTR handshake: both ends go
+  // ready-to-send in one step.
+  a.state_ = QpState::kRts;
+  b.state_ = QpState::kRts;
 }
 
 }  // namespace rdmasem::verbs

@@ -40,6 +40,17 @@ struct QpConfig {
   CompletionQueue* cq = nullptr;  // send+recv completions
   std::uint32_t sq_depth = 4096;
   Transport transport = Transport::kRC;
+  // RC reliability budget: packet-loss retransmissions per transfer leg
+  // before the WR fails with kRetryExceeded and the QP enters ERROR.
+  // kInfiniteRetry (7, the IBV sentinel) retries forever — the right
+  // model for a lossy-but-alive fabric; bound it (1..6) when the workload
+  // has a failover story and must detect dead peers.
+  std::uint32_t retry_cnt = kInfiniteRetry;
+  // Receiver-not-ready retries for SEND: each RNR NAK costs one wait of
+  // ModelParams::rnr_timer before the retransmit. 0 fails fast with
+  // kRnrRetryExceeded (the pre-fault behavior); kInfiniteRetry waits
+  // until a RECV shows up.
+  std::uint32_t rnr_retry = 0;
 };
 
 // Context — the per-machine verbs endpoint (ibv_context + ibv_pd rolled

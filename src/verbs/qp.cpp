@@ -40,6 +40,17 @@ const char* to_string(Status s) {
     case Status::kRemoteInvalidRequest: return "REMOTE_INVALID_REQ";
     case Status::kRnrRetryExceeded: return "RNR_RETRY_EXCEEDED";
     case Status::kUnsupportedOpcode: return "UNSUPPORTED_OPCODE";
+    case Status::kRetryExceeded: return "RETRY_EXCEEDED";
+    case Status::kWrFlushedError: return "WR_FLUSH_ERR";
+  }
+  return "?";
+}
+
+const char* to_string(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
   }
   return "?";
 }
@@ -54,7 +65,52 @@ const char* to_string(Transport t) {
 }
 
 QueuePair::QueuePair(Context& ctx, const QpConfig& cfg, std::uint64_t id)
-    : ctx_(ctx), cfg_(cfg), id_(id) {}
+    : ctx_(ctx), cfg_(cfg), id_(id) {
+  // UD QPs have no connect step: they are ready as soon as they exist.
+  if (cfg_.transport == Transport::kUD) state_ = QpState::kRts;
+}
+
+void QueuePair::to_error() {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  // Flush the receive queue: every posted RECV completes with
+  // kWrFlushedError on the bound CQ (the IBV_WC_WR_FLUSH_ERR analog).
+  while (!recv_queue_.empty()) {
+    const RecvRequest rr = recv_queue_.front();
+    recv_queue_.pop_front();
+    ++flushed_wrs_;
+    if (cfg_.cq != nullptr) {
+      Completion c;
+      c.wr_id = rr.wr_id;
+      c.status = Status::kWrFlushedError;
+      c.opcode = Opcode::kRecv;
+      c.qp_id = id_;
+      c.completed_at = ctx_.engine().now();
+      cfg_.cq->push(c);
+    }
+  }
+}
+
+void QueuePair::reset() {
+  RDMASEM_CHECK_MSG(outstanding_ == 0, "QP reset with outstanding WRs");
+  // Detach both directions; the peer keeps its own state but can no
+  // longer reach us (posting on it trips the connected check).
+  if (peer_ != nullptr && peer_->peer_ == this) peer_->peer_ = nullptr;
+  peer_ = nullptr;
+  state_ = QpState::kReset;
+}
+
+void QueuePair::fail_wr(const WorkRequest& wr, Status st) {
+  complete(wr, st, 0);
+  to_error();
+}
+
+sim::Task QueuePair::flush_posted_wr(WorkRequest wr) {
+  // Runs as a spawned task (never inline from post_send) so that an
+  // execute() caller registers its wait() before the completion fires.
+  complete(wr, Status::kWrFlushedError, 0);
+  co_return;
+}
 
 void QueuePair::post_send(const WorkRequest& wr) {
   if (cfg_.transport == Transport::kUD) {
@@ -64,6 +120,10 @@ void QueuePair::post_send(const WorkRequest& wr) {
   }
   RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
   ++outstanding_;
+  if (state_ == QpState::kError) {
+    ctx_.engine().spawn(flush_posted_wr(wr));
+    return;
+  }
   ctx_.engine().spawn(run_wr(wr, /*bf=*/ctx_.params().rnic_blueflame));
 }
 
@@ -76,6 +136,10 @@ void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
     }
     RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
     ++outstanding_;
+    if (state_ == QpState::kError) {
+      ctx_.engine().spawn(flush_posted_wr(wr));
+      continue;
+    }
     // Doorbell-listed WQEs are fetched from host memory by the RNIC.
     ctx_.engine().spawn(run_wr(wr, /*bf=*/false));
   }
@@ -150,6 +214,7 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   --outstanding_;
   ++ops_completed_;
   bytes_completed_ += bytes;
+  if (st == Status::kWrFlushedError) ++flushed_wrs_;
   Completion c;
   c.wr_id = wr.wr_id;
   c.status = st;
@@ -167,7 +232,34 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
       ctx_.engine().resume_at(ctx_.engine().now(), it->second.handle);
     return;
   }
-  if (wr.signaled && cfg_.cq) cfg_.cq->push(c);
+  // IBV rule: error completions surface even for unsignaled WRs.
+  if ((wr.signaled || st != Status::kSuccess) && cfg_.cq) cfg_.cq->push(c);
+}
+
+// One transfer leg over the fabric. RC recovers from loss with timeout +
+// retransmit, backing off exponentially (rc_retransmit doubling up to
+// rc_retransmit_cap) until cfg_.retry_cnt attempts are spent
+// (kInfiniteRetry never gives up). UC/UD get exactly one shot.
+sim::TaskT<bool> QueuePair::deliver(std::uint32_t src_machine,
+                                    std::uint32_t sport,
+                                    std::uint32_t dst_machine,
+                                    std::uint32_t dport, std::size_t bytes,
+                                    bool reliable) {
+  auto& eng = ctx_.engine();
+  const auto& P = ctx_.params();
+  auto& fabric = ctx_.cluster().fabric();
+  sim::Duration backoff = P.rc_retransmit;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    co_await fabric.transit(src_machine, sport, dst_machine, dport, bytes);
+    if (!fabric.dropped(src_machine, sport, dst_machine, dport))
+      co_return true;
+    if (!reliable) co_return false;
+    if (cfg_.retry_cnt != kInfiniteRetry && attempt >= cfg_.retry_cnt)
+      co_return false;
+    ++retransmits_;
+    co_await sim::delay(eng, backoff);
+    backoff = std::min(backoff * 2, P.rc_retransmit_cap);
+  }
 }
 
 void QueuePair::gather_to(const WorkRequest& wr, std::byte* dst) {
@@ -223,7 +315,6 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   auto& rport = rr.port(peer->cfg_.port);
   const hw::SocketId lps = lm.port_socket(cfg_.port);
   const hw::SocketId rps = rm.port_socket(peer->cfg_.port);
-  auto& fabric = ctx_.cluster().fabric();
 
   const std::size_t total = wr.total_length();
 
@@ -295,12 +386,17 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   if (unreliable)
     complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
 
-  for (;;) {
-    co_await fabric.transit(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
-                            wire_bytes);
-    if (P.net_loss_prob <= 0.0 || !eng.rng().chance(P.net_loss_prob)) break;
+  if (!co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
+                        wire_bytes, !unreliable)) {
     if (unreliable) co_return;  // dropped silently; data never lands
-    co_await sim::delay(eng, P.rc_retransmit);
+    fail_wr(wr, Status::kRetryExceeded);
+    co_return;
+  }
+  // A concurrent WR may have pushed the QP into ERROR while this one was
+  // on the wire: it flushes without touching remote memory.
+  if (!unreliable && state_ == QpState::kError) {
+    complete(wr, Status::kWrFlushedError, 0);
+    co_return;
   }
 
   // ---- 5. remote receive processing ---------------------------------------
@@ -311,8 +407,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   // unreliable transports just drop the faulty packet.
   auto nak = [&](Status st) -> sim::TaskT<void> {
     if (unreliable) co_return;
-    co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                            kAckBytes);
+    if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                          kAckBytes, true)) {
+      fail_wr(wr, Status::kRetryExceeded);
+      co_return;
+    }
     complete(wr, st, 0);
   };
 
@@ -341,8 +440,13 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       }
       if (!unreliable) {
         co_await sim::delay(eng, P.net_ack_proc);
-        co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                                kAckBytes);
+        if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                              kAckBytes, true)) {
+          // The data landed but the ACK never made it back: the requester
+          // cannot distinguish this from a lost write (§ failure model).
+          fail_wr(wr, Status::kRetryExceeded);
+          co_return;
+        }
         complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
       }
       break;
@@ -369,8 +473,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_await sim::delay(eng, P.pcie_dma_read_latency);
       }
       // Response carries the payload back.
-      co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                              total);
+      if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                            total, true)) {
+        fail_wr(wr, Status::kRetryExceeded);
+        co_return;
+      }
       co_await lport.rx.use(P.rnic_rx_proc);
       if (total > 0) {
         co_await lr.dma().use(P.pcie_time(total));
@@ -421,7 +528,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         *slot = old + wr.swap_or_add;
       }
       // Response carries the original value (8 bytes).
-      co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8);
+      if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8,
+                            true)) {
+        fail_wr(wr, Status::kRetryExceeded);
+        co_return;
+      }
       co_await lport.rx.use(P.rnic_rx_proc);
       co_await sim::delay(eng, P.pcie_dma_write_latency);
       MemoryRegion* lmr = ctx_.lookup(wr.sg_list[0].lkey);
@@ -432,9 +543,29 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
 
     case Opcode::kSend: {
       if (peer->recv_queue_.empty()) {
-        // RC: receiver-not-ready NAK; UC/UD: the datagram evaporates.
-        co_await nak(Status::kRnrRetryExceeded);
-        co_return;
+        // Receiver not ready. UC/UD: the datagram evaporates. RC: each
+        // RNR NAK costs a wire round plus an rnr_timer pause before the
+        // retransmit; cfg_.rnr_retry bounds the attempts (kInfiniteRetry
+        // waits until a RECV shows up; 0 fails fast).
+        if (unreliable) co_return;
+        for (std::uint32_t rnr = 0; peer->recv_queue_.empty(); ++rnr) {
+          if (cfg_.rnr_retry != kInfiniteRetry && rnr >= cfg_.rnr_retry) {
+            co_await nak(Status::kRnrRetryExceeded);
+            co_return;
+          }
+          if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                                kAckBytes, true)) {
+            fail_wr(wr, Status::kRetryExceeded);
+            co_return;
+          }
+          co_await sim::delay(eng, P.rnr_timer);
+          if (!co_await deliver(lm.id(), cfg_.port, rm.id(),
+                                peer->cfg_.port, wire_bytes, true)) {
+            fail_wr(wr, Status::kRetryExceeded);
+            co_return;
+          }
+          co_await rport.rx.use(P.rnic_rx_proc);
+        }
       }
       const RecvRequest rq = peer->recv_queue_.front();
       peer->recv_queue_.pop_front();
@@ -469,8 +600,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       }
       if (!unreliable) {
         co_await sim::delay(eng, P.net_ack_proc);
-        co_await fabric.transit(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                                kAckBytes);
+        if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                              kAckBytes, true)) {
+          fail_wr(wr, Status::kRetryExceeded);
+          co_return;
+        }
         complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
       }
       break;

@@ -36,6 +36,17 @@ class QueuePair {
   QueuePair* peer() { return peer_; }
   bool connected() const { return peer_ != nullptr; }
 
+  // ---- state machine (RESET -> RTS -> ERROR, docs/FAULTS.md) ----------
+  QpState state() const { return state_; }
+  // Moves to ERROR and flushes: every queued RECV completes with
+  // kWrFlushedError on the bound CQ; WRs posted from now on (and WRs
+  // still in the hardware pipeline) complete with kWrFlushedError too.
+  // Idempotent. Called internally on transport retry exhaustion.
+  void to_error();
+  // ERROR/RTS -> RESET: drops the peer binding so the QP can be
+  // reconnected (Context::connect). Outstanding WRs must have drained.
+  void reset();
+
   // ---- hardware-time posting ------------------------------------------
   void post_send(const WorkRequest& wr);
   void post_send_batch(const std::vector<WorkRequest>& wrs);
@@ -59,6 +70,10 @@ class QueuePair {
   std::uint64_t ops_completed() const { return ops_completed_; }
   std::uint64_t bytes_completed() const { return bytes_completed_; }
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+  // Failure observability: transport retransmissions performed and WRs
+  // (send or recv) flushed with kWrFlushedError.
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t flushed_wrs() const { return flushed_wrs_; }
 
  private:
   friend class Context;
@@ -72,6 +87,17 @@ class QueuePair {
   // `bf` = BlueFlame: the WQE arrived with the doorbell MMIO (single
   // posts), so the RNIC skips the descriptor-fetch DMA.
   sim::Task run_wr(WorkRequest wr, bool bf);
+  // One transfer leg with RC loss recovery: retransmits with exponential
+  // backoff up to cfg_.retry_cnt. Returns false when the leg is lost for
+  // good (unreliable transport, or retries exhausted).
+  sim::TaskT<bool> deliver(std::uint32_t src_machine, std::uint32_t sport,
+                           std::uint32_t dst_machine, std::uint32_t dport,
+                           std::size_t bytes, bool reliable);
+  // Completes `wr` with `st` and transitions the QP to ERROR (transport
+  // failure path: retry exhaustion).
+  void fail_wr(const WorkRequest& wr, Status st);
+  // Deferred flush completion for a WR posted against an ERROR QP.
+  sim::Task flush_posted_wr(WorkRequest wr);
   void complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
                 std::uint64_t atomic_old = 0);
   // Copies gathered local SGEs to `dst` (WRITE/SEND payload landing).
@@ -83,9 +109,12 @@ class QueuePair {
   QpConfig cfg_;
   std::uint64_t id_;
   QueuePair* peer_ = nullptr;
+  QpState state_ = QpState::kReset;
   std::uint32_t outstanding_ = 0;
   std::uint64_t ops_completed_ = 0;
   std::uint64_t bytes_completed_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t flushed_wrs_ = 0;
   std::deque<RecvRequest> recv_queue_;
   std::unordered_map<std::uint64_t, Waiter> waiters_;
 };

@@ -26,9 +26,30 @@ enum class Status : std::uint8_t {
   kLocalProtectionError,   // bad lkey / SGE out of MR bounds
   kRemoteAccessError,      // bad rkey / remote range out of MR bounds
   kRemoteInvalidRequest,   // malformed (e.g. atomic not 8B-aligned)
-  kRnrRetryExceeded,       // SEND with no RECV posted
+  kRnrRetryExceeded,       // SEND retried past rnr_retry with no RECV posted
   kUnsupportedOpcode,      // opcode not allowed on this transport (§II-A)
+  kRetryExceeded,          // transport retries exhausted (loss / dead peer);
+                           // the QP transitions to ERROR
+  kWrFlushedError,         // WR flushed because the QP is in ERROR
 };
+
+// IBV-style queue-pair state machine (docs/FAULTS.md). The simulator
+// collapses INIT/RTR into the connect step: create_qp -> RESET (UD: RTS),
+// Context::connect -> RTS, transport retry exhaustion -> ERROR. ERROR
+// flushes the send and receive queues with kWrFlushedError; reset()
+// returns the QP to RESET for reconnection.
+enum class QpState : std::uint8_t {
+  kReset = 0,
+  kRts,
+  kError,
+};
+
+const char* to_string(QpState s);
+
+// IBV sentinel: a retry budget of 7 means "retry forever" (the value the
+// hardware reserves for infinite retry). The default preserves the
+// pre-fault simulator: RC never gives up on a lossy-but-alive fabric.
+inline constexpr std::uint32_t kInfiniteRetry = 7;
 
 // Transport types (§II-A). All support channel semantics; WRITE needs
 // RC or UC; READ and atomics need RC. UC/UD complete locally once the

@@ -12,6 +12,7 @@ struct Shared {
   sim::Time last_completion = 0;
   std::uint64_t completions = 0;
   std::uint64_t errors = 0;
+  std::array<std::uint64_t, kStatusCount> by_status{};
   double latency_sum_us = 0;
   util::Samples latencies;
 };
@@ -34,6 +35,7 @@ sim::Task client_loop(sim::Engine& eng, const ClientSpec& spec,
                      sim::CountdownLatch& d) -> sim::Task {
       const verbs::Completion c = co_await q->wait(wid);
       if (!c.ok()) ++s.errors;
+      ++s.by_status[static_cast<std::size_t>(c.status)];
       ++s.completions;
       s.last_completion = c.completed_at;
       const double lat_us = sim::to_us(c.completed_at - posted);
@@ -51,6 +53,18 @@ sim::Task client_loop(sim::Engine& eng, const ClientSpec& spec,
 
 }  // namespace
 
+std::string BenchResult::error_breakdown() const {
+  std::string out;
+  for (std::size_t i = 0; i < by_status.size(); ++i) {
+    if (i == 0 || by_status[i] == 0) continue;  // skip kSuccess and zeros
+    if (!out.empty()) out += ' ';
+    out += verbs::to_string(static_cast<verbs::Status>(i));
+    out += ':';
+    out += std::to_string(by_status[i]);
+  }
+  return out.empty() ? "-" : out;
+}
+
 BenchResult run_closed_loop(sim::Engine& engine, const ClientSpec& spec) {
   RDMASEM_CHECK_MSG(!spec.qps.empty(), "no clients");
   RDMASEM_CHECK_MSG(static_cast<bool>(spec.make_wr), "make_wr required");
@@ -67,6 +81,7 @@ BenchResult run_closed_loop(sim::Engine& engine, const ClientSpec& spec) {
   BenchResult r;
   r.elapsed = sh.last_completion > sh.start ? sh.last_completion - sh.start : 1;
   r.errors = sh.errors;
+  r.by_status = sh.by_status;
   const double total_ops =
       static_cast<double>(sh.completions) * spec.ops_per_wr;
   r.mops = total_ops / sim::to_us(r.elapsed);

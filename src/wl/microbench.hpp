@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -31,6 +33,10 @@ struct ClientSpec {
       make_wr;
 };
 
+// One counter per verbs::Status value (index = static_cast of the enum).
+inline constexpr std::size_t kStatusCount =
+    static_cast<std::size_t>(verbs::Status::kWrFlushedError) + 1;
+
 struct BenchResult {
   double mops = 0;            // logical Mops/s over the measured interval
   double avg_latency_us = 0;  // mean per-WR completion latency
@@ -38,7 +44,14 @@ struct BenchResult {
   double p99_latency_us = 0;
   double per_thread_mops = 0;
   sim::Duration elapsed = 0;
-  std::uint64_t errors = 0;
+  std::uint64_t errors = 0;   // completions with any non-success status
+  std::array<std::uint64_t, kStatusCount> by_status{};
+
+  std::uint64_t count(verbs::Status s) const {
+    return by_status[static_cast<std::size_t>(s)];
+  }
+  // "-" when clean, else e.g. "RETRY_EXCEEDED:3 WR_FLUSH_ERR:17".
+  std::string error_breakdown() const;
 };
 
 // Runs the spec to completion on `engine` (spawns clients, drains the
