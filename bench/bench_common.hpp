@@ -15,10 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/bench_export.hpp"
+#include "obs/json.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 #include "wl/microbench.hpp"
@@ -44,11 +47,94 @@ class FigureCollector {
 
   bool empty() const { return rows_.empty(); }
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Process-wide structured report (BENCH_<name>.json) and the merged
+// lifecycle-trace sink. Sweep points run on short-lived clusters, so each
+// run's spans and stage totals are folded in here before the cluster dies.
+inline obs::BenchReport& report() {
+  static obs::BenchReport r;
+  return r;
+}
+inline std::vector<obs::Span>& trace_spans() {
+  static std::vector<obs::Span> s;
+  return s;
+}
+
+// Folds one finished cluster's observability state into the process-wide
+// report: stage totals merge, trace spans move into the shared sink, and
+// the metrics registry is sampled once so the report carries a final
+// counter/gauge snapshot (last absorbed cluster wins).
+inline void absorb(cluster::Cluster& c) {
+  obs::Hub& hub = c.obs();
+  report().absorb(hub.tracer.breakdown());
+  if (hub.tracer.enabled()) {
+    auto spans = hub.tracer.drain();
+    auto& sink = trace_spans();
+    sink.insert(sink.end(), spans.begin(), spans.end());
+  }
+  hub.metrics.sample(c.engine().now());
+  report().set_metrics_json(hub.metrics.json());
+}
+
+// Records one structured sweep point alongside the human-readable table
+// row the bench also emits.
+inline void point(const std::string& series, const std::string& x,
+                  const wl::BenchResult& r) {
+  obs::BenchRow row;
+  row.series = series;
+  row.x = x;
+  row.mops = r.mops;
+  row.avg_us = r.avg_latency_us;
+  row.p50_us = r.p50_latency_us;
+  row.p99_us = r.p99_latency_us;
+  row.p999_us = r.p999_latency_us;
+  row.errors = r.errors;
+  report().add(std::move(row));
+}
+
+// Throughput-only variant for benches that measure outside run_closed_loop
+// (e.g. the lock/sequencer loops of fig10).
+inline void point_mops(const std::string& series, const std::string& x,
+                       double mops) {
+  obs::BenchRow row;
+  row.series = series;
+  row.x = x;
+  row.mops = mops;
+  report().add(std::move(row));
+}
+
+// Called by RDMASEM_BENCH_MAIN after the paper table prints: names the
+// report after the binary, mirrors the table, writes the merged Chrome
+// trace (when tracing ran) and BENCH_<name>.json into RDMASEM_BENCH_OUT
+// (default "."; set to the empty string to disable file output).
+inline void finish(const char* argv0, const FigureCollector& collector) {
+  const std::string dir = util::env_str("RDMASEM_BENCH_OUT", ".");
+  if (dir.empty()) return;
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  obs::BenchReport& r = report();
+  r.set_name(name);
+  r.set_table(collector.title(), collector.header(), collector.rows());
+  const std::string stages = r.stages().render();
+  if (!stages.empty()) std::fputs(stages.c_str(), stdout);
+  if (!trace_spans().empty()) {
+    const std::string tpath = dir + "/trace_" + name + ".json";
+    if (obs::write_text_file(tpath, obs::chrome_trace_json(trace_spans())))
+      r.set_trace_file(tpath);
+  }
+  const std::string out = r.write(dir);
+  if (!out.empty()) std::fprintf(stderr, "bench report: %s\n", out.c_str());
+}
 
 // A microbench rig: machine0 -> machine1 with per-thread QPs over one
 // src/dst buffer pair (the §III experiments).
@@ -76,7 +162,9 @@ struct MicroRig {
     spec.window = window;
     spec.ops_per_client = ops_per_client;
     spec.make_wr = [proto](std::uint32_t, std::uint64_t) { return proto; };
-    return wl::run_closed_loop(rig.eng, spec);
+    wl::BenchResult r = wl::run_closed_loop(rig.eng, spec);
+    absorb(rig.cluster);
+    return r;
   }
 };
 
@@ -115,5 +203,6 @@ inline std::string errors_cell(const wl::BenchResult& r) {
     ::benchmark::RunSpecifiedBenchmarks();                    \
     ::benchmark::Shutdown();                                  \
     (collector).print();                                      \
+    ::rdmasem::bench::finish(argv[0], (collector));           \
     return 0;                                                 \
   }

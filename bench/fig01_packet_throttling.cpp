@@ -26,6 +26,7 @@ void BM_fig1(benchmark::State& state) {
   const auto size = static_cast<std::uint32_t>(state.range(0));
   Point p{};
   wl::BenchResult wr, rr;
+  const std::string x = util::fmt_bytes(size);
   for (auto _ : state) {
     {
       MicroRig rig(1 << 14, 1 << 14, 1);
@@ -34,24 +35,28 @@ void BM_fig1(benchmark::State& state) {
           bench::micro_ops(400));
       p.wlat = wres.avg_latency_us;
       p.wp99 = wres.p99_latency_us;
+      bench::point("write_lat", x, wres);
     }
     {
       MicroRig rig(1 << 14, 1 << 14, 1);
-      p.rlat = rig.run(wl::make_read(*rig.lmr, 0, *rig.rmr, 0, size), 1,
-                       bench::micro_ops(400))
-                   .avg_latency_us;
+      const auto rres = rig.run(wl::make_read(*rig.lmr, 0, *rig.rmr, 0, size),
+                                1, bench::micro_ops(400));
+      p.rlat = rres.avg_latency_us;
+      bench::point("read_lat", x, rres);
     }
     {
       MicroRig rig(1 << 14, 1 << 14, 4);
       wr = rig.run(wl::make_write(*rig.lmr, 0, *rig.rmr, 0, size), 16,
                    bench::micro_ops());
       p.wmops = wr.mops;
+      bench::point("write_tput", x, wr);
     }
     {
       MicroRig rig(1 << 14, 1 << 14, 4);
       rr = rig.run(wl::make_read(*rig.lmr, 0, *rig.rmr, 0, size), 16,
                    bench::micro_ops());
       p.rmops = rr.mops;
+      bench::point("read_tput", x, rr);
     }
     state.SetIterationTime(sim::to_sec(wr.elapsed + rr.elapsed));
   }

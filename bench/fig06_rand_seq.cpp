@@ -19,9 +19,12 @@ FigureCollector collector(
     "Fig. 6  Sequential vs random access (MOPS)",
     {"panel", "x", "seq-seq", "seq-rand", "rand-seq", "rand-rand"});
 
-// (src_random, dst_random) patterned ops over `region`-sized MRs.
-double pattern_mops(verbs::Opcode op, bool src_random, bool dst_random,
-                    std::size_t region, std::uint32_t size,
+// (src_random, dst_random) patterned ops over `region`-sized MRs. Records
+// a structured point under "<panel>:<pattern>" and folds the rig's
+// observability state into the bench report.
+double pattern_mops(const char* panel, const char* pattern,
+                    const std::string& x, verbs::Opcode op, bool src_random,
+                    bool dst_random, std::size_t region, std::uint32_t size,
                     std::uint64_t ops) {
   bench::MicroRig rig(region, region, 4);
   sim::Rng rng(13);
@@ -41,19 +44,23 @@ double pattern_mops(verbs::Opcode op, bool src_random, bool dst_random,
                ? wl::make_write(*rig.lmr, src_off, *rig.rmr, dst_off, size)
                : wl::make_read(*rig.lmr, src_off, *rig.rmr, dst_off, size);
   };
-  return wl::run_closed_loop(rig.rig.eng, spec).mops;
+  const wl::BenchResult r = wl::run_closed_loop(rig.rig.eng, spec);
+  bench::absorb(rig.rig.cluster);
+  bench::point(std::string(panel) + ":" + pattern, x, r);
+  return r.mops;
 }
 
 void sweep_panel(benchmark::State& state, verbs::Opcode op, const char* name) {
   const auto size = static_cast<std::uint32_t>(state.range(0));
   const std::size_t region = util::env_u64("RDMASEM_FIG6_REGION", 256u << 20);
   const std::uint64_t ops = bench::micro_ops(4000);
+  const std::string x = util::fmt_bytes(size);
   double ss = 0, sr = 0, rs = 0, rr = 0;
   for (auto _ : state) {
-    ss = pattern_mops(op, false, false, region, size, ops);
-    sr = pattern_mops(op, false, true, region, size, ops);
-    rs = pattern_mops(op, true, false, region, size, ops);
-    rr = pattern_mops(op, true, true, region, size, ops);
+    ss = pattern_mops(name, "seq-seq", x, op, false, false, region, size, ops);
+    sr = pattern_mops(name, "seq-rand", x, op, false, true, region, size, ops);
+    rs = pattern_mops(name, "rand-seq", x, op, true, false, region, size, ops);
+    rr = pattern_mops(name, "rand-rand", x, op, true, true, region, size, ops);
     state.SetIterationTime(1e-3);
   }
   state.counters["seq_seq"] = ss;
@@ -108,12 +115,18 @@ void BM_fig6c_local(benchmark::State& state) {
 void BM_fig6d_region(benchmark::State& state) {
   const std::size_t region = static_cast<std::size_t>(state.range(0)) << 10;
   const std::uint64_t ops = bench::micro_ops(4000);
+  const std::string x = util::fmt_bytes(region);
+  const auto op = verbs::Opcode::kWrite;
   double ss = 0, sr = 0, rs = 0, rr = 0;
   for (auto _ : state) {
-    ss = pattern_mops(verbs::Opcode::kWrite, false, false, region, 32, ops);
-    sr = pattern_mops(verbs::Opcode::kWrite, false, true, region, 32, ops);
-    rs = pattern_mops(verbs::Opcode::kWrite, true, false, region, 32, ops);
-    rr = pattern_mops(verbs::Opcode::kWrite, true, true, region, 32, ops);
+    ss = pattern_mops("d:region", "seq-seq", x, op, false, false, region, 32,
+                      ops);
+    sr = pattern_mops("d:region", "seq-rand", x, op, false, true, region, 32,
+                      ops);
+    rs = pattern_mops("d:region", "rand-seq", x, op, true, false, region, 32,
+                      ops);
+    rr = pattern_mops("d:region", "rand-rand", x, op, true, true, region, 32,
+                      ops);
     state.SetIterationTime(1e-3);
   }
   state.counters["seq_seq"] = ss;

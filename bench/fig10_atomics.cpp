@@ -46,6 +46,7 @@ double local_lock_mops(std::uint32_t threads) {
     rig.eng.spawn(worker(rig, lock, t, acq, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(acq) / sim::to_us(end);
 }
 
@@ -74,6 +75,7 @@ double remote_lock_mops(std::uint32_t threads, bool backoff) {
     rig.eng.spawn(worker(rig, *locks.back(), acq, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(acq) / sim::to_us(end);
 }
 
@@ -104,6 +106,7 @@ double rpc_lock_mops(std::uint32_t threads) {
     rig.eng.spawn(worker(rig, *clients.back(), acq, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(acq) / sim::to_us(end);
 }
 
@@ -127,6 +130,7 @@ double local_seq_mops(std::uint32_t threads) {
     rig.eng.spawn(worker(rig, seq, t, n, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(n) / sim::to_us(end);
 }
 
@@ -152,6 +156,7 @@ double remote_seq_mops(std::uint32_t threads) {
     rig.eng.spawn(worker(rig, *seqs.back(), n, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(n) / sim::to_us(end);
 }
 
@@ -180,6 +185,7 @@ double rpc_seq_mops(std::uint32_t threads) {
     rig.eng.spawn(worker(rig, *clients.back(), n, end));
   }
   rig.eng.run();
+  bench::absorb(rig.cluster);
   return static_cast<double>(n) / sim::to_us(end);
 }
 
@@ -200,6 +206,14 @@ void BM_fig10(benchmark::State& state) {
   state.counters["lock_remote"] = rl;
   state.counters["lock_remote_backoff"] = rlb;
   state.counters["seq_remote"] = rs;
+  const std::string x = std::to_string(threads);
+  bench::point_mops("lock:local", x, ll);
+  bench::point_mops("lock:remote", x, rl);
+  bench::point_mops("lock:remote+bo", x, rlb);
+  bench::point_mops("lock:rpc", x, pl);
+  bench::point_mops("seq:local", x, ls);
+  bench::point_mops("seq:remote", x, rs);
+  bench::point_mops("seq:rpc", x, ps);
   collector.add({std::to_string(threads), util::fmt(ll), util::fmt(rl),
                  util::fmt(rlb), util::fmt(pl), util::fmt(ls), util::fmt(rs),
                  util::fmt(ps)});

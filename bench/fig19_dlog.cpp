@@ -27,6 +27,9 @@ double run_log(std::uint32_t engines, std::uint32_t batch, bool numa) {
   dl::DistributedLog log(rig.contexts(), cfg);
   const auto r = log.run();
   RDMASEM_CHECK_MSG(log.verify_dense_and_intact(), "log corrupted");
+  bench::absorb(rig.cluster);
+  bench::point_mops(std::to_string(engines) + "eng" + (numa ? "" : "*"),
+                    std::to_string(batch), r.mops);
   return r.mops;
 }
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Schema check for the bench harness's machine-readable output.
+
+Validates BENCH_<name>.json files (schema rdmasem-bench-v1, emitted by
+obs::BenchReport via bench_common.hpp) and, when a report references a
+Chrome trace file, the trace JSON too. Stdlib only — runs anywhere CI
+does.
+
+Usage: check_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+Exits non-zero on the first malformed file.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "rdmasem-bench-v1"
+
+POINT_KEYS = {
+    "series": str,
+    "x": str,
+    "mops": (int, float),
+    "avg_us": (int, float),
+    "p50_us": (int, float),
+    "p99_us": (int, float),
+    "p999_us": (int, float),
+    "errors": int,
+}
+
+STAGE_KEYS = {
+    "stage": str,
+    "count": int,
+    "total_us": (int, float),
+    "avg_ns": (int, float),
+    "share": (int, float),
+}
+
+STAGES = {
+    "post", "doorbell", "wqe_fetch", "translate", "exec", "local_dma",
+    "wire", "remote_rx", "remote_dram", "response", "cqe",
+}
+
+
+def fail(path, msg):
+    raise SystemExit(f"{path}: {msg}")
+
+
+def check_typed_dict(path, what, obj, keys):
+    if not isinstance(obj, dict):
+        fail(path, f"{what} is not an object: {obj!r}")
+    for key, types in keys.items():
+        if key not in obj:
+            fail(path, f"{what} missing key {key!r}")
+        if not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            fail(path, f"{what}[{key!r}] has wrong type: {obj[key]!r}")
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+    for ev in events:
+        check_typed_dict(path, "event", ev,
+                         {"name": str, "ph": str, "ts": (int, float),
+                          "pid": int, "tid": int})
+        if ev["name"] not in STAGES:
+            fail(path, f"unknown stage name {ev['name']!r}")
+        if ev["ph"] not in ("X", "i"):
+            fail(path, f"unexpected phase {ev['ph']!r}")
+        if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
+            fail(path, "complete event without dur")
+    print(f"ok: {path} ({len(events)} events)")
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    if report.get("schema") != SCHEMA:
+        fail(path, f"schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(report.get("bench"), str) or not report["bench"]:
+        fail(path, "bench name missing")
+
+    table = report.get("table")
+    if not isinstance(table, dict):
+        fail(path, "table missing")
+    columns = table.get("columns")
+    if not isinstance(columns, list) or not all(
+            isinstance(c, str) for c in columns):
+        fail(path, "table.columns malformed")
+    rows = table.get("rows")
+    if not isinstance(rows, list):
+        fail(path, "table.rows malformed")
+    for row in rows:
+        if not isinstance(row, list) or len(row) != len(columns):
+            fail(path, f"table row does not match columns: {row!r}")
+
+    points = report.get("points")
+    if not isinstance(points, list):
+        fail(path, "points malformed")
+    for p in points:
+        check_typed_dict(path, "point", p, POINT_KEYS)
+
+    stages = report.get("stages")
+    if not isinstance(stages, list):
+        fail(path, "stages malformed")
+    for s in stages:
+        check_typed_dict(path, "stage row", s, STAGE_KEYS)
+        if s["stage"] not in STAGES:
+            fail(path, f"unknown stage {s['stage']!r}")
+
+    if not rows and not points:
+        fail(path, "report has neither table rows nor points")
+
+    trace_file = report.get("trace_file")
+    if trace_file is not None:
+        if not isinstance(trace_file, str):
+            fail(path, "trace_file must be null or a string")
+        if not stages:
+            fail(path, "trace_file present but stage breakdown empty")
+        resolved = trace_file if os.path.isabs(trace_file) else os.path.join(
+            os.path.dirname(os.path.abspath(path)),
+            os.path.basename(trace_file))
+        if not os.path.exists(resolved):
+            fail(path, f"trace file {trace_file!r} not found")
+        check_trace(resolved)
+
+    metrics = report.get("metrics")
+    if metrics is not None:
+        for section in ("counters", "gauges", "histograms", "series"):
+            if section not in metrics:
+                fail(path, f"metrics missing {section!r}")
+
+    print(f"ok: {path} ({len(points)} points, {len(stages)} stages)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    for path in argv[1:]:
+        check_report(path)
+    print(f"all {len(argv) - 1} report(s) valid")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -26,6 +26,7 @@ Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
   for (MachineId m = 0; m < params.machines; ++m)
     machines_.push_back(std::make_unique<Machine>(engine, p_, m));
   fabric_.set_faults(&faults_);
+  register_gauges();
   // A stalled RNIC stops fetching WQEs, processing inbound packets and
   // serving atomics for the stall window: occupy one full window on every
   // pipeline resource so in-flight and queued work waits it out.
@@ -39,6 +40,52 @@ Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
     }
     r.dma().reserve(ev.duration);
   });
+}
+
+// Every shared hardware resource is exposed as a pull-gauge: the registry
+// polls the live object at sample time, so steady-state simulation pays
+// nothing for having 100+ gauges registered.
+void Cluster::register_gauges() {
+  auto& m = obs_.metrics;
+  m.gauge("fabric.messages",
+          [this] { return static_cast<double>(fabric_.messages()); });
+  m.gauge("fabric.bytes",
+          [this] { return static_cast<double>(fabric_.bytes()); });
+  m.gauge("fabric.drops",
+          [this] { return static_cast<double>(fabric_.drops()); });
+  for (MachineId id = 0; id < size(); ++id) {
+    Machine* mach = machines_[id].get();
+    const std::string base = "m" + std::to_string(id) + ".";
+    auto& rnic = mach->rnic();
+    for (std::uint32_t p = 0; p < rnic.port_count(); ++p) {
+      const std::string pb = base + "p" + std::to_string(p) + ".";
+      auto* port = &rnic.port(p);
+      m.gauge(pb + "eu_util", [port] { return port->eu.utilization(); });
+      m.gauge(pb + "eu_requests", [port] {
+        return static_cast<double>(port->eu.requests());
+      });
+      m.gauge(pb + "rx_util", [port] { return port->rx.utilization(); });
+      m.gauge(pb + "atomic_util",
+              [port] { return port->atomic_unit.utilization(); });
+      m.gauge(pb + "tx_drops", [this, id, p] {
+        return static_cast<double>(fabric_.link_drops(id, p));
+      });
+    }
+    m.gauge(base + "dma_util",
+            [mach] { return mach->rnic().dma().utilization(); });
+    m.gauge(base + "mcache_hits", [mach] {
+      return static_cast<double>(mach->rnic().mcache().hits());
+    });
+    m.gauge(base + "mcache_misses", [mach] {
+      return static_cast<double>(mach->rnic().mcache().misses());
+    });
+    m.gauge(base + "mcache_hit_rate",
+            [mach] { return mach->rnic().mcache().hit_rate(); });
+    for (hw::SocketId s = 0; s < p_.sockets_per_machine; ++s)
+      m.gauge(base + "mem" + std::to_string(s) + "_util", [mach, s] {
+        return mach->mem_channel(s).utilization();
+      });
+  }
 }
 
 }  // namespace rdmasem::cluster

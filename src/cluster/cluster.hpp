@@ -12,6 +12,7 @@
 #include "hw/numa.hpp"
 #include "hw/params.hpp"
 #include "net/fabric.hpp"
+#include "obs/hub.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -67,6 +68,10 @@ class Cluster {
   fault::FaultInjector& injector() { return injector_; }
   // Convenience: schedule a whole plan on the virtual clock.
   void inject(const fault::FaultPlan& plan) { injector_.schedule(plan); }
+  // Observability root: metrics registry (fabric/RNIC/memory gauges are
+  // pre-registered at construction; layers push counters) and the per-WR
+  // lifecycle tracer (off unless RDMASEM_TRACE=1 or set_enabled).
+  obs::Hub& obs() { return obs_; }
   Machine& machine(MachineId m) { return *machines_.at(m); }
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(machines_.size());
@@ -76,8 +81,11 @@ class Cluster {
   std::uint64_t next_qp_id() { return ++qp_id_; }
 
  private:
+  void register_gauges();
+
   sim::Engine& engine_;
   hw::ModelParams p_;
+  obs::Hub obs_;
   fault::FaultState faults_;
   fault::FaultInjector injector_;
   net::Fabric fabric_;

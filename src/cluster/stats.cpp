@@ -9,14 +9,20 @@ StatsReport StatsReport::capture(Cluster& cluster) {
   r.captured_at = cluster.engine().now();
   r.fabric_messages = cluster.fabric().messages();
   r.fabric_bytes = cluster.fabric().bytes();
+  obs::Hub& hub = cluster.obs();
+  r.faults.fabric_drops = cluster.fabric().drops();
+  r.faults.retransmits = hub.retransmits.value();
+  r.faults.retry_exhausted = hub.retry_exhausted.value();
+  r.faults.flushed_wrs = hub.wr_flushed.value();
+  r.faults.rnr_naks = hub.rnr_naks.value();
   for (MachineId m = 0; m < cluster.size(); ++m) {
     Machine& mach = cluster.machine(m);
     auto& rnic = mach.rnic();
     for (std::uint32_t p = 0; p < rnic.port_count(); ++p) {
       auto& port = rnic.port(p);
       r.ports.push_back({m, p, port.eu.utilization(), port.rx.utilization(),
-                         port.atomic_unit.utilization(),
-                         port.eu.requests()});
+                         port.atomic_unit.utilization(), port.eu.requests(),
+                         cluster.fabric().link_drops(m, p)});
     }
     MachineStats ms;
     ms.machine = m;
@@ -40,7 +46,7 @@ const StatsReport::PortStats* StatsReport::hottest_port() const {
 
 std::string StatsReport::render() const {
   util::Table t({"machine", "port", "eu", "rx", "atomic", "dma", "mem0",
-                 "mem1", "mcache_hit"});
+                 "mem1", "mcache_hit", "tx_drops"});
   t.set_title("cluster stats @ " + util::fmt(sim::to_us(captured_at)) +
               " us");
   for (const auto& p : ports) {
@@ -54,11 +60,17 @@ std::string StatsReport::render() const {
                util::fmt(m.mem_channel_util.size() > 1
                              ? m.mem_channel_util[1]
                              : 0.0),
-               util::fmt(m.mcache_hit_rate, 3)});
+               util::fmt(m.mcache_hit_rate, 3),
+               std::to_string(p.tx_drops)});
   }
   std::string out = t.render();
   out += "fabric: " + std::to_string(fabric_messages) + " messages, " +
          std::to_string(fabric_bytes) + " payload bytes\n";
+  out += "faults: " + std::to_string(faults.fabric_drops) + " drops, " +
+         std::to_string(faults.retransmits) + " retransmits, " +
+         std::to_string(faults.retry_exhausted) + " retry-exhausted, " +
+         std::to_string(faults.flushed_wrs) + " flushed WRs, " +
+         std::to_string(faults.rnr_naks) + " RNR NAKs\n";
   return out;
 }
 

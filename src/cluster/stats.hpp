@@ -21,6 +21,17 @@ struct StatsReport {
     double rx_util;
     double atomic_util;
     std::uint64_t eu_requests;
+    // Messages lost on this port's uplink (fault injection / loss knob).
+    std::uint64_t tx_drops;
+  };
+  // Cluster-wide fault/retry totals folded in from the obs hub — the
+  // PR-1 failure machinery summarized next to the utilization numbers.
+  struct FaultTotals {
+    std::uint64_t fabric_drops = 0;     // lost transits (all links)
+    std::uint64_t retransmits = 0;      // QP go-back-N retransmissions
+    std::uint64_t retry_exhausted = 0;  // WRs failed after retry budget
+    std::uint64_t flushed_wrs = 0;      // WRs flushed by QPs in ERROR
+    std::uint64_t rnr_naks = 0;         // SEND receiver-not-ready NAKs
   };
   struct MachineStats {
     MachineId machine;
@@ -36,6 +47,7 @@ struct StatsReport {
   std::vector<MachineStats> machines;
   std::uint64_t fabric_messages = 0;
   std::uint64_t fabric_bytes = 0;
+  FaultTotals faults;
 
   // Collects a snapshot from a live cluster.
   static StatsReport capture(Cluster& cluster);

@@ -12,6 +12,7 @@ Fabric::Fabric(sim::Engine& engine, const hw::ModelParams& params,
     tx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_tx"));
     rx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_rx"));
   }
+  link_drops_.assign(n, 0);
 }
 
 sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
@@ -38,6 +39,7 @@ bool Fabric::dropped(MachineId src, PortId sport, MachineId dst, PortId dport) {
   if (faults_ != nullptr && faults_->active()) {
     if (faults_->blocked(src, sport, dst, dport)) {
       ++drops_;
+      ++link_drops_[index(src, sport)];
       return true;  // no path: crashed node, dead link or partition
     }
     const double burst = faults_->loss_override(src, sport, dst, dport);
@@ -45,7 +47,10 @@ bool Fabric::dropped(MachineId src, PortId sport, MachineId dst, PortId dport) {
   }
   if (prob <= 0.0) return false;
   const bool lost = engine_.rng().chance(prob);
-  if (lost) ++drops_;
+  if (lost) {
+    ++drops_;
+    ++link_drops_[index(src, sport)];
+  }
   return lost;
 }
 

@@ -54,6 +54,11 @@ class Fabric {
   std::uint64_t messages() const { return messages_; }
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t drops() const { return drops_; }
+  // Drops attributed to the (m, p) -> switch uplink (the sender side of
+  // the lost transit). Sums to drops() across all links.
+  std::uint64_t link_drops(MachineId m, PortId p) const {
+    return link_drops_[index(m, p)];
+  }
 
  private:
   std::size_t index(MachineId m, PortId p) const {
@@ -69,6 +74,7 @@ class Fabric {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_ = 0;
+  std::vector<std::uint64_t> link_drops_;  // indexed like tx_
 };
 
 }  // namespace rdmasem::net

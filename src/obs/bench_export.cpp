@@ -1,0 +1,82 @@
+#include "obs/bench_export.hpp"
+
+#include "obs/json.hpp"
+
+namespace rdmasem::obs {
+
+void BenchReport::set_table(std::string title,
+                            std::vector<std::string> columns,
+                            std::vector<std::vector<std::string>> rows) {
+  table_title_ = std::move(title);
+  table_columns_ = std::move(columns);
+  table_rows_ = std::move(rows);
+}
+
+std::string BenchReport::json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": " + json_str(kSchema) + ",\n";
+  out += "  \"bench\": " + json_str(name_) + ",\n";
+
+  out += "  \"table\": {\n    \"title\": " + json_str(table_title_) +
+         ",\n    \"columns\": [";
+  for (std::size_t i = 0; i < table_columns_.size(); ++i)
+    out += (i ? ", " : "") + json_str(table_columns_[i]);
+  out += "],\n    \"rows\": [";
+  for (std::size_t i = 0; i < table_rows_.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    out += "[";
+    for (std::size_t c = 0; c < table_rows_[i].size(); ++c)
+      out += (c ? ", " : "") + json_str(table_rows_[i][c]);
+    out += "]";
+  }
+  out += table_rows_.empty() ? "]\n  },\n" : "\n    ]\n  },\n";
+
+  out += "  \"points\": [";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const BenchRow& p = points_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"series\": " + json_str(p.series) + ", \"x\": " + json_str(p.x) +
+           ", \"mops\": " + json_num(p.mops, 4) +
+           ", \"avg_us\": " + json_num(p.avg_us, 4) +
+           ", \"p50_us\": " + json_num(p.p50_us, 4) +
+           ", \"p99_us\": " + json_num(p.p99_us, 4) +
+           ", \"p999_us\": " + json_num(p.p999_us, 4) +
+           ", \"errors\": " + std::to_string(p.errors) + "}";
+  }
+  out += points_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"stages\": [";
+  bool first = true;
+  const double grand = static_cast<double>(stages_.grand_total());
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto& r = stages_.rows[i];
+    if (r.count == 0) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    const double total = static_cast<double>(r.total);
+    out += "{\"stage\": " + json_str(to_string(static_cast<Stage>(i))) +
+           ", \"count\": " + std::to_string(r.count) +
+           ", \"total_us\": " + json_num(sim::to_us(r.total), 3) +
+           ", \"avg_ns\": " +
+           json_num(total / static_cast<double>(r.count) / 1000.0, 1) +
+           ", \"share\": " + json_num(grand > 0 ? total / grand : 0.0, 4) +
+           "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"trace_file\": " +
+         (trace_file_.empty() ? std::string("null") : json_str(trace_file_)) +
+         ",\n";
+  out += "  \"metrics\": " +
+         (metrics_json_.empty() ? std::string("null") : metrics_json_) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/BENCH_" + name_ + ".json";
+  return write_text_file(path, json()) ? path : std::string();
+}
+
+}  // namespace rdmasem::obs

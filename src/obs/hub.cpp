@@ -1,0 +1,28 @@
+#include "obs/hub.hpp"
+
+#include "util/env.hpp"
+
+namespace rdmasem::obs {
+
+Hub::Hub()
+    : wr_posted(metrics.counter("verbs.wr.posted")),
+      wr_completed(metrics.counter("verbs.wr.completed")),
+      wr_failed(metrics.counter("verbs.wr.failed")),
+      wr_flushed(metrics.counter("verbs.wr.flushed")),
+      retry_exhausted(metrics.counter("verbs.wr.retry_exhausted")),
+      retransmits(metrics.counter("verbs.qp.retransmits")),
+      backoff_ps(metrics.counter("verbs.qp.backoff_ps")),
+      rnr_naks(metrics.counter("verbs.qp.rnr_naks")),
+      consolidate_staged(metrics.counter("remem.consolidate.staged")),
+      consolidate_merges(metrics.counter("remem.consolidate.merges")),
+      consolidate_flushes(metrics.counter("remem.consolidate.flushes")),
+      proxy_hops(metrics.counter("remem.numa.proxy_hops")),
+      proxy_direct(metrics.counter("remem.numa.direct")),
+      cas_attempts(metrics.counter("remem.atomics.cas_attempts")),
+      cas_failures(metrics.counter("remem.atomics.cas_failures")),
+      wr_latency_ns(metrics.histogram("verbs.wr.latency_ns")) {
+  tracer.set_enabled(util::env_bool("RDMASEM_TRACE", false));
+  tracer.set_capacity(util::env_u64("RDMASEM_TRACE_MAX_SPANS", 1u << 22));
+}
+
+}  // namespace rdmasem::obs

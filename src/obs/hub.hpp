@@ -1,0 +1,48 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rdmasem::obs {
+
+// Hub — the per-cluster observability root: one metrics registry plus
+// one WR-lifecycle tracer. The Cluster owns a Hub and every layer above
+// sim reaches it through cluster.obs().
+//
+// Hot-path counters are resolved once at construction and cached as
+// references, so the instrumented fast paths (QP completion, retransmit,
+// consolidation staging) never do a name lookup. Counters are always on:
+// a 64-bit increment cannot perturb the virtual clock, so fault-free runs
+// stay trace-identical with or without observers (the zero-cost
+// contract). Tracing is off by default and toggled by RDMASEM_TRACE=1 or
+// Tracer::set_enabled.
+struct Hub {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  // verbs: WR lifecycle and failure handling
+  Counter& wr_posted;
+  Counter& wr_completed;
+  Counter& wr_failed;          // any non-success completion
+  Counter& wr_flushed;         // kWrFlushedError completions
+  Counter& retry_exhausted;    // kRetryExceeded completions
+  Counter& retransmits;        // RC transport retransmissions
+  Counter& backoff_ps;         // total retransmit backoff (picoseconds)
+  Counter& rnr_naks;           // SEND receiver-not-ready NAK rounds
+  // remem: semantic-layer strategies
+  Counter& consolidate_staged;
+  Counter& consolidate_merges;   // writes absorbed into an already-dirty block
+  Counter& consolidate_flushes;
+  Counter& proxy_hops;           // §III-D inter-socket proxy handoffs
+  Counter& proxy_direct;
+  Counter& cas_attempts;
+  Counter& cas_failures;         // lost CAS races = atomics contention
+  // per-WR post-to-CQE latency (nanoseconds)
+  util::Log2Histogram& wr_latency_ns;
+
+  Hub();
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+};
+
+}  // namespace rdmasem::obs

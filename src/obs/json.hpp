@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdmasem::obs {
+
+// Deterministic JSON formatting helpers. Every exporter in the
+// observability layer goes through these so that two identical runs
+// produce byte-identical files (the trace-determinism contract): fixed
+// precision, no locale, no pointer-keyed ordering anywhere.
+
+// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+// `"s"` with escaping.
+std::string json_str(const std::string& s);
+
+// Fixed-precision decimal rendering of a double ("%.{prec}f", C locale).
+std::string json_num(double v, int precision = 6);
+
+// Picoseconds rendered as microseconds with exact 6-digit fraction
+// (integer math — no floating-point rounding drift between runs).
+std::string us_from_ps(std::uint64_t ps);
+
+// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace rdmasem::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rdmasem::obs {
+
+// Lifecycle stages of one work request through the simulated RDMA stack,
+// in pipeline order (DESIGN.md §5). Spans carry a begin/end pair on the
+// picosecond clock; kDoorbell and kCqe are instants (begin == end).
+enum class Stage : std::uint8_t {
+  kPost = 0,    // CPU: WQE prep + doorbell MMIO (QueuePair::post/execute)
+  kDoorbell,    // instant: WQEs become visible to the RNIC
+  kWqeFetch,    // RNIC DMA-reads the descriptor ring (skipped by BlueFlame)
+  kTranslate,   // metadata-cache miss stalls (PTE / MR / QP fills)
+  kExec,        // send-side execution-unit occupancy (§III-A throttling)
+  kLocalDma,    // payload DMA between host memory and the local RNIC
+  kWire,        // serialization + propagation + switch, incl. retransmits
+  kRemoteRx,    // remote inbound packet processing
+  kRemoteDram,  // remote-side translation, DMA and DRAM/atomic work
+  kResponse,    // ACK / read-response / atomic-response return leg
+  kCqe,         // instant: completion delivered to the CQ / waiter
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCqe) + 1;
+
+const char* to_string(Stage s);
+
+// One stamped interval of one WR's life. 40 bytes; a traced bench run
+// produces O(ops * 8) of these.
+struct Span {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  std::uint64_t wr_id = 0;
+  std::uint64_t qp_id = 0;
+  std::uint32_t machine = 0;  // requester machine = trace process id
+  Stage stage = Stage::kPost;
+  std::uint8_t opcode = 0;    // verbs::Opcode, kept raw to stay layer-clean
+};
+
+// Aggregated per-stage totals — the "where did the cycles go" table the
+// paper's figures are explained with.
+struct StageBreakdown {
+  struct Row {
+    std::uint64_t count = 0;
+    sim::Duration total = 0;
+  };
+  std::array<Row, kStageCount> rows{};
+  std::uint64_t spans = 0;
+
+  void add(const Span& s);
+  void merge(const StageBreakdown& other);
+  // Sum of all interval-stage durations (instants contribute 0).
+  sim::Duration grand_total() const;
+  // Fixed-width table: stage, count, total_us, avg_ns, share. Empty
+  // string when nothing was recorded.
+  std::string render() const;
+};
+
+// Tracer — the per-cluster WR lifecycle recorder. Disabled by default;
+// when disabled every stamp call is a single predicted branch and no
+// memory is touched. Stamping never schedules events, never reads the
+// RNG and never delays a coroutine, so enabling tracing cannot perturb
+// the virtual-clock timeline (the zero-cost contract, asserted by
+// obs_test.cpp and the determinism suites).
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  // Bounds memory: spans beyond the cap are counted in dropped().
+  void set_capacity(std::size_t max_spans) { capacity_ = max_spans; }
+
+  void span(Stage stage, sim::Time begin, sim::Time end, std::uint64_t wr_id,
+            std::uint64_t qp_id, std::uint32_t machine, std::uint8_t opcode) {
+    if (!enabled_) return;
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back({begin, end, wr_id, qp_id, machine, stage, opcode});
+  }
+  void instant(Stage stage, sim::Time at, std::uint64_t wr_id,
+               std::uint64_t qp_id, std::uint32_t machine,
+               std::uint8_t opcode) {
+    span(stage, at, at, wr_id, qp_id, machine, opcode);
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t dropped() const { return dropped_; }
+  // Moves the recorded spans out (e.g. into a bench-wide sink) and
+  // resets the buffer.
+  std::vector<Span> drain();
+  void clear();
+
+  StageBreakdown breakdown() const;
+  // Chrome trace-event JSON ({"traceEvents":[...]}), loadable by
+  // Perfetto (ui.perfetto.dev) and chrome://tracing. Byte-deterministic
+  // for identical runs.
+  std::string chrome_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 1u << 22;  // ~168 MB worst case; benches drain
+  std::uint64_t dropped_ = 0;
+  std::vector<Span> spans_;
+};
+
+// The same JSON for an externally accumulated span list (bench harness
+// merges spans from many per-sweep-point clusters into one file).
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              const char* (*opcode_name)(std::uint8_t) =
+                                  nullptr);
+
+}  // namespace rdmasem::obs

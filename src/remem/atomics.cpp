@@ -1,5 +1,7 @@
 #include "remem/atomics.hpp"
 
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
 #include "util/assert.hpp"
 
 namespace rdmasem::remem {
@@ -24,12 +26,15 @@ sim::TaskT<Outcome<std::uint32_t>> RemoteSpinlock::lock() {
     wr.swap_or_add = 1;
     ++attempts;
     ++cas_attempts_;
+    obs::Hub& hub = qp_.context().cluster().obs();
+    hub.cas_attempts.inc();
     const auto c = co_await qp_.execute(std::move(wr));
     if (!c.ok()) co_return c.status;
     if (c.atomic_old == 0) {
       ++acquisitions_;
       co_return attempts;
     }
+    hub.cas_failures.inc();  // lock was held: the CAS lost the race
     const auto d = backoff_.delay_for(attempts);
     if (d) co_await sim::delay(qp_.context().engine(), d);
   }
@@ -67,12 +72,15 @@ sim::TaskT<Outcome<std::uint32_t>> RemoteLockClient::lock(
     wr.swap_or_add = 1;
     ++attempts;
     ++cas_attempts_;
+    obs::Hub& hub = qp_.context().cluster().obs();
+    hub.cas_attempts.inc();
     const auto c = co_await qp_.execute(std::move(wr));
     if (!c.ok()) co_return c.status;
     if (c.atomic_old == 0) {
       ++acquisitions_;
       co_return attempts;
     }
+    hub.cas_failures.inc();  // lock was held: the CAS lost the race
     const auto d = backoff_.delay_for(attempts);
     if (d) co_await sim::delay(qp_.context().engine(), d);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
 #include "util/assert.hpp"
 
 namespace rdmasem::remem {
@@ -37,6 +39,7 @@ sim::TaskT<verbs::Status> Consolidator::write(std::uint64_t off,
   std::memcpy(shadow_.data() + off, data.data(), data.size());
   co_await sim::delay(eng, p.memcpy_time(data.size()));
 
+  obs::Hub& hub = qp_.context().cluster().obs();
   BlockState& st = blocks_[block];
   if (st.dirty_lo == st.dirty_hi) {  // first dirt in this block
     st.dirty_lo = off;
@@ -44,9 +47,11 @@ sim::TaskT<verbs::Status> Consolidator::write(std::uint64_t off,
   } else {
     st.dirty_lo = std::min(st.dirty_lo, off);
     st.dirty_hi = std::max(st.dirty_hi, off + data.size());
+    hub.consolidate_merges.inc();  // absorbed into an already-dirty block
   }
   ++st.pending;
   ++stats_.staged_writes;
+  hub.consolidate_staged.inc();
 
   if (st.pending >= cfg_.theta) {
     if (cfg_.async_flush) {
@@ -100,6 +105,7 @@ sim::TaskT<verbs::Status> Consolidator::flush_block(std::uint64_t block) {
   wr.rkey = rkey_;
   ++stats_.flushes;
   stats_.flushed_bytes += hi - lo;
+  qp_.context().cluster().obs().consolidate_flushes.inc();
   const auto c = co_await qp_.execute(std::move(wr));
   if (!c.ok()) {
     ++stats_.failed_flushes;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
 #include "util/assert.hpp"
 
 namespace rdmasem::remem {
@@ -84,11 +86,14 @@ sim::TaskT<verbs::Completion> ProxySocketRouter::submit(
     hw::SocketId caller_socket, hw::SocketId target_socket,
     std::uint32_t remote_machine, verbs::WorkRequest wr) {
   Route* route = route_for(target_socket, remote_machine);
+  obs::Hub& hub = route->qp->context().cluster().obs();
   if (caller_socket == target_socket) {
     ++direct_;
+    hub.proxy_direct.inc();
     co_return co_await route->qp->execute(std::move(wr));
   }
   ++proxied_;
+  hub.proxy_hops.inc();
   auto& ctx = route->qp->context();
   const std::size_t total = wr.total_length();
   RDMASEM_CHECK_MSG(total <= kSlotBytes, "proxied WR exceeds staging slot");

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "net/fabric.hpp"
+#include "obs/hub.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 
@@ -108,6 +109,7 @@ void QueuePair::fail_wr(const WorkRequest& wr, Status st) {
 sim::Task QueuePair::flush_posted_wr(WorkRequest wr) {
   // Runs as a spawned task (never inline from post_send) so that an
   // execute() caller registers its wait() before the completion fires.
+  if (wr.posted_at == 0) wr.posted_at = ctx_.engine().now();
   complete(wr, Status::kWrFlushedError, 0);
   co_return;
 }
@@ -120,6 +122,12 @@ void QueuePair::post_send(const WorkRequest& wr) {
   }
   RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
   ++outstanding_;
+  obs::Hub& hub = ctx_.cluster().obs();
+  hub.wr_posted.inc();
+  if (hub.tracer.enabled())
+    hub.tracer.instant(obs::Stage::kDoorbell, ctx_.engine().now(), wr.wr_id,
+                       id_, ctx_.machine().id(),
+                       static_cast<std::uint8_t>(wr.opcode));
   if (state_ == QpState::kError) {
     ctx_.engine().spawn(flush_posted_wr(wr));
     return;
@@ -128,6 +136,12 @@ void QueuePair::post_send(const WorkRequest& wr) {
 }
 
 void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
+  obs::Hub& hub = ctx_.cluster().obs();
+  hub.wr_posted.inc(wrs.size());
+  if (hub.tracer.enabled() && !wrs.empty())
+    hub.tracer.instant(obs::Stage::kDoorbell, ctx_.engine().now(),
+                       wrs.front().wr_id, id_, ctx_.machine().id(),
+                       static_cast<std::uint8_t>(wrs.front().opcode));
   for (const auto& wr : wrs) {
     if (cfg_.transport == Transport::kUD) {
       RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
@@ -160,7 +174,12 @@ sim::Duration QueuePair::post_cost(std::size_t n_wrs,
 
 sim::TaskT<void> QueuePair::post(WorkRequest wr) {
   const std::size_t inl = wr.inline_data ? wr.total_length() : 0;
+  const sim::Time t0 = ctx_.engine().now();
   co_await sim::delay(ctx_.engine(), post_cost(1, inl));
+  obs::Tracer& tr = ctx_.cluster().obs().tracer;
+  if (tr.enabled())
+    tr.span(obs::Stage::kPost, t0, ctx_.engine().now(), wr.wr_id, id_,
+            ctx_.machine().id(), static_cast<std::uint8_t>(wr.opcode));
   post_send(wr);
 }
 
@@ -181,7 +200,13 @@ sim::TaskT<Completion> QueuePair::execute_batch(std::vector<WorkRequest> wrs) {
   }
   wrs.back().signaled = true;
   const std::uint64_t wid = wrs.back().wr_id;
+  const sim::Time t0 = ctx_.engine().now();
   co_await sim::delay(ctx_.engine(), post_cost(wrs.size(), inl));
+  obs::Tracer& tr = ctx_.cluster().obs().tracer;
+  if (tr.enabled())
+    tr.span(obs::Stage::kPost, t0, ctx_.engine().now(), wid, id_,
+            ctx_.machine().id(),
+            static_cast<std::uint8_t>(wrs.back().opcode));
   post_send_batch(wrs);
   co_return co_await wait(wid);
 }
@@ -215,6 +240,18 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   ++ops_completed_;
   bytes_completed_ += bytes;
   if (st == Status::kWrFlushedError) ++flushed_wrs_;
+  obs::Hub& hub = ctx_.cluster().obs();
+  hub.wr_completed.inc();
+  if (st != Status::kSuccess) hub.wr_failed.inc();
+  if (st == Status::kWrFlushedError) hub.wr_flushed.inc();
+  if (st == Status::kRetryExceeded) hub.retry_exhausted.inc();
+  const sim::Time now = ctx_.engine().now();
+  if (wr.posted_at != 0 && now >= wr.posted_at)
+    hub.wr_latency_ns.add((now - wr.posted_at) / sim::kNanosecond);
+  if (hub.tracer.enabled())
+    hub.tracer.instant(obs::Stage::kCqe, now, wr.wr_id, id_,
+                       ctx_.machine().id(),
+                       static_cast<std::uint8_t>(wr.opcode));
   Completion c;
   c.wr_id = wr.wr_id;
   c.status = st;
@@ -248,6 +285,7 @@ sim::TaskT<bool> QueuePair::deliver(std::uint32_t src_machine,
   auto& eng = ctx_.engine();
   const auto& P = ctx_.params();
   auto& fabric = ctx_.cluster().fabric();
+  obs::Hub& hub = ctx_.cluster().obs();
   sim::Duration backoff = P.rc_retransmit;
   for (std::uint32_t attempt = 0;; ++attempt) {
     co_await fabric.transit(src_machine, sport, dst_machine, dport, bytes);
@@ -257,6 +295,8 @@ sim::TaskT<bool> QueuePair::deliver(std::uint32_t src_machine,
     if (cfg_.retry_cnt != kInfiniteRetry && attempt >= cfg_.retry_cnt)
       co_return false;
     ++retransmits_;
+    hub.retransmits.inc();
+    hub.backoff_ps.inc(backoff);
     co_await sim::delay(eng, backoff);
     backoff = std::min(backoff * 2, P.rc_retransmit_cap);
   }
@@ -295,6 +335,18 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   auto& lm = ctx_.machine();
   auto& lr = lm.rnic();
   auto& lport = lr.port(cfg_.port);
+  if (wr.posted_at == 0) wr.posted_at = eng.now();
+
+  // Lifecycle tracing: stamps read the clock and append to a buffer,
+  // never schedule or delay anything, so `traced` on/off cannot change
+  // the simulated timeline (obs zero-cost contract).
+  obs::Tracer& tracer = ctx_.cluster().obs().tracer;
+  const bool traced = tracer.enabled();
+  const std::uint32_t trace_pid = lm.id();
+  const auto trace_op = static_cast<std::uint8_t>(wr.opcode);
+  auto stamp = [&](obs::Stage st, sim::Time begin) {
+    tracer.span(st, begin, eng.now(), wr.wr_id, id_, trace_pid, trace_op);
+  };
 
   // Transport-level opcode checks (§II-A): WRITE needs RC/UC; READ and
   // atomics need RC; UD carries SEND only.
@@ -345,7 +397,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   };
 
   // ---- 1. WQE fetch (RNIC DMA-reads the descriptor ring) ------------------
-  if (!bf && !inlined) co_await sim::delay(eng, P.pcie_dma_read_latency);
+  if (!bf && !inlined) {
+    const sim::Time t0 = eng.now();
+    co_await sim::delay(eng, P.pcie_dma_read_latency);
+    if (traced) stamp(obs::Stage::kWqeFetch, t0);
+  }
 
   // ---- 2. send-side execution unit ----------------------------------------
   sim::Duration stall = lr.qp_touch(id_);
@@ -355,10 +411,20 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
     stall += lr.translate(sge.lkey, sge.addr, sge.length);
     if (i > 0) sge_extra += P.pcie_sge_fetch;
   }
+  const sim::Time t_eu = eng.now();
   co_await lport.eu.use(P.rnic_eu_write + stall + sge_extra);
+  if (traced) {
+    stamp(obs::Stage::kExec, t_eu);
+    // The translation-miss stall rides the tail of the EU occupancy:
+    // render it as a nested child span so Perfetto shows the miss cost.
+    if (stall > 0)
+      tracer.span(obs::Stage::kTranslate, eng.now() - stall, eng.now(),
+                  wr.wr_id, id_, trace_pid, trace_op);
+  }
 
   // ---- 3. payload gather from host memory over PCIe -----------------------
   if (carries_payload && !inlined) {
+    const sim::Time t0 = eng.now();
     co_await lr.dma().use(P.pcie_time(total));
     sim::Duration numa_pen = 0;
     for (const auto& sge : wr.sg_list) {
@@ -370,6 +436,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       numa_pen = std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
     }
     if (numa_pen) co_await sim::delay(eng, numa_pen);
+    if (traced) stamp(obs::Stage::kLocalDma, t0);
   }
 
   // ---- 4. wire -------------------------------------------------------------
@@ -386,8 +453,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   if (unreliable)
     complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
 
-  if (!co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
-                        wire_bytes, !unreliable)) {
+  const sim::Time t_wire = eng.now();
+  const bool delivered = co_await deliver(
+      lm.id(), cfg_.port, rm.id(), peer->cfg_.port, wire_bytes, !unreliable);
+  if (traced) stamp(obs::Stage::kWire, t_wire);
+  if (!delivered) {
     if (unreliable) co_return;  // dropped silently; data never lands
     fail_wr(wr, Status::kRetryExceeded);
     co_return;
@@ -400,7 +470,9 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   }
 
   // ---- 5. remote receive processing ---------------------------------------
+  const sim::Time t_rx = eng.now();
   co_await rport.rx.use(P.rnic_rx_proc);
+  if (traced) stamp(obs::Stage::kRemoteRx, t_rx);
   sim::Duration rstall = rr.qp_touch(peer->id_);
 
   // Helper: send a header-only NAK back (RC) and finish with `st`;
@@ -423,6 +495,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      const sim::Time t_rem = eng.now();
       // Inbound writes are handled by the receive pipeline; translation
       // misses stall it (this is the Fig. 6 random-write penalty).
       if (rstall) co_await rport.rx.use(rstall);
@@ -438,8 +511,10 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_await sim::delay(eng, P.pcie_dma_write_latency);
         gather_to(wr, rmr->at(wr.remote_addr));  // the data actually moves
       }
+      if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       if (!unreliable) {
         co_await sim::delay(eng, P.net_ack_proc);
+        const sim::Time t_resp = eng.now();
         if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
                               kAckBytes, true)) {
           // The data landed but the ACK never made it back: the requester
@@ -447,6 +522,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
           fail_wr(wr, Status::kRetryExceeded);
           co_return;
         }
+        if (traced) stamp(obs::Stage::kResponse, t_resp);
         complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
       }
       break;
@@ -459,6 +535,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      const sim::Time t_rem = eng.now();
       // The responder EU serves the read: DMA-read payload, packetize.
       co_await rport.eu.use(P.rnic_eu_read + rstall);
       if (total > 0) {
@@ -472,14 +549,18 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
           co_await sim::delay(eng, pen);
         co_await sim::delay(eng, P.pcie_dma_read_latency);
       }
+      if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the payload back.
+      const sim::Time t_resp = eng.now();
       if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
                             total, true)) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
       co_await lport.rx.use(P.rnic_rx_proc);
+      if (traced) stamp(obs::Stage::kResponse, t_resp);
       if (total > 0) {
+        const sim::Time t_land = eng.now();
         co_await lr.dma().use(P.pcie_time(total));
         sim::Duration numa_pen = 0;
         for (const auto& sge : wr.sg_list) {
@@ -495,6 +576,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         if (numa_pen) co_await sim::delay(eng, numa_pen);
         co_await sim::delay(eng, P.pcie_dma_write_latency);
         scatter_from(wr, rmr->at(wr.remote_addr));
+        if (traced) stamp(obs::Stage::kLocalDma, t_land);
       }
       complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
       break;
@@ -513,6 +595,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, 8);
+      const sim::Time t_rem = eng.now();
       // The atomic unit serializes all atomics on this port: locked
       // PCIe read-modify-write against host memory.
       co_await rport.atomic_unit.use(P.rnic_atomic_unit + rstall);
@@ -527,7 +610,9 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       } else {
         *slot = old + wr.swap_or_add;
       }
+      if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the original value (8 bytes).
+      const sim::Time t_resp = eng.now();
       if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8,
                             true)) {
         fail_wr(wr, Status::kRetryExceeded);
@@ -535,6 +620,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       }
       co_await lport.rx.use(P.rnic_rx_proc);
       co_await sim::delay(eng, P.pcie_dma_write_latency);
+      if (traced) stamp(obs::Stage::kResponse, t_resp);
       MemoryRegion* lmr = ctx_.lookup(wr.sg_list[0].lkey);
       std::memcpy(lmr->at(wr.sg_list[0].addr), &old, 8);
       complete(wr, Status::kSuccess, 8, old);
@@ -553,6 +639,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
             co_await nak(Status::kRnrRetryExceeded);
             co_return;
           }
+          ctx_.cluster().obs().rnr_naks.inc();
           if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
                                 kAckBytes, true)) {
             fail_wr(wr, Status::kRetryExceeded);
@@ -576,6 +663,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(rq.sge.lkey, rq.sge.addr, total);
+      const sim::Time t_rem = eng.now();
       // Channel semantics: RQ WQE consumption + CQE for the receiver.
       co_await rport.eu.use(P.rnic_recv_extra + rstall);
       if (total > 0) {
@@ -587,6 +675,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_await sim::delay(eng, P.pcie_dma_write_latency);
         gather_to(wr, rmr->at(rq.sge.addr));
       }
+      if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Receiver-side completion.
       if (peer->cfg_.cq) {
         Completion rc;
@@ -600,11 +689,13 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       }
       if (!unreliable) {
         co_await sim::delay(eng, P.net_ack_proc);
+        const sim::Time t_resp = eng.now();
         if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
                               kAckBytes, true)) {
           fail_wr(wr, Status::kRetryExceeded);
           co_return;
         }
+        if (traced) stamp(obs::Stage::kResponse, t_resp);
         complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
       }
       break;

@@ -87,6 +87,9 @@ struct WorkRequest {
   // UD only: destination of this datagram (the "address handle"); UD QPs
   // have no fixed peer. Ignored on RC/UC.
   class QueuePair* ud_dest = nullptr;
+  // Stamped by the simulator when the WR becomes visible to the RNIC;
+  // drives post-to-CQE latency attribution (obs). Callers leave it 0.
+  sim::Time posted_at = 0;
 
   std::size_t total_length() const {
     std::size_t n = 0;

@@ -91,6 +91,7 @@ BenchResult run_closed_loop(sim::Engine& engine, const ClientSpec& spec) {
                      : 0;
   r.p50_latency_us = sh.latencies.percentile(50);
   r.p99_latency_us = sh.latencies.percentile(99);
+  r.p999_latency_us = sh.latencies.percentile(99.9);
   return r;
 }
 

@@ -42,6 +42,7 @@ struct BenchResult {
   double avg_latency_us = 0;  // mean per-WR completion latency
   double p50_latency_us = 0;
   double p99_latency_us = 0;
+  double p999_latency_us = 0;
   double per_thread_mops = 0;
   sim::Duration elapsed = 0;
   std::uint64_t errors = 0;   // completions with any non-success status

@@ -70,6 +70,56 @@ TEST(ClusterStats, RenderContainsEveryMachine) {
   EXPECT_GE(lines, 20u);
 }
 
+TEST(ClusterStats, CleanRunHasZeroFaultTotals) {
+  Testbed tb;
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  wl::ClientSpec spec;
+  spec.qps = {conn.local};
+  spec.window = 4;
+  spec.ops_per_client = 200;
+  spec.make_wr = [&](std::uint32_t, std::uint64_t) {
+    return make_write(*lmr, 0, *rmr, 0, 64);
+  };
+  (void)wl::run_closed_loop(tb.eng, spec);
+  const auto s = StatsReport::capture(tb.cluster);
+  EXPECT_EQ(s.faults.fabric_drops, 0u);
+  EXPECT_EQ(s.faults.retransmits, 0u);
+  EXPECT_EQ(s.faults.retry_exhausted, 0u);
+  EXPECT_EQ(s.faults.flushed_wrs, 0u);
+  EXPECT_EQ(s.faults.rnr_naks, 0u);
+  for (const auto& p : s.ports) EXPECT_EQ(p.tx_drops, 0u);
+  EXPECT_NE(s.render().find("faults:"), std::string::npos);
+}
+
+TEST(ClusterStats, LossyFabricFoldsIntoFaultTotals) {
+  auto params = rdmasem::hw::ModelParams::connectx3_cluster();
+  params.net_loss_prob = 0.05;
+  Testbed tb(params);
+  v::Buffer src(4096), dst(4096);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  wl::ClientSpec spec;
+  spec.qps = {conn.local};
+  spec.window = 4;
+  spec.ops_per_client = 500;
+  spec.make_wr = [&](std::uint32_t, std::uint64_t) {
+    return make_write(*lmr, 0, *rmr, 0, 64);
+  };
+  (void)wl::run_closed_loop(tb.eng, spec);
+  const auto s = StatsReport::capture(tb.cluster);
+  // 5% loss over >=1000 transits: drops and RC retransmits must show up,
+  // and the per-port attribution must sum back to the fabric total.
+  EXPECT_GT(s.faults.fabric_drops, 0u);
+  EXPECT_GT(s.faults.retransmits, 0u);
+  std::uint64_t per_port = 0;
+  for (const auto& p : s.ports) per_port += p.tx_drops;
+  EXPECT_EQ(per_port, s.faults.fabric_drops);
+}
+
 TEST(ClusterStats, McacheCountersPropagate) {
   Testbed tb;
   v::Buffer src(4096);

@@ -55,6 +55,39 @@ TEST(Samples, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
 }
 
+TEST(Samples, PercentileEdgeCases) {
+  u::Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);  // empty
+  s.add(7.0);
+  // Single sample: every percentile is that sample.
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 7.0);
+}
+
+TEST(Samples, PercentileTwoSamples) {
+  u::Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  // Nearest-rank: rank = ceil(p/100 * 2).
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);   // rank 1
+  EXPECT_DOUBLE_EQ(s.percentile(51), 2.0);   // rank 2
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+}
+
+TEST(Samples, P999) {
+  u::Samples s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 999.0);
+  s.add(1001.0);  // 1001 samples: ceil(0.999 * 1001) = 1000
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 1000.0);
+}
+
 TEST(Samples, MeanAndUnsortedInput) {
   u::Samples s;
   s.add(3.0);
@@ -74,6 +107,40 @@ TEST(Log2Histogram, BucketsAndQuantiles) {
   EXPECT_EQ(h.count(), 200u);
   EXPECT_LE(h.quantile_bound(0.25), 15u);
   EXPECT_GE(h.quantile_bound(0.99), 512u);
+}
+
+TEST(Log2Histogram, QuantileBoundEmpty) {
+  u::Log2Histogram h;
+  EXPECT_EQ(h.quantile_bound(0.0), 0u);
+  EXPECT_EQ(h.quantile_bound(0.5), 0u);
+  EXPECT_EQ(h.quantile_bound(1.0), 0u);
+}
+
+TEST(Log2Histogram, QuantileBoundSingleBucket) {
+  u::Log2Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(1000);  // all in the 512..1023 bucket
+  // Every quantile — including q=0 — must land on the one occupied
+  // bucket, not fall through to bucket 0.
+  EXPECT_EQ(h.quantile_bound(0.0), 1023u);
+  EXPECT_EQ(h.quantile_bound(0.5), 1023u);
+  EXPECT_EQ(h.quantile_bound(1.0), 1023u);
+  // q beyond [0,1] clamps.
+  EXPECT_EQ(h.quantile_bound(2.0), 1023u);
+  EXPECT_EQ(h.quantile_bound(-1.0), 1023u);
+}
+
+TEST(Log2Histogram, QuantileBoundMonotone) {
+  u::Log2Histogram h;
+  for (int i = 0; i < 50; ++i) h.add(3);
+  for (int i = 0; i < 30; ++i) h.add(100);
+  for (int i = 0; i < 20; ++i) h.add(5000);
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const std::uint64_t b = h.quantile_bound(q);
+    EXPECT_GE(b, prev) << "q=" << q;
+    prev = b;
+  }
+  EXPECT_EQ(h.quantile_bound(1.0), 8191u);  // 5000 lives in 4096..8191
 }
 
 TEST(Table, RendersAlignedColumns) {
