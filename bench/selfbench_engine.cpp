@@ -1,0 +1,279 @@
+// Selfbench — the engine measuring itself, in WALL-CLOCK time.
+//
+// Every other bench in this directory reports SIMULATED time, which by
+// construction cannot regress when the scheduler gets slower. This binary
+// is the host-side complement: it times the event loop with
+// std::chrono::steady_clock and reports events/sec, so a regression in the
+// calendar queue, InlineFn dispatch, or the coroutine frame pool shows up
+// as a number CI can gate on (scripts/perf_gate.py).
+//
+// Workloads:
+//   dispatch  — 64 self-rescheduling actors with a tiered delay mix
+//               (immediate / intra-bucket / overflow) driven through BOTH
+//               the current sim::Engine and an embedded copy of the
+//               pre-calendar-queue engine (binary heap of std::function
+//               events, `legacy` namespace below). The identical workload
+//               on both yields the machine-independent `speedup` row the
+//               perf gate checks against its floor.
+//   coro      — coroutine churn: tasks looping over co_await delay(),
+//               exercising frame-pool reuse and the resume fast path.
+//   e2e_micro — fig01-style closed-loop RDMA write microbench (4 QPs,
+//               window 16) timed end to end.
+//   e2e_shuffle — fig15-style small all-to-all shuffle timed end to end.
+//
+// Rows land in BENCH_selfbench_engine.json (rdmasem-bench-v1 schema; the
+// `mops` field carries millions of events per second, or the raw ratio for
+// the speedup row). Wall-clock numbers are machine-dependent: the checked
+// in bench/selfbench_baseline.json is compared with a tolerance, and the
+// speedup row is the portable criterion. See docs/PERF.md.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "apps/shuffle/shuffle.hpp"
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace rdmasem;
+using bench::FigureCollector;
+using bench::MicroRig;
+
+FigureCollector collector(
+    "Selfbench  Engine hot-path throughput (wall clock)",
+    {"workload", "engine", "Mevents/s"});
+
+// ---------------------------------------------------------------------------
+// The pre-overhaul engine core, kept verbatim in shape: a binary-heap
+// std::priority_queue of events whose callbacks are std::function (boxed on
+// the heap for captures over the SBO limit), popped by copy exactly as the
+// seed engine's run() did. Benchmarking it in-binary keeps the comparison
+// honest across compilers and machines — both engines are built with the
+// same flags in the same TU.
+namespace legacy {
+
+class Engine {
+ public:
+  sim::Time now() const { return now_; }
+
+  void schedule_at(sim::Time at, std::function<void()> fn) {
+    queue_.push(Event{std::max(at, now_), seq_++, std::move(fn)});
+  }
+  void schedule_in(sim::Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  sim::Time run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      ++processed_;
+      ev.fn();
+    }
+    return now_;
+  }
+
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    sim::Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Workload knobs (shrunk by the bench smoke tests via env).
+
+std::uint64_t dispatch_budget() {
+  return util::env_u64("RDMASEM_SELFBENCH_EVENTS", 2'000'000);
+}
+// Pending-event population. Real cluster runs keep thousands of events in
+// flight (one per parked coroutine / NIC pipeline stage), which is exactly
+// where the O(log n) heap loses to the O(1) calendar ring.
+std::uint64_t dispatch_actors() {
+  return util::env_u64("RDMASEM_SELFBENCH_ACTORS", 4096);
+}
+std::uint64_t coro_tasks() {
+  return util::env_u64("RDMASEM_SELFBENCH_TASKS", 20'000);
+}
+std::uint64_t coro_hops() {
+  return util::env_u64("RDMASEM_SELFBENCH_HOPS", 32);
+}
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Wall-clock throughput is one-sided noise: a run can only be slowed down
+// (scheduler preemption, cold caches), never sped up. Best-of-N is the
+// standard estimator for the machine's true capability and what keeps the
+// perf gate's 20% tolerance meaningful.
+template <typename Fn>
+double best_of(int n, Fn&& measure) {
+  double best = 0;
+  for (int i = 0; i < n; ++i) best = std::max(best, measure());
+  return best;
+}
+
+// Self-rescheduling actor: every firing draws the next delay from a private
+// LCG stream, mixing immediates (same-timestamp FIFO path), short delays
+// (calendar ring) and far delays (overflow heap). The two extra captured
+// words push the closure past std::function's SBO — matching the real
+// capture sizes in fabric/rnic callbacks — while staying inside InlineFn's
+// 32 bytes.
+template <typename Eng>
+struct Actor {
+  Eng* eng;
+  std::uint64_t* remaining;
+  std::uint64_t rng;
+
+  void fire() {
+    if (*remaining == 0) return;
+    --*remaining;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = rng >> 33;
+    // Mix mirrors a cluster run: mostly sub-horizon NIC/link/DMA delays
+    // (ns to low µs), some same-timestamp wakeups, a tail of long timers.
+    sim::Duration d = 0;
+    const std::uint64_t k = r & 15;
+    if (k < 4) {
+      d = 0;                                        // immediate wakeup
+    } else if (k < 5) {
+      d = r % 8192;                                 // same/adjacent slot
+    } else if (k < 15) {
+      d = r % (1u << 21);                           // within the ring horizon
+    } else {
+      d = (1u << 21) + r % (1u << 24);              // long timer -> overflow
+    }
+    const std::uint64_t pad0 = rng, pad1 = r;
+    eng->schedule_in(d, [this, pad0, pad1] {
+      benchmark::DoNotOptimize(pad0 + pad1);
+      fire();
+    });
+  }
+};
+
+template <typename Eng>
+double dispatch_mevents_per_sec(std::uint64_t budget) {
+  Eng eng;
+  std::uint64_t remaining = budget;
+  const std::uint64_t n_actors = dispatch_actors();
+  std::vector<Actor<Eng>> actors;
+  actors.reserve(n_actors);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t a = 0; a < n_actors; ++a) {
+    actors.push_back(Actor<Eng>{&eng, &remaining, a * 7919 + 1});
+    actors.back().fire();
+  }
+  eng.run();
+  const double sec = secs_since(t0);
+  return static_cast<double>(eng.events_processed()) / sec / 1e6;
+}
+
+double coro_mevents_per_sec(std::uint64_t tasks, std::uint64_t hops) {
+  sim::Engine eng;
+  for (std::uint64_t t = 0; t < tasks; ++t) {
+    eng.spawn([](sim::Engine& e, std::uint64_t n,
+                 std::uint64_t seed) -> sim::Task {
+      std::uint64_t s = seed;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        co_await sim::delay(e, (s >> 33) % sim::us(1));
+      }
+    }(eng, hops, t + 1));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  const double sec = secs_since(t0);
+  return static_cast<double>(eng.events_processed()) / sec / 1e6;
+}
+
+double add(const char* workload, const char* engine, double mev) {
+  collector.add({workload, engine, util::fmt(mev)});
+  bench::point_mops(workload, engine, mev);
+  return mev;
+}
+
+void BM_selfbench(benchmark::State& state) {
+  double legacy_mev = 0, calendar_mev = 0, coro_mev = 0;
+  double micro_mev = 0, shuffle_mev = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    legacy_mev = add("dispatch", "legacy", best_of(3, [] {
+      return dispatch_mevents_per_sec<legacy::Engine>(dispatch_budget());
+    }));
+    calendar_mev = add("dispatch", "calendar", best_of(3, [] {
+      return dispatch_mevents_per_sec<sim::Engine>(dispatch_budget());
+    }));
+    bench::point_mops("speedup", "dispatch", calendar_mev / legacy_mev);
+    collector.add({"speedup", "calendar/legacy",
+                   util::fmt(calendar_mev / legacy_mev)});
+
+    coro_mev = add("coro", "calendar", best_of(3, [] {
+      return coro_mevents_per_sec(coro_tasks(), coro_hops());
+    }));
+
+    micro_mev = add("e2e_micro", "calendar", best_of(2, [] {
+      // fig01-style closed-loop write microbench, timed end to end.
+      const auto w0 = std::chrono::steady_clock::now();
+      MicroRig rig(1 << 14, 1 << 14, 4);
+      rig.run(wl::make_write(*rig.lmr, 0, *rig.rmr, 0, 64), 16,
+              bench::micro_ops(4000));
+      return static_cast<double>(rig.rig.eng.events_processed()) /
+             secs_since(w0) / 1e6;
+    }));
+    shuffle_mev = add("e2e_shuffle", "calendar", best_of(2, [] {
+      // fig15-style small all-to-all shuffle, timed end to end.
+      const auto w0 = std::chrono::steady_clock::now();
+      wl::Rig rig(hw::ModelParams::connectx3_cluster());
+      apps::shuffle::Config cfg;
+      cfg.machines = 4;
+      cfg.executors = 4;
+      cfg.entries_per_executor =
+          util::env_u64("RDMASEM_SHUFFLE_ENTRIES", 6000);
+      cfg.batch = apps::shuffle::BatchMode::kSgl;
+      apps::shuffle::Shuffle shuffle(rig.contexts(), cfg);
+      shuffle.run();
+      bench::absorb(rig.cluster);
+      return static_cast<double>(rig.eng.events_processed()) /
+             secs_since(w0) / 1e6;
+    }));
+
+    state.SetIterationTime(secs_since(t0));
+  }
+  state.counters["legacy_Mev"] = legacy_mev;
+  state.counters["calendar_Mev"] = calendar_mev;
+  state.counters["speedup"] = calendar_mev / legacy_mev;
+  state.counters["coro_Mev"] = coro_mev;
+  state.counters["e2e_micro_Mev"] = micro_mev;
+  state.counters["e2e_shuffle_Mev"] = shuffle_mev;
+}
+
+BENCHMARK(BM_selfbench)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RDMASEM_BENCH_MAIN(collector)

@@ -1,0 +1,55 @@
+# Smoke-runs one bench binary at drastically shrunk workload sizes and
+# validates the BENCH_<name>.json it emits against the rdmasem-bench-v1
+# schema. Registered as one ctest entry per bench (label `bench_smoke`) by
+# bench/CMakeLists.txt:
+#
+#   cmake -DBENCH=<binary> -DOUT=<dir> -DCHECK=<check_bench_json.py>
+#         -P scripts/bench_smoke.cmake
+#
+# The env knobs below override every RDMASEM_* workload size (README) so
+# the whole battery stays in CI-smoke territory; the figures these runs
+# produce are NOT paper-comparable — they only prove each binary runs to
+# completion and reports well-formed structured output.
+
+foreach(var BENCH OUT CHECK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR
+            "usage: cmake -DBENCH=... -DOUT=... -DCHECK=... -P bench_smoke.cmake")
+  endif()
+endforeach()
+
+get_filename_component(name "${BENCH}" NAME)
+file(MAKE_DIRECTORY "${OUT}")
+file(REMOVE "${OUT}/BENCH_${name}.json")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env
+          "RDMASEM_BENCH_OUT=${OUT}"
+          RDMASEM_MICRO_OPS=300
+          RDMASEM_HT_KEYS=512
+          RDMASEM_HT_OPS=400
+          RDMASEM_JOIN_TUPLES=800
+          RDMASEM_JOIN_SCALE_SHIFT=9
+          RDMASEM_SHUFFLE_ENTRIES=600
+          RDMASEM_DLOG_RECORDS=200
+          RDMASEM_SELFBENCH_EVENTS=60000
+          RDMASEM_SELFBENCH_ACTORS=512
+          RDMASEM_SELFBENCH_TASKS=800
+          RDMASEM_SELFBENCH_HOPS=8
+          "${BENCH}" --benchmark_min_time=0.01
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${name} exited with ${run_rc}")
+endif()
+
+if(NOT EXISTS "${OUT}/BENCH_${name}.json")
+  message(FATAL_ERROR "${name} did not write ${OUT}/BENCH_${name}.json")
+endif()
+
+find_program(PYTHON3 NAMES python3 python REQUIRED)
+execute_process(
+  COMMAND "${PYTHON3}" "${CHECK}" "${OUT}/BENCH_${name}.json"
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected BENCH_${name}.json")
+endif()

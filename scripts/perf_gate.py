@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the engine selfbench.
+
+Reads BENCH_selfbench_engine.json (rdmasem-bench-v1, produced by
+bench/selfbench_engine) and fails when the scheduler hot path got slower:
+
+  1. The in-run calendar/legacy dispatch speedup must stay above a floor
+     (default 2.0x). Both engines are timed in the same process on the
+     same machine, so this number is machine-independent — it is the
+     primary criterion.
+  2. Every workload's throughput, NORMALIZED by the in-run legacy
+     dispatch number (which anchors how fast the host is), must stay
+     within --tolerance (default 0.20) of the checked-in baseline
+     (bench/selfbench_baseline.json). This catches a regression in one
+     workload (e.g. coroutine churn) that the aggregate speedup hides.
+  3. Raw Mevents/s vs the baseline's raw numbers is reported for context
+     but only enforced with --strict-absolute, because absolute wall
+     clock shifts with the machine the baseline was recorded on.
+
+Regenerate the baseline after an intentional engine change with
+  scripts/perf_gate.py BENCH_selfbench_engine.json --update-baseline
+and commit the result (procedure: docs/PERF.md).
+
+Stdlib only. Exit 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_SCHEMA = "rdmasem-perf-baseline-v1"
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "bench",
+    "selfbench_baseline.json")
+
+
+def die(msg):
+    print(f"perf_gate: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_points(path):
+    """-> {(series, x): mops} from a rdmasem-bench-v1 report."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read bench report {path}: {e}")
+    if report.get("schema") != "rdmasem-bench-v1":
+        die(f"{path}: unexpected schema {report.get('schema')!r}")
+    points = {}
+    for p in report.get("points", []):
+        points[(p["series"], p["x"])] = float(p["mops"])
+    if not points:
+        die(f"{path}: no sweep points")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="BENCH_selfbench_engine.json from a run")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="checked-in baseline json (default: bench/)")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("RDMASEM_PERF_TOLERANCE",
+                                                 "0.20")),
+                    help="allowed fractional drop vs baseline "
+                         "(env RDMASEM_PERF_TOLERANCE, default 0.20)")
+    ap.add_argument("--min-speedup", type=float,
+                    default=float(os.environ.get("RDMASEM_PERF_MIN_SPEEDUP",
+                                                 "2.0")),
+                    help="floor for the calendar/legacy dispatch ratio")
+    ap.add_argument("--strict-absolute", action="store_true",
+                    help="also enforce raw Mevents/s vs the baseline "
+                         "(only meaningful on the baseline's machine)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this report and exit")
+    args = ap.parse_args()
+
+    points = load_points(args.report)
+
+    legacy = points.get(("dispatch", "legacy"))
+    speedup = points.get(("speedup", "dispatch"))
+    if legacy is None or legacy <= 0:
+        die("report lacks a dispatch/legacy point")
+    if speedup is None:
+        die("report lacks a speedup/dispatch point")
+
+    # Workload rows: everything except the legacy anchor and the ratio row.
+    workloads = {
+        f"{series}/{x}": mops
+        for (series, x), mops in sorted(points.items())
+        if series != "speedup" and (series, x) != ("dispatch", "legacy")
+    }
+    normalized = {k: v / legacy for k, v in workloads.items()}
+
+    if args.update_baseline:
+        baseline = {
+            "schema": BASELINE_SCHEMA,
+            "note": "regenerate with scripts/perf_gate.py --update-baseline "
+                    "(see docs/PERF.md); normalized = Mevents/s divided by "
+                    "the in-run dispatch/legacy Mevents/s",
+            "speedup": round(speedup, 4),
+            "legacy_mev": round(legacy, 4),
+            "absolute_mev": {k: round(v, 4) for k, v in workloads.items()},
+            "normalized": {k: round(v, 4) for k, v in normalized.items()},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline updated: {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read baseline {args.baseline}: {e} "
+            "(generate with --update-baseline)")
+    if base.get("schema") != BASELINE_SCHEMA:
+        die(f"{args.baseline}: unexpected schema {base.get('schema')!r}")
+
+    failures = []
+
+    print(f"perf_gate: dispatch speedup calendar/legacy = {speedup:.2f}x "
+          f"(floor {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"dispatch speedup {speedup:.2f}x fell below the "
+            f"{args.min_speedup:.2f}x floor")
+
+    for key, cur in sorted(normalized.items()):
+        want = base["normalized"].get(key)
+        if want is None:
+            failures.append(f"baseline has no normalized entry for {key} "
+                            "(regenerate the baseline)")
+            continue
+        floor = want * (1.0 - args.tolerance)
+        verdict = "ok" if cur >= floor else "REGRESSED"
+        print(f"perf_gate: {key}: normalized {cur:.3f} vs baseline "
+              f"{want:.3f} (floor {floor:.3f}) {verdict}")
+        if cur < floor:
+            failures.append(
+                f"{key} normalized throughput {cur:.3f} is more than "
+                f"{args.tolerance:.0%} below baseline {want:.3f}")
+
+    for key, cur in sorted(workloads.items()):
+        want = base.get("absolute_mev", {}).get(key)
+        if want is None:
+            continue
+        floor = want * (1.0 - args.tolerance)
+        ok = cur >= floor
+        tag = "ok" if ok else ("REGRESSED" if args.strict_absolute
+                               else "below baseline (advisory)")
+        print(f"perf_gate: {key}: {cur:.2f} Mev/s vs baseline "
+              f"{want:.2f} {tag}")
+        if args.strict_absolute and not ok:
+            failures.append(
+                f"{key} absolute throughput {cur:.2f} Mev/s is more than "
+                f"{args.tolerance:.0%} below baseline {want:.2f}")
+
+    if failures:
+        print("perf_gate: FAIL", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("perf_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

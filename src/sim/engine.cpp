@@ -4,14 +4,6 @@
 
 namespace rdmasem::sim {
 
-void Engine::schedule_at(Time at, std::function<void()> fn) {
-  queue_.push(Event{std::max(at, now_), seq_++, nullptr, std::move(fn)});
-}
-
-void Engine::resume_at(Time at, std::coroutine_handle<> h) {
-  queue_.push(Event{std::max(at, now_), seq_++, h, nullptr});
-}
-
 void Engine::spawn(Task&& task) {
   auto h = task.release_detached(&detached_);
   resume_at(now_, h);
@@ -20,7 +12,7 @@ void Engine::spawn(Task&& task) {
 Engine::~Engine() {
   // Unblocked destruction order: drop the event queue first (pending
   // resumptions reference frames), then destroy surviving frames.
-  queue_ = {};
+  queue_.clear();
   for (void* addr : detached_)
     std::coroutine_handle<>::from_address(addr).destroy();
 }
@@ -37,17 +29,15 @@ void Engine::dispatch(Event& ev) {
 
 Time Engine::run() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = queue_.pop(now_);
     dispatch(ev);
   }
   return now_;
 }
 
 bool Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.next_time(now_) <= deadline) {
+    Event ev = queue_.pop(now_);
     dispatch(ev);
   }
   if (queue_.empty()) return false;
@@ -58,8 +48,7 @@ bool Engine::run_until(Time deadline) {
 std::uint64_t Engine::run_events(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && !queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = queue_.pop(now_);
     dispatch(ev);
     ++n;
   }

@@ -2,20 +2,24 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <unordered_set>
+#include <utility>
 
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace rdmasem::sim {
 
-// Discrete-event simulation engine: a virtual clock plus a priority queue of
-// (time, sequence, callback) events. Events with equal timestamps fire in
-// schedule order (FIFO tie-break), which keeps multi-actor simulations
-// deterministic.
+// Discrete-event simulation engine: a virtual clock plus a calendar queue
+// of (time, sequence, callback) events (see sim/event_queue.hpp). Events
+// with equal timestamps fire in schedule order (FIFO tie-break), which
+// keeps multi-actor simulations deterministic.
+//
+// The hot path is allocation-free: callables ride in the event's inline
+// small buffer (InlineFn), event storage is recycled by the calendar
+// queue's bucket vectors, and coroutine frames come from FramePool.
 //
 // The engine is single-threaded by design — simulated concurrency comes from
 // coroutine Tasks interleaving on the virtual clock, not from OS threads.
@@ -31,13 +35,20 @@ class Engine {
   Time now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (clamped to now()).
-  void schedule_at(Time at, std::function<void()> fn);
+  template <typename F>
+  void schedule_at(Time at, F&& fn) {
+    queue_.push(now_, Event{at < now_ ? now_ : at, seq_++, nullptr,
+                            InlineFn(std::forward<F>(fn))});
+  }
   // Schedules `fn` to run `delay` after now().
-  void schedule_in(Duration delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule_in(Duration delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
   }
   // Schedules a coroutine resumption (cheaper + clearer than a lambda).
-  void resume_at(Time at, std::coroutine_handle<> h);
+  void resume_at(Time at, std::coroutine_handle<> h) {
+    queue_.push(now_, Event{at < now_ ? now_ : at, seq_++, h, InlineFn{}});
+  }
   void resume_in(Duration delay, std::coroutine_handle<> h) {
     resume_at(now_ + delay, h);
   }
@@ -61,25 +72,12 @@ class Engine {
   void seed(std::uint64_t s) { rng_.reseed(s); }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;   // used when fn is empty
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   void dispatch(Event& ev);
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   std::unordered_set<void*> detached_;
   Rng rng_;
 };

@@ -1,0 +1,249 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/inline_fn.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::sim {
+
+// One scheduled engine event. `handle` set => coroutine resumption;
+// otherwise `fn` is invoked. (at, seq) is the total dispatch order:
+// earlier time first, FIFO (schedule order) on ties — exactly the seed
+// engine's binary-heap order, preserved bit-for-bit by EventQueue.
+struct Event {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> handle{};
+  InlineFn fn;
+};
+
+inline bool event_before(const Event& a, const Event& b) {
+  return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+}
+// std::*_heap comparator for a min-heap on (at, seq).
+inline bool event_after(const Event& a, const Event& b) {
+  return event_before(b, a);
+}
+
+// EventQueue — a two-level calendar queue tuned for discrete-event
+// simulation of RNIC/fabric traffic, replacing the seed's global binary
+// heap (O(log n) per op, one std::function heap allocation per event).
+//
+// Three tiers, by distance from the dispatch cursor:
+//
+//   * immediates: events scheduled AT the current dispatch timestamp
+//     (yield(), channel wake-ups, resume_at(now)). A plain FIFO ring —
+//     O(1) push/pop, no comparisons. The FIFO order IS (at, seq) order
+//     because every entry shares `at == now` and arrives in seq order.
+//   * near ring: kBuckets time buckets of kSlotWidth each (~2 us horizon
+//     total), covering the short-horizon delays that dominate the verb
+//     pipeline (EU/DMA/wire/DRAM service times). Future buckets are
+//     unsorted vectors (O(1) append); a bucket is heapified once, when
+//     the cursor reaches it, so dispatch costs O(log bucket_size) —
+//     effectively O(1) amortized since buckets hold few events.
+//   * overflow: a (at, seq) min-heap for events past the ring horizon
+//     (retransmit timers, fault windows, app-level timeouts). When the
+//     ring drains, the window re-anchors at the overflow minimum and one
+//     horizon's worth of events migrates into the ring (each event
+//     migrates at most once).
+//
+// Determinism: pop() always returns the global (at, seq) minimum across
+// the three tiers, so dispatch order is identical to the seed heap
+// (asserted by the fuzz differential in tests/fuzz_test.cpp).
+//
+// Storage is pooled by construction: bucket vectors, the immediate ring
+// and the overflow heap all keep their capacity across cycles, so a
+// warmed-up queue schedules and dispatches without allocating.
+class EventQueue {
+ public:
+  // 256 buckets x 8.192 ns = ~2.1 us near horizon.
+  static constexpr std::uint32_t kBucketBits = 8;
+  static constexpr std::uint32_t kBuckets = 1u << kBucketBits;
+  static constexpr std::uint32_t kIndexMask = kBuckets - 1;
+  static constexpr std::uint32_t kSlotShift = 13;  // 2^13 ps per bucket
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // `now` is the engine clock (time of the last dispatched event). `ev.at`
+  // must already be clamped to >= now; `ev.seq` must be strictly
+  // increasing across pushes.
+  void push(Time now, Event&& ev) {
+    ++size_;
+    if (ev.at == now) {
+      imm_.push_back(std::move(ev));
+      return;
+    }
+    const std::uint64_t slot = ev.at >> kSlotShift;
+    if (slot >= cur_slot_ && slot - cur_slot_ < kBuckets) {
+      auto& b = buckets_[slot & kIndexMask];
+      mark_occupied(static_cast<std::uint32_t>(slot & kIndexMask));
+      ++ring_count_;
+      b.push_back(std::move(ev));
+      // The cursor bucket is kept in heap form (pop reads its minimum).
+      if (slot == cur_slot_)
+        std::push_heap(b.begin(), b.end(), event_after);
+      return;
+    }
+    // Past the horizon — or (rarely) behind the cursor, which happens
+    // only after run_until() parked the clock below the next event: the
+    // overflow heap handles both, and pop() considers its top directly.
+    overflow_.push_back(std::move(ev));
+    std::push_heap(overflow_.begin(), overflow_.end(), event_after);
+  }
+
+  // Removes and returns the (at, seq)-minimum event. Requires !empty().
+  Event pop(Time now) {
+    RDMASEM_CHECK_MSG(size_ > 0, "pop on empty event queue");
+    --size_;
+    prepare(now);
+    const Event* ring_top =
+        ring_count_ > 0 && !buckets_[cur_index()].empty()
+            ? &buckets_[cur_index()].front()
+            : nullptr;
+    const Event* ovf_top = overflow_.empty() ? nullptr : &overflow_.front();
+    const bool ring_wins =
+        ring_top != nullptr &&
+        (ovf_top == nullptr || event_before(*ring_top, *ovf_top));
+    const Event* best = ring_wins ? ring_top : ovf_top;
+    // Immediates (at == now) lose ties against bucket/overflow events at
+    // the same timestamp: those were scheduled earlier (smaller seq).
+    if (imm_head_ < imm_.size() && (best == nullptr || best->at != now))
+      return pop_immediate();
+    return ring_wins ? pop_ring() : pop_overflow();
+  }
+
+  // Timestamp of the next event in dispatch order. Requires !empty().
+  Time next_time(Time now) {
+    RDMASEM_CHECK_MSG(size_ > 0, "next_time on empty event queue");
+    if (imm_head_ < imm_.size()) return now;  // at == now by construction
+    prepare(now);
+    const Event* ring_top =
+        ring_count_ > 0 && !buckets_[cur_index()].empty()
+            ? &buckets_[cur_index()].front()
+            : nullptr;
+    const Event* ovf_top = overflow_.empty() ? nullptr : &overflow_.front();
+    if (ring_top != nullptr &&
+        (ovf_top == nullptr || event_before(*ring_top, *ovf_top)))
+      return ring_top->at;
+    return ovf_top->at;
+  }
+
+  // Drops every queued event (engine teardown). Capacities are kept.
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    for (auto& w : occupied_) w = 0;
+    imm_.clear();
+    imm_head_ = 0;
+    overflow_.clear();
+    size_ = 0;
+    ring_count_ = 0;
+    cur_slot_ = 0;
+  }
+
+ private:
+  std::uint32_t cur_index() const {
+    return static_cast<std::uint32_t>(cur_slot_ & kIndexMask);
+  }
+
+  void mark_occupied(std::uint32_t idx) {
+    occupied_[idx >> 6] |= 1ull << (idx & 63);
+  }
+  void mark_empty(std::uint32_t idx) {
+    occupied_[idx >> 6] &= ~(1ull << (idx & 63));
+  }
+
+  // Makes the cursor bucket hold the ring minimum: re-anchors an empty
+  // ring at the overflow front (bulk refill, each event migrates once)
+  // and walks the cursor to the next occupied bucket.
+  void prepare(Time /*now*/) {
+    if (ring_count_ == 0) {
+      if (overflow_.empty()) return;
+      // Re-anchor the window at the earliest overflow event and pull in
+      // one horizon's worth. Safe precisely because the ring is empty.
+      cur_slot_ = overflow_.front().at >> kSlotShift;
+      while (!overflow_.empty() &&
+             (overflow_.front().at >> kSlotShift) - cur_slot_ < kBuckets) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), event_after);
+        Event ev = std::move(overflow_.back());
+        overflow_.pop_back();
+        const auto slot = ev.at >> kSlotShift;
+        buckets_[slot & kIndexMask].push_back(std::move(ev));
+        mark_occupied(static_cast<std::uint32_t>(slot & kIndexMask));
+        ++ring_count_;
+      }
+      auto& b = buckets_[cur_index()];
+      std::make_heap(b.begin(), b.end(), event_after);
+      return;
+    }
+    if (!buckets_[cur_index()].empty()) return;
+    // Advance to the next occupied bucket (bitmap scan, word at a time).
+    const std::uint32_t ci = cur_index();
+    std::uint32_t pos = (ci + 1) & kIndexMask;
+    std::uint32_t remaining = kBuckets - 1;
+    while (remaining > 0) {
+      const std::uint32_t word = pos >> 6;
+      const std::uint32_t off = pos & 63;
+      const std::uint32_t span = std::min(remaining, 64 - off);
+      std::uint64_t bits = occupied_[word] >> off;
+      if (span < 64) bits &= (1ull << span) - 1;
+      if (bits != 0) {
+        const std::uint32_t hit = pos + static_cast<std::uint32_t>(
+                                            std::countr_zero(bits));
+        const std::uint32_t dist = (hit - ci) & kIndexMask;
+        cur_slot_ += dist;
+        auto& b = buckets_[cur_index()];
+        std::make_heap(b.begin(), b.end(), event_after);
+        return;
+      }
+      pos = (pos + span) & kIndexMask;
+      remaining -= span;
+    }
+    RDMASEM_CHECK_MSG(false, "ring_count_ > 0 but no occupied bucket");
+  }
+
+  Event pop_immediate() {
+    Event ev = std::move(imm_[imm_head_++]);
+    if (imm_head_ == imm_.size()) {
+      imm_.clear();
+      imm_head_ = 0;
+    }
+    return ev;
+  }
+
+  Event pop_ring() {
+    auto& b = buckets_[cur_index()];
+    std::pop_heap(b.begin(), b.end(), event_after);
+    Event ev = std::move(b.back());
+    b.pop_back();
+    if (b.empty()) mark_empty(cur_index());
+    --ring_count_;
+    return ev;
+  }
+
+  Event pop_overflow() {
+    std::pop_heap(overflow_.begin(), overflow_.end(), event_after);
+    Event ev = std::move(overflow_.back());
+    overflow_.pop_back();
+    return ev;
+  }
+
+  std::vector<Event> buckets_[kBuckets];
+  std::uint64_t occupied_[kBuckets / 64] = {};
+  // FIFO ring of events at exactly the current timestamp. Consumed from
+  // imm_head_; storage is recycled whenever the ring drains.
+  std::vector<Event> imm_;
+  std::size_t imm_head_ = 0;
+  std::vector<Event> overflow_;  // min-heap on (at, seq)
+  std::uint64_t cur_slot_ = 0;   // absolute slot of the cursor bucket
+  std::size_t size_ = 0;
+  std::size_t ring_count_ = 0;
+};
+
+}  // namespace rdmasem::sim

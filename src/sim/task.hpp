@@ -1,10 +1,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <unordered_set>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
 #include "util/assert.hpp"
 
 namespace rdmasem::sim {
@@ -60,6 +62,17 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() { exception = std::current_exception(); }
+
+  // Coroutine frames are recycled through the size-classed FramePool: the
+  // per-WR pipeline creates/destroys one frame per work request, and a
+  // same-coroutine frame is a same-size frame. Only the sized delete is
+  // declared so the class is always known at free time.
+  static void* operator new(std::size_t bytes) {
+    return FramePool::allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FramePool::deallocate(p, bytes);
+  }
 };
 
 }  // namespace detail

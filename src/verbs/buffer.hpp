@@ -10,12 +10,22 @@
 
 namespace rdmasem::verbs {
 
+// Base of the simulated RDMA address space (see Buffer::addr). Sits at
+// 1<<46, far from the host heap/mmap regions, so raw-pointer MR
+// registrations can never alias a simulated address.
+inline constexpr std::uint64_t kSimVaBase = 1ull << 46;
+
 // Buffer — aligned host memory suitable for registration as a memory
 // region (the paper allocates RDMA-enabled memory with posix_memalign).
-// Alignment matters for reproducibility: the translation cache keys on
-// real page numbers and the DRAM model on real row numbers, so buffers
-// default to DRAM-row (8 KB) alignment — a page multiple — to make runs
-// independent of ASLR.
+//
+// The address handed to the RDMA layer (addr()) is NOT the host pointer:
+// it comes from a deterministic, monotonically-growing simulated address
+// space. The translation cache keys on page numbers and the DRAM model on
+// row numbers, so address identity is model-visible state — deriving it
+// from the host heap would leak the allocator's reuse pattern (and ASLR)
+// into simulation results. Simulated addresses are never recycled, every
+// buffer is row (8 KB) aligned, and consecutive buffers are separated by
+// a guard row, so distinct buffers never share a page, row or cache line.
 class Buffer {
  public:
   Buffer() = default;
@@ -28,15 +38,18 @@ class Buffer {
     data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, rounded));
     RDMASEM_CHECK_MSG(data_ != nullptr, "buffer allocation failed");
     std::memset(data_, 0, rounded);
+    sim_addr_ = take_sim_va(rounded, alignment);
   }
   Buffer(Buffer&& o) noexcept
       : data_(std::exchange(o.data_, nullptr)),
-        size_(std::exchange(o.size_, 0)) {}
+        size_(std::exchange(o.size_, 0)),
+        sim_addr_(std::exchange(o.sim_addr_, 0)) {}
   Buffer& operator=(Buffer&& o) noexcept {
     if (this != &o) {
       release();
       data_ = std::exchange(o.data_, nullptr);
       size_ = std::exchange(o.size_, 0);
+      sim_addr_ = std::exchange(o.sim_addr_, 0);
     }
     return *this;
   }
@@ -47,7 +60,7 @@ class Buffer {
   std::byte* data() { return data_; }
   const std::byte* data() const { return data_; }
   std::size_t size() const { return size_; }
-  std::uint64_t addr() const { return reinterpret_cast<std::uint64_t>(data_); }
+  std::uint64_t addr() const { return sim_addr_; }
   std::span<std::byte> span() { return {data_, size_}; }
   std::span<const std::byte> span() const { return {data_, size_}; }
 
@@ -58,12 +71,26 @@ class Buffer {
   }
 
  private:
+  // Process-wide bump allocator for the simulated address space. Addresses
+  // depend only on the sequence of Buffer constructions, which the
+  // single-threaded deterministic simulation fully determines.
+  static std::uint64_t take_sim_va(std::size_t rounded,
+                                   std::size_t alignment) {
+    static std::uint64_t cursor = kSimVaBase;
+    if (alignment < 8192) alignment = 8192;
+    cursor = (cursor + alignment - 1) / alignment * alignment;
+    const std::uint64_t va = cursor;
+    cursor += rounded + 8192;  // guard row between buffers
+    return va;
+  }
+
   void release() {
     std::free(data_);
     data_ = nullptr;
   }
   std::byte* data_ = nullptr;
   std::size_t size_ = 0;
+  std::uint64_t sim_addr_ = 0;
 };
 
 }  // namespace rdmasem::verbs

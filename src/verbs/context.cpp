@@ -12,11 +12,16 @@ Context::~Context() = default;
 
 MemoryRegion* Context::register_memory(void* p, std::size_t len,
                                        hw::SocketId socket) {
+  return register_memory(reinterpret_cast<std::uint64_t>(p), p, len, socket);
+}
+
+MemoryRegion* Context::register_memory(std::uint64_t addr, void* p,
+                                       std::size_t len, hw::SocketId socket) {
   RDMASEM_CHECK_MSG(p != nullptr && len > 0, "empty registration");
   RDMASEM_CHECK_MSG(socket < params().sockets_per_machine, "bad socket");
   auto mr = std::make_unique<MemoryRegion>();
   mr->key = ++next_key_;
-  mr->addr = reinterpret_cast<std::uint64_t>(p);
+  mr->addr = addr;
   mr->length = len;
   mr->socket = socket;
   mr->data = static_cast<std::byte*>(p);

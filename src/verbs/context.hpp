@@ -64,10 +64,17 @@ class Context {
   Context& operator=(const Context&) = delete;
 
   // Registers [p, p+len) as RDMA-accessible memory homed on `socket`.
+  // The RDMA-visible address equals the host pointer value.
   MemoryRegion* register_memory(void* p, std::size_t len, hw::SocketId socket);
+  // Registers a Buffer; the RDMA-visible address is the buffer's
+  // deterministic simulated address (see Buffer::addr), decoupled from the
+  // host storage pointer.
   MemoryRegion* register_buffer(Buffer& buf, hw::SocketId socket) {
-    return register_memory(buf.data(), buf.size(), socket);
+    return register_memory(buf.addr(), buf.data(), buf.size(), socket);
   }
+
+  MemoryRegion* register_memory(std::uint64_t addr, void* p, std::size_t len,
+                                hw::SocketId socket);
   void deregister(std::uint32_t key);
   MemoryRegion* lookup(std::uint32_t key);
   std::size_t mr_count() const { return mrs_.size(); }

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <queue>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "testbed.hpp"
 
 namespace v = rdmasem::verbs;
@@ -201,3 +204,86 @@ TEST(SimStress, ResourceConservationLaw) {
   // 3000 jobs x 100ns over 3 servers = 100us exactly.
   EXPECT_EQ(eng.now(), sim::us(100));
 }
+
+// ---------------------------------------------------------------------------
+// EventQueue differential fuzz: the calendar queue must dispatch in exactly
+// the (at, seq) order of the seed engine's binary heap — same timestamps,
+// FIFO on ties — across immediates, ring-window pushes, overflow pushes and
+// run_until-style clock parking.
+
+namespace {
+
+struct RefEvent {
+  sim::Time at;
+  std::uint64_t seq;
+};
+struct RefLater {
+  bool operator()(const RefEvent& a, const RefEvent& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+class EventQueueDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueDifferential, MatchesReferenceHeapOrder) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  sim::Rng rng(seed * 6364136223846793005ull + 1);
+  sim::EventQueue q;
+  std::priority_queue<RefEvent, std::vector<RefEvent>, RefLater> ref;
+  sim::Time now = 0;
+  std::uint64_t seq = 0;
+
+  const auto push = [&](sim::Time at) {
+    if (at < now) at = now;
+    q.push(now, sim::Event{at, seq, {}, sim::InlineFn{}});
+    ref.push(RefEvent{at, seq});
+    ++seq;
+  };
+  const auto pop_one = [&]() {
+    const sim::Event ev = q.pop(now);
+    const RefEvent want = ref.top();
+    ref.pop();
+    ASSERT_EQ(ev.at, want.at);
+    ASSERT_EQ(ev.seq, want.seq);
+    now = ev.at;
+  };
+
+  for (int step = 0; step < 30000; ++step) {
+    const auto op = rng.uniform(10);
+    if (op < 5 || ref.empty()) {
+      // Push with a mix of horizons: immediate (at == now), sub-bucket,
+      // inside the ring window, just past it, and far future.
+      sim::Time at = now;
+      switch (rng.uniform(5)) {
+        case 0: break;
+        case 1: at = now + rng.uniform(5000); break;
+        case 2: at = now + rng.uniform(1u << 21); break;
+        case 3: at = now + (1u << 21) + rng.uniform(1u << 24); break;
+        default: at = now + rng.uniform(1ull << 40); break;
+      }
+      push(at);
+    } else if (op < 8) {
+      ASSERT_NO_FATAL_FAILURE(pop_one());
+    } else if (op == 8) {
+      // run_until-style: drain everything <= deadline, then park the
+      // clock at the deadline (pushes behind the cursor must still
+      // interleave correctly).
+      const sim::Time deadline = now + rng.uniform(1u << 22);
+      while (!ref.empty() && ref.top().at <= deadline)
+        ASSERT_NO_FATAL_FAILURE(pop_one());
+      now = std::max(now, deadline);
+    } else {
+      for (int k = 0; k < 32 && !ref.empty(); ++k)
+        ASSERT_NO_FATAL_FAILURE(pop_one());
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+  while (!ref.empty()) ASSERT_NO_FATAL_FAILURE(pop_one());
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDifferential, ::testing::Range(0, 10));
