@@ -66,7 +66,7 @@ DistributedLog::DistributedLog(std::vector<verbs::Context*> ctxs,
                                ->register_buffer(replica_mem_.back(),
                                                  p.rnic_socket));
   }
-  replica_dead_.assign(cfg_.replicas - 1, false);
+  replica_dead_ = std::vector<std::atomic<bool>>(cfg_.replicas - 1);
 
   const auto writers = static_cast<std::uint32_t>(ctxs_.size()) - 1;
   for (std::uint32_t e = 0; e < cfg_.engines; ++e) {
@@ -227,17 +227,25 @@ sim::Task DistributedLog::run_engine(Engine* en, sim::CountdownLatch& done) {
 void DistributedLog::drop_replica(Engine* en, std::uint32_t r) {
   if (en->replica_qps[r] == nullptr) return;
   en->replica_qps[r] = nullptr;  // this engine stops replicating to r
-  replica_dead_[r] = true;       // r is no longer a recovery candidate
-  ++failovers_;
-  if (first_failover_at_ == 0)
-    first_failover_at_ = ctxs_[0]->engine().now();
+  // r is no longer a recovery candidate. Engines on different lanes can
+  // fail over concurrently; all of this commutes.
+  replica_dead_[r].store(true, std::memory_order_relaxed);
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  const sim::Time now = en->ctx->engine().now();
+  sim::Time prev = first_failover_at_.load(std::memory_order_relaxed);
+  while ((prev == 0 || now < prev) &&
+         !first_failover_at_.compare_exchange_weak(
+             prev, now, std::memory_order_relaxed)) {
+  }
 }
 
 Result DistributedLog::run() {
   auto& eng = ctxs_[0]->engine();
   sim::CountdownLatch done(eng, cfg_.engines);
   const sim::Time start = eng.now();
-  for (auto& en : engines_) eng.spawn(run_engine(en.get(), done));
+  // Each engine runs on its machine's lane end to end (its QPs are local).
+  for (auto& en : engines_)
+    eng.spawn_on(en->machine + 1, run_engine(en.get(), done));
   eng.run();
   RDMASEM_CHECK_MSG(done.remaining() == 0, "engines did not finish");
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -89,9 +90,12 @@ class DistributedLog {
 
   // False once any engine dropped replica `r` (failover after a crash).
   bool replica_alive(std::uint32_t r) const {
-    return r < replica_dead_.size() && !replica_dead_[r];
+    return r < replica_dead_.size() &&
+           !replica_dead_[r].load(std::memory_order_relaxed);
   }
-  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Engine;
@@ -109,9 +113,12 @@ class DistributedLog {
   std::vector<verbs::Buffer> replica_mem_;
   std::vector<verbs::MemoryRegion*> replica_mrs_;
   std::vector<std::unique_ptr<Engine>> engines_;
-  std::vector<bool> replica_dead_;
-  std::uint64_t failovers_ = 0;
-  sim::Time first_failover_at_ = 0;
+  // Failover bookkeeping is written from every engine's lane: dead flags
+  // and the failover count commute (set-true / increment), and the first
+  // failover time is a min — all shard-layout independent.
+  std::vector<std::atomic<bool>> replica_dead_;
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<sim::Time> first_failover_at_{0};
 };
 
 }  // namespace rdmasem::apps::dlog

@@ -201,6 +201,7 @@ void FrontEnd::release_slot(std::uint32_t slot) {
 sim::TaskT<void> FrontEnd::put(std::uint64_t key,
                                std::span<const std::byte> value) {
   RDMASEM_CHECK_MSG(value.size() == cfg_->value_size, "bad value size");
+  co_await sim::settle(ctx_->engine(), home_lane());
   ++puts_;
   // Request parsing + key hash on the front-end core.
   co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
@@ -214,6 +215,7 @@ sim::TaskT<void> FrontEnd::put(std::uint64_t key,
 }
 
 sim::TaskT<void> FrontEnd::remove(std::uint64_t key) {
+  co_await sim::settle(ctx_->engine(), home_lane());
   co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
   std::vector<std::byte> zero(cfg_->value_size);
   if (cfg_->consolidate && backend_->is_hot(key)) {
@@ -278,6 +280,7 @@ sim::TaskT<void> FrontEnd::put_cold(std::uint64_t key,
 }
 
 sim::TaskT<std::vector<std::byte>> FrontEnd::get(std::uint64_t key) {
+  co_await sim::settle(ctx_->engine(), home_lane());
   co_await sim::delay(ctx_->engine(), ctx_->params().cpu_hash);
   const auto s = backend_->socket_of(key);
   const std::uint32_t rkey = backend_->region(s)->key;
@@ -351,6 +354,7 @@ sim::TaskT<std::vector<std::byte>> FrontEnd::get(std::uint64_t key) {
 }
 
 sim::TaskT<void> FrontEnd::drain() {
+  co_await sim::settle(ctx_->engine(), home_lane());
   for (auto& c : cons_)
     if (c) co_await c->flush_all();
 }

@@ -99,6 +99,9 @@ class FrontEnd {
                                       verbs::WorkRequest wr);
   sim::TaskT<std::uint32_t> acquire_slot();
   void release_slot(std::uint32_t slot);
+  // The front-end machine's lane. Public ops settle() here first so all
+  // front-end state (scratch slots, consolidators) is single-lane.
+  std::uint32_t home_lane() const { return ctx_->machine().id() + 1; }
 
   const Config* cfg_ = nullptr;
   Backend* backend_ = nullptr;

@@ -103,7 +103,9 @@ Result run_join(std::vector<verbs::Context*> ctxs, const Config& cfg) {
 
   // ---- Build-probe phase: every executor joins its partition locally.
   const sim::Time t1 = eng.now();
-  std::uint64_t matches = 0;
+  // One slot per executor, written only from that executor's lane; summed
+  // in index order after the run (shard-layout independent).
+  std::vector<std::uint64_t> matches(cfg.executors, 0);
   sim::CountdownLatch done(eng, cfg.executors);
   std::vector<std::unique_ptr<ConcurrentHashMap>> maps;
   for (std::uint32_t e = 0; e < cfg.executors; ++e)
@@ -154,14 +156,16 @@ Result run_join(std::vector<verbs::Context*> ctxs, const Config& cfg) {
       out += local_matches;
       d.count_down();
     };
-    eng.spawn(worker(eng, p, shuffle_r, shuffle_s, e, *maps[e], matches,
-                     done));
+    eng.spawn_on(shuffle_r.placement(e).first + 1,
+                 worker(eng, p, shuffle_r, shuffle_s, e, *maps[e], matches[e],
+                        done));
   }
   eng.run();
   RDMASEM_CHECK_MSG(done.remaining() == 0, "join workers did not finish");
 
   res.build_probe_seconds = sim::to_sec(eng.now() - t1);
-  res.matches = matches;
+  res.matches = 0;
+  for (const std::uint64_t m : matches) res.matches += m;
   res.seconds = sim::to_sec(eng.now() - t0);
   return res;
 }

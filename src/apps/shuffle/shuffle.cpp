@@ -183,7 +183,8 @@ sim::Task Shuffle::run_executor(Executor* ex, sim::CountdownLatch& done) {
       const std::uint64_t w = key ^ (b * 0x9e3779b97f4a7c15ULL);
       std::memcpy(rec + b, &w, std::min<std::size_t>(8, cfg_.entry_size - b));
     }
-    sent_checksum_ += entry_checksum(rec, cfg_.entry_size);
+    sent_checksum_.fetch_add(entry_checksum(rec, cfg_.entry_size),
+                             std::memory_order_relaxed);
     co_await sim::delay(eng, p.cpu_tuple_work + p.cpu_hash);
 
     Executor* d = executors_[dst].get();
@@ -233,7 +234,8 @@ sim::Task Shuffle::run_producer(Executor* ex, sim::CountdownLatch& staged) {
       const std::uint64_t w = key ^ (b * 0x9e3779b97f4a7c15ULL);
       std::memcpy(rec + b, &w, std::min<std::size_t>(8, cfg_.entry_size - b));
     }
-    sent_checksum_ += entry_checksum(rec, cfg_.entry_size);
+    sent_checksum_.fetch_add(entry_checksum(rec, cfg_.entry_size),
+                             std::memory_order_relaxed);
     ++ex->sent_count[dst];
     co_await sim::delay(eng, p.cpu_tuple_work + p.cpu_hash +
                                  p.memcpy_time(cfg_.entry_size));
@@ -307,12 +309,18 @@ Result Shuffle::run() {
   auto& eng = ctxs_[0]->engine();
   sim::CountdownLatch done(eng, cfg_.executors);
   const sim::Time start = eng.now();
+  // Each executor's coroutine runs on its machine's lane end to end (its
+  // QPs are local, so verb completions resume it on the same lane); that
+  // is what lets the parallel engine spread the mesh across shards.
   if (cfg_.direction == Direction::kPull) {
     sim::CountdownLatch staged(eng, cfg_.executors);
-    for (auto& ex : executors_) eng.spawn(run_producer(ex.get(), staged));
-    for (auto& ex : executors_) eng.spawn(run_puller(ex.get(), staged, done));
+    for (auto& ex : executors_)
+      eng.spawn_on(ex->machine + 1, run_producer(ex.get(), staged));
+    for (auto& ex : executors_)
+      eng.spawn_on(ex->machine + 1, run_puller(ex.get(), staged, done));
   } else {
-    for (auto& ex : executors_) eng.spawn(run_executor(ex.get(), done));
+    for (auto& ex : executors_)
+      eng.spawn_on(ex->machine + 1, run_executor(ex.get(), done));
   }
   eng.run();
   RDMASEM_CHECK_MSG(done.remaining() == 0, "executors did not finish");

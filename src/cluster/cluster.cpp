@@ -1,6 +1,21 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+
+#include "util/env.hpp"
+
 namespace rdmasem::cluster {
+
+namespace {
+// RDMASEM_SHARDS: worker-shard count for the parallel engine. 1 (the
+// default) is the classic single-threaded simulator; values are clamped
+// to [1, machines] — more shards than machines would leave workers idle.
+std::uint32_t shard_count(std::uint32_t machines) {
+  const std::uint64_t req = util::env_u64("RDMASEM_SHARDS", 1);
+  const std::uint64_t cap = machines == 0 ? 1 : machines;
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(req, 1, cap));
+}
+}  // namespace
 
 Machine::Machine(sim::Engine& engine, const hw::ModelParams& params,
                  MachineId id)
@@ -22,6 +37,15 @@ Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
       faults_(params.machines, params.rnic_ports),
       injector_(engine, faults_),
       fabric_(engine, p_, params.machines, params.rnic_ports) {
+  // Lane topology: lane 0 is the driver, lane m+1 is machine m. The
+  // lookahead (= conservative-epoch width) is the minimum latency any
+  // cross-machine message pays on the wire, so no event can ever cross
+  // shards inside an epoch.
+  const std::uint32_t lanes = params.machines + 1;
+  engine_.configure_lanes(lanes, shard_count(params.machines));
+  engine_.set_lookahead(p_.net_propagation + p_.net_switch_hop);
+  faults_.set_lanes(lanes);
+  obs_.tracer.set_lanes(lanes);
   machines_.reserve(params.machines);
   for (MachineId m = 0; m < params.machines; ++m)
     machines_.push_back(std::make_unique<Machine>(engine, p_, m));

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/lane.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace rdmasem::fault {
 
@@ -149,6 +152,52 @@ class FaultState {
   // Partition refcounts keyed by the normalized (lo, hi) machine pair.
   std::unordered_map<std::uint64_t, std::uint32_t> partitions_;
   std::uint64_t active_ = 0;
+};
+
+// FaultDomain — one FaultState replica per engine lane. Under
+// RDMASEM_SHARDS > 1 the fabric consults the fault picture from worker
+// threads; instead of locking one shared state, the injector applies every
+// fault edge to every replica (as an engine event on that lane, at the
+// fault's virtual time), and each lane reads only its own copy. All
+// replicas therefore agree at every virtual instant while no cache line
+// is ever shared between lanes. With one lane (the default) this is
+// exactly the old single-state behavior.
+class FaultDomain {
+ public:
+  FaultDomain(std::uint32_t machines, std::uint32_t ports_per_machine)
+      : machines_(machines), ports_(ports_per_machine) {
+    set_lanes(1);
+  }
+
+  // Rebuilds one pristine replica per lane. Must be called (by the
+  // Cluster, right after Engine::configure_lanes) before any fault is
+  // injected.
+  void set_lanes(std::uint32_t lanes) {
+    replicas_.clear();
+    replicas_.reserve(lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+      replicas_.push_back(std::make_unique<FaultState>(machines_, ports_));
+  }
+  std::uint32_t lanes() const {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+
+  FaultState& replica(std::uint32_t lane) { return *replicas_[lane]; }
+  const FaultState& replica(std::uint32_t lane) const {
+    return *replicas_[lane];
+  }
+  // The calling lane's replica — the only one a transit may consult.
+  const FaultState& current() const {
+    const std::uint32_t lane = sim::current_lane();
+    RDMASEM_CHECK_MSG(lane < replicas_.size(),
+                      "fault replica missing for lane (set_lanes)");
+    return *replicas_[lane];
+  }
+
+ private:
+  std::uint32_t machines_;
+  std::uint32_t ports_;
+  std::vector<std::unique_ptr<FaultState>> replicas_;
 };
 
 }  // namespace rdmasem::fault

@@ -5,85 +5,119 @@
 namespace rdmasem::fault {
 
 void FaultInjector::schedule(const FaultPlan& plan) {
+  // One edge event per lane, all keyed by the scheduling lane (the
+  // driver): at equal timestamps those keys sort identically whatever the
+  // shard count, so replica updates interleave with traffic the same way
+  // in serial and parallel runs.
+  const std::uint32_t lanes = lane_count();
   for (const FaultEvent& ev : plan.events) {
-    engine_.schedule_at(ev.at, [this, ev] { begin(ev); });
     const bool windowed = ev.kind != FaultKind::kCrash &&
                           ev.kind != FaultKind::kRestart;
-    if (windowed)
-      engine_.schedule_at(ev.at + ev.duration, [this, ev] { end(ev); });
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      engine_.schedule_on(l, ev.at, [this, ev, l] { begin_on(l, ev); });
+      if (windowed)
+        engine_.schedule_on(l, ev.at + ev.duration,
+                            [this, ev, l] { end_on(l, ev); });
+    }
   }
 }
 
-void FaultInjector::begin(const FaultEvent& ev) {
-  ++injected_;
+void FaultInjector::apply_begin(FaultState& st, const FaultEvent& ev) {
   switch (ev.kind) {
     case FaultKind::kLossBurst:
-      state_.link(ev.machine, ev.port).loss_prob = ev.loss_prob;
-      state_.retain();
+      st.link(ev.machine, ev.port).loss_prob = ev.loss_prob;
+      st.retain();
       break;
     case FaultKind::kLatencySpike:
-      state_.link(ev.machine, ev.port).extra_latency += ev.extra_latency;
-      state_.retain();
+      st.link(ev.machine, ev.port).extra_latency += ev.extra_latency;
+      st.retain();
       break;
     case FaultKind::kLinkDown:
-      ++state_.link(ev.machine, ev.port).down;
-      state_.retain();
+      ++st.link(ev.machine, ev.port).down;
+      st.retain();
       break;
     case FaultKind::kPartition:
-      state_.add_partition(ev.machine, ev.peer);
-      state_.retain();
+      st.add_partition(ev.machine, ev.peer);
+      st.retain();
       break;
     case FaultKind::kNicStall:
       // The pipeline freeze itself is a listener effect (the cluster owns
       // the RNIC resources); the state only flags activity.
-      state_.retain();
+      st.retain();
       break;
     case FaultKind::kCrash:
-      state_.crash(ev.machine);
-      state_.retain();
+      st.crash(ev.machine);
+      st.retain();
       break;
     case FaultKind::kRestart:
-      state_.restore(ev.machine);
-      state_.release();
+      st.restore(ev.machine);
+      st.release();
       break;
   }
-  notify(ev, /*is_begin=*/true);
 }
 
-void FaultInjector::end(const FaultEvent& ev) {
+bool FaultInjector::apply_end(FaultState& st, const FaultEvent& ev) {
   switch (ev.kind) {
     case FaultKind::kLossBurst:
-      state_.link(ev.machine, ev.port).loss_prob = -1.0;
-      state_.release();
+      st.link(ev.machine, ev.port).loss_prob = -1.0;
+      st.release();
       break;
     case FaultKind::kLatencySpike: {
-      auto& lf = state_.link(ev.machine, ev.port);
+      auto& lf = st.link(ev.machine, ev.port);
       RDMASEM_CHECK_MSG(lf.extra_latency >= ev.extra_latency,
                         "latency spike underflow");
       lf.extra_latency -= ev.extra_latency;
-      state_.release();
+      st.release();
       break;
     }
     case FaultKind::kLinkDown: {
-      auto& lf = state_.link(ev.machine, ev.port);
+      auto& lf = st.link(ev.machine, ev.port);
       RDMASEM_CHECK_MSG(lf.down > 0, "link up without link down");
       --lf.down;
-      state_.release();
+      st.release();
       break;
     }
     case FaultKind::kPartition:
-      state_.remove_partition(ev.machine, ev.peer);
-      state_.release();
+      st.remove_partition(ev.machine, ev.peer);
+      st.release();
       break;
     case FaultKind::kNicStall:
-      state_.release();
+      st.release();
       break;
     case FaultKind::kCrash:
     case FaultKind::kRestart:
       // Begin-only edges; a crash lifts via an explicit kRestart event.
-      return;
+      return false;
   }
-  notify(ev, /*is_begin=*/false);
+  return true;
+}
+
+void FaultInjector::begin_on(std::uint32_t lane, const FaultEvent& ev) {
+  apply_begin(replica(lane), ev);
+  if (lane == notify_lane(ev)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    notify(ev, /*is_begin=*/true);
+  }
+}
+
+void FaultInjector::end_on(std::uint32_t lane, const FaultEvent& ev) {
+  if (apply_end(replica(lane), ev) && lane == notify_lane(ev))
+    notify(ev, /*is_begin=*/false);
+}
+
+void FaultInjector::begin(const FaultEvent& ev) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t lanes = lane_count();
+  for (std::uint32_t l = 0; l < lanes; ++l) apply_begin(replica(l), ev);
+  notify(ev, /*is_begin=*/true);
+}
+
+void FaultInjector::end(const FaultEvent& ev) {
+  bool notified_end = false;
+  const std::uint32_t lanes = lane_count();
+  for (std::uint32_t l = 0; l < lanes; ++l)
+    notified_end = apply_end(replica(l), ev);
+  if (notified_end) notify(ev, /*is_begin=*/false);
 }
 
 void FaultInjector::notify(const FaultEvent& ev, bool is_begin) {

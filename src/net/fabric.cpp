@@ -12,13 +12,13 @@ Fabric::Fabric(sim::Engine& engine, const hw::ModelParams& params,
     tx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_tx"));
     rx_.push_back(std::make_unique<sim::Resource>(engine_, 1, "link_rx"));
   }
-  link_drops_.assign(n, 0);
+  link_drops_ = std::vector<std::atomic<std::uint64_t>>(n);
 }
 
 sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
                                  PortId dport, std::size_t payload_bytes) {
-  ++messages_;
-  bytes_ += payload_bytes;
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
   const sim::Duration wire = p_.wire_time(payload_bytes);
   if (src == dst && sport == dport) {
     // RNIC-internal loopback: no switch, no cable; just the port turnaround.
@@ -26,30 +26,38 @@ sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
     co_return;
   }
   sim::Duration hop = p_.net_propagation + p_.net_switch_hop;
-  // Congestion / rerouting faults show up as extra propagation latency.
-  if (faults_ != nullptr && faults_->active())
-    hop += faults_->extra_latency(src, sport, dst, dport);
+  // Congestion / rerouting faults show up as extra propagation latency;
+  // read on the sender's lane, before the hop.
+  if (faults_ != nullptr && faults_->current().active())
+    hop += faults_->current().extra_latency(src, sport, dst, dport);
   co_await tx_link(src, sport).use(wire);
-  co_await sim::delay(engine_, hop);
+  // Propagation + switch carries execution from the sender's lane to the
+  // receiver's. hop >= net_propagation + net_switch_hop = the engine
+  // lookahead, which is what makes the cross-shard landing legal. On a
+  // bare engine (no cluster lanes) the destination lane collapses to the
+  // current one and this is a plain delay.
+  const std::uint32_t dst_lane = dst + 1 < engine_.lanes() ? dst + 1 : 0;
+  co_await sim::hop(engine_, dst_lane, hop);
   co_await rx_link(dst, dport).use(wire);
 }
 
 bool Fabric::dropped(MachineId src, PortId sport, MachineId dst, PortId dport) {
   double prob = p_.net_loss_prob;
-  if (faults_ != nullptr && faults_->active()) {
-    if (faults_->blocked(src, sport, dst, dport)) {
-      ++drops_;
-      ++link_drops_[index(src, sport)];
+  if (faults_ != nullptr && faults_->current().active()) {
+    const fault::FaultState& st = faults_->current();
+    if (st.blocked(src, sport, dst, dport)) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      link_drops_[index(src, sport)].fetch_add(1, std::memory_order_relaxed);
       return true;  // no path: crashed node, dead link or partition
     }
-    const double burst = faults_->loss_override(src, sport, dst, dport);
+    const double burst = st.loss_override(src, sport, dst, dport);
     if (burst >= 0.0) prob = burst;
   }
   if (prob <= 0.0) return false;
   const bool lost = engine_.rng().chance(prob);
   if (lost) {
-    ++drops_;
-    ++link_drops_[index(src, sport)];
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    link_drops_[index(src, sport)].fetch_add(1, std::memory_order_relaxed);
   }
   return lost;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -25,6 +26,13 @@ using PortId = std::uint32_t;
 //
 // Bandwidth contention on a host link therefore emerges when several QPs
 // mapped to the same port transmit simultaneously.
+//
+// Under RDMASEM_SHARDS > 1, transit is also where execution migrates
+// between lanes: tx serialization runs on the sender machine's lane, the
+// propagation+switch hop is a sim::hop() onto the receiver's lane, and rx
+// serialization runs there. The hop latency (net_propagation +
+// net_switch_hop) is the engine's lookahead, so every cross-shard event
+// lands at least one epoch ahead — the conservative-sync guarantee.
 class Fabric {
  public:
   Fabric(sim::Engine& engine, const hw::ModelParams& params,
@@ -40,24 +48,28 @@ class Fabric {
   // Loss decision for a message that just transited src -> dst. Consults
   // the per-link fault state first (loss bursts, dead links, partitions,
   // crashed endpoints), then the global `net_loss_prob` calibration knob.
-  // Draws the engine RNG only when the effective probability is positive,
-  // so lossless runs stay trace-identical to the pre-fault simulator.
+  // Draws the calling lane's RNG only when the effective probability is
+  // positive, so lossless runs stay trace-identical to the pre-fault
+  // simulator. Must be called on the receiver's lane (qp.cpp does).
   bool dropped(MachineId src, PortId sport, MachineId dst, PortId dport);
 
-  // Attaches the cluster's fault state; nullptr = lossless-lab behavior.
-  void set_faults(const fault::FaultState* f) { faults_ = f; }
-  const fault::FaultState* faults() const { return faults_; }
+  // Attaches the cluster's fault domain; nullptr = lossless-lab behavior.
+  // Each lane consults only its own replica (FaultDomain::current).
+  void set_faults(const fault::FaultDomain* f) { faults_ = f; }
+  const fault::FaultDomain* faults() const { return faults_; }
 
   sim::Resource& tx_link(MachineId m, PortId p) { return *tx_[index(m, p)]; }
   sim::Resource& rx_link(MachineId m, PortId p) { return *rx_[index(m, p)]; }
 
-  std::uint64_t messages() const { return messages_; }
-  std::uint64_t bytes() const { return bytes_; }
-  std::uint64_t drops() const { return drops_; }
+  std::uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  std::uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
   // Drops attributed to the (m, p) -> switch uplink (the sender side of
   // the lost transit). Sums to drops() across all links.
   std::uint64_t link_drops(MachineId m, PortId p) const {
-    return link_drops_[index(m, p)];
+    return link_drops_[index(m, p)].load(std::memory_order_relaxed);
   }
 
  private:
@@ -70,11 +82,13 @@ class Fabric {
   std::uint32_t ports_;
   std::vector<std::unique_ptr<sim::Resource>> tx_;
   std::vector<std::unique_ptr<sim::Resource>> rx_;
-  const fault::FaultState* faults_ = nullptr;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t drops_ = 0;
-  std::vector<std::uint64_t> link_drops_;  // indexed like tx_
+  const fault::FaultDomain* faults_ = nullptr;
+  // Relaxed atomics: every lane's transits bump these; totals commute, so
+  // post-run reads are shard-count-invariant.
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::vector<std::atomic<std::uint64_t>> link_drops_;  // indexed like tx_
 };
 
 }  // namespace rdmasem::net

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+
 #include "obs/json.hpp"
 #include "util/table.hpp"
 
@@ -76,24 +78,42 @@ std::string StageBreakdown::render() const {
   return t.render();
 }
 
-std::vector<Span> Tracer::drain() {
+std::vector<Span> Tracer::spans() const {
+  // Concatenate lanes in lane order, then stable-sort by begin time: both
+  // steps are pure functions of the per-lane sequences, so the merged
+  // order is identical for every shard count.
   std::vector<Span> out;
-  out.swap(spans_);
+  std::size_t total = 0;
+  for (const auto& ln : lanes_) total += ln.spans.size();
+  out.reserve(total);
+  for (const auto& ln : lanes_)
+    out.insert(out.end(), ln.spans.begin(), ln.spans.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  return out;
+}
+
+std::vector<Span> Tracer::drain() {
+  std::vector<Span> out = spans();
+  for (auto& ln : lanes_) ln.spans.clear();
   return out;
 }
 
 void Tracer::clear() {
-  spans_.clear();
-  dropped_ = 0;
+  for (auto& ln : lanes_) {
+    ln.spans.clear();
+    ln.dropped = 0;
+  }
 }
 
 StageBreakdown Tracer::breakdown() const {
   StageBreakdown b;
-  for (const Span& s : spans_) b.add(s);
+  for (const auto& ln : lanes_)
+    for (const Span& s : ln.spans) b.add(s);
   return b;
 }
 
-std::string Tracer::chrome_json() const { return chrome_trace_json(spans_); }
+std::string Tracer::chrome_json() const { return chrome_trace_json(spans()); }
 
 std::string chrome_trace_json(const std::vector<Span>& spans,
                               const char* (*opcode_name)(std::uint8_t)) {

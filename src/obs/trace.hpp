@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/lane.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace rdmasem::obs {
 
@@ -67,21 +69,34 @@ struct StageBreakdown {
 // RNG and never delays a coroutine, so enabling tracing cannot perturb
 // the virtual-clock timeline (the zero-cost contract, asserted by
 // obs_test.cpp and the determinism suites).
+//
+// Spans land in PER-LANE buffers indexed by sim::current_lane(), so
+// worker shards record without synchronization and — because each lane's
+// span sequence is deterministic whatever the shard count — every export
+// (chrome_json, breakdown, drain order) is shard-count-invariant: lanes
+// are concatenated in lane order and stable-sorted by begin time.
 class Tracer {
  public:
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
-  // Bounds memory: spans beyond the cap are counted in dropped().
+  // Bounds memory PER LANE: spans beyond the cap are counted in dropped().
   void set_capacity(std::size_t max_spans) { capacity_ = max_spans; }
+  // Pre-sizes the per-lane buffers (driver lane + one per machine). The
+  // Cluster calls this at construction; a bare Tracer has lane 0 only.
+  void set_lanes(std::uint32_t lanes) { lanes_.resize(lanes); }
 
   void span(Stage stage, sim::Time begin, sim::Time end, std::uint64_t wr_id,
             std::uint64_t qp_id, std::uint32_t machine, std::uint8_t opcode) {
     if (!enabled_) return;
-    if (spans_.size() >= capacity_) {
-      ++dropped_;
+    const std::uint32_t lane = sim::current_lane();
+    RDMASEM_CHECK_MSG(lane < lanes_.size(),
+                      "tracer lane buffer missing (set_lanes)");
+    LaneBuf& ln = lanes_[lane];
+    if (ln.spans.size() >= capacity_) {
+      ++ln.dropped;
       return;
     }
-    spans_.push_back({begin, end, wr_id, qp_id, machine, stage, opcode});
+    ln.spans.push_back({begin, end, wr_id, qp_id, machine, stage, opcode});
   }
   void instant(Stage stage, sim::Time at, std::uint64_t wr_id,
                std::uint64_t qp_id, std::uint32_t machine,
@@ -89,24 +104,35 @@ class Tracer {
     span(stage, at, at, wr_id, qp_id, machine, opcode);
   }
 
-  const std::vector<Span>& spans() const { return spans_; }
-  std::uint64_t dropped() const { return dropped_; }
+  // All recorded spans, merged deterministically across lanes.
+  std::vector<Span> spans() const;
+  std::uint64_t dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& ln : lanes_) n += ln.dropped;
+    return n;
+  }
   // Moves the recorded spans out (e.g. into a bench-wide sink) and
-  // resets the buffer.
+  // resets the buffers.
   std::vector<Span> drain();
   void clear();
 
   StageBreakdown breakdown() const;
   // Chrome trace-event JSON ({"traceEvents":[...]}), loadable by
   // Perfetto (ui.perfetto.dev) and chrome://tracing. Byte-deterministic
-  // for identical runs.
+  // for identical runs, whatever RDMASEM_SHARDS is.
   std::string chrome_json() const;
 
  private:
+  // Cache-line aligned so two lanes appending concurrently do not share
+  // a line through the vector headers.
+  struct alignas(64) LaneBuf {
+    std::vector<Span> spans;
+    std::uint64_t dropped = 0;
+  };
+
   bool enabled_ = false;
   std::size_t capacity_ = 1u << 22;  // ~168 MB worst case; benches drain
-  std::uint64_t dropped_ = 0;
-  std::vector<Span> spans_;
+  std::vector<LaneBuf> lanes_ = std::vector<LaneBuf>(1);
 };
 
 // The same JSON for an externally accumulated span list (bench harness

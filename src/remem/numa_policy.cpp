@@ -30,7 +30,9 @@ void ProxySocketRouter::add_route(hw::SocketId socket,
   r.slot_sem = std::make_unique<sim::Semaphore>(engine_, kSlots);
   r.free_slots.reserve(kSlots);
   for (std::uint32_t s = 0; s < kSlots; ++s) r.free_slots.push_back(s);
-  engine_.spawn(worker(&r));
+  // The proxy worker belongs to the QP's machine: park it on that lane so
+  // the whole request/response path stays lane-local.
+  engine_.spawn_on(qp->context().machine().id() + 1, worker(&r));
 }
 
 ProxySocketRouter::Route* ProxySocketRouter::route_for(hw::SocketId socket,
@@ -86,6 +88,8 @@ sim::TaskT<verbs::Completion> ProxySocketRouter::submit(
     hw::SocketId caller_socket, hw::SocketId target_socket,
     std::uint32_t remote_machine, verbs::WorkRequest wr) {
   Route* route = route_for(target_socket, remote_machine);
+  // All router state lives on the local machine's lane.
+  co_await sim::settle(engine_, route->qp->context().machine().id() + 1);
   obs::Hub& hub = route->qp->context().cluster().obs();
   if (caller_socket == target_socket) {
     ++direct_;

@@ -30,7 +30,9 @@ verbs::QueuePair* RpcServer::add_endpoint() {
              static_cast<std::uint32_t>(kMsgBytes), ep->recv_mr->key}});
   Endpoint* raw = ep.get();
   endpoints_.push_back(std::move(ep));
-  ctx_.engine().spawn(serve(raw));
+  // The service loop lives on the server machine's lane: RECV completions
+  // land there, so the CQ channel stays single-lane.
+  ctx_.engine().spawn_on(ctx_.machine().id() + 1, serve(raw));
   return raw->qp;
 }
 
@@ -83,6 +85,9 @@ RpcClient::RpcClient(verbs::Context& ctx, const verbs::QpConfig& cfg)
 sim::TaskT<Outcome<std::uint64_t>> RpcClient::call(std::uint64_t op,
                                                    std::uint64_t arg) {
   auto& ctx = qp_->context();
+  // Run the whole call on the client machine's lane: the gate, the CQ
+  // channel and the reply buffer are all owned by this lane.
+  co_await sim::settle(ctx.engine(), ctx.machine().id() + 1);
   co_await gate_->acquire();
   // Arm the reply buffer first, then send the request.
   qp_->post_recv({ctx.next_wr_id(), {mr_->addr + 64, 8, mr_->key}});

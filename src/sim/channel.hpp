@@ -36,7 +36,7 @@ class Channel {
       return ch.waiters_.empty() && !ch.items_.empty();
     }
     void await_suspend(std::coroutine_handle<> h) {
-      ch.waiters_.push_back(h);
+      ch.waiters_.push_back({h, current_lane()});
       // If items are available (we suspended only for FIFO fairness),
       // make sure a wake-up is in flight.
       ch.wake_one();
@@ -69,10 +69,13 @@ class Channel {
     if (waiters_.empty() || items_.empty()) return;
     if (wake_pending_) return;
     wake_pending_ = true;
-    engine_.schedule_in(0, [this] {
+    // The wake event runs on the front waiter's lane (stable while a wake
+    // is pending: only the wake itself dequeues waiters) so the consumer
+    // resumes where it suspended.
+    engine_.schedule_on(waiters_.front().lane, engine_.now(), [this] {
       wake_pending_ = false;
       if (waiters_.empty() || items_.empty()) return;
-      auto h = waiters_.front();
+      auto h = waiters_.front().handle;
       waiters_.pop_front();
       h.resume();  // consumes its item in await_resume
       wake_one();  // arm the next waiter if more items remain
@@ -81,7 +84,7 @@ class Channel {
 
   Engine& engine_;
   std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<LaneWaiter> waiters_;
   bool wake_pending_ = false;
 };
 

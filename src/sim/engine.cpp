@@ -4,55 +4,273 @@
 
 namespace rdmasem::sim {
 
-void Engine::spawn(Task&& task) {
-  auto h = task.release_detached(&detached_);
-  resume_at(now_, h);
+namespace {
+
+// Seed for lane l's private RNG stream: a splitmix64 step keyed on the
+// lane, so streams are decorrelated but a pure function of (seed, lane) —
+// independent of shard placement.
+std::uint64_t mix_seed(std::uint64_t s, std::uint32_t lane) {
+  std::uint64_t z = s + 0x9e3779b97f4a7c15ULL * (lane + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+// Spin-then-yield wait: parallel runs spin briefly (epochs are short) but
+// must not burn a core-bound container — CI and laptops run shards > cores.
+template <typename Cond>
+void spin_until(Cond&& cond) {
+  for (int i = 0; !cond(); ++i) {
+    if (i >= 128) std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+std::uint32_t current_lane() noexcept { return detail::t_exec.lane; }
+
+Engine::Engine() : base_seed_(kDefaultSeed) {
+  shards_.push_back(std::make_unique<Shard>());
+  shards_[0]->outbox.resize(1);
+  lane_seq_.assign(1, 0);
+  lane_rng_.emplace_back(base_seed_);
+  lane_shard_.assign(1, 0);
 }
 
 Engine::~Engine() {
-  // Unblocked destruction order: drop the event queue first (pending
+  // Unblocked destruction order: drop the event queues first (pending
   // resumptions reference frames), then destroy surviving frames.
-  queue_.clear();
-  for (void* addr : detached_)
-    std::coroutine_handle<>::from_address(addr).destroy();
+  for (auto& sh : shards_) sh->queue.clear();
+  for (auto& sh : shards_) {
+    for (void* addr : sh->detached.frames)
+      std::coroutine_handle<>::from_address(addr).destroy();
+    sh->detached.frames.clear();
+  }
 }
 
-void Engine::dispatch(Event& ev) {
-  now_ = ev.at;
-  ++processed_;
+void Engine::configure_lanes(std::uint32_t lanes, std::uint32_t shards) {
+  RDMASEM_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
+                    "configure_lanes: lane count out of range");
+  if (shards == 0) shards = 1;
+  if (shards > lanes) shards = lanes;
+  for (auto& sh : shards_)
+    RDMASEM_CHECK_MSG(sh->queue.empty(),
+                      "configure_lanes with events already scheduled");
+  lanes_ = lanes;
+  nshards_ = shards;
+  lane_seq_.assign(lanes, 0);
+  lane_rng_.clear();
+  lane_rng_.reserve(lanes);
+  for (std::uint32_t l = 0; l < lanes; ++l)
+    lane_rng_.emplace_back(l == 0 ? base_seed_ : mix_seed(base_seed_, l));
+  // Lane 0 (driver) runs on shard 0; machine lanes split into contiguous
+  // equal-size groups, so fabric neighbours tend to share a shard.
+  lane_shard_.assign(lanes, 0);
+  for (std::uint32_t l = 1; l < lanes; ++l)
+    lane_shard_[l] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(l - 1) * shards) / (lanes - 1));
+  while (shards_.size() < shards) shards_.push_back(std::make_unique<Shard>());
+  shards_.resize(shards);
+  for (auto& sh : shards_) {
+    sh->now = unified_now_;
+    sh->outbox.clear();
+    sh->outbox.resize(shards);
+  }
+}
+
+void Engine::seed(std::uint64_t s) {
+  base_seed_ = s;
+  for (std::uint32_t l = 0; l < lane_rng_.size(); ++l)
+    lane_rng_[l].reseed(l == 0 ? s : mix_seed(s, l));
+}
+
+void Engine::spawn_on(std::uint32_t lane, Task&& task) {
+  RDMASEM_CHECK_MSG(lane < lanes_, "spawn_on: lane out of range");
+  auto h = task.release_detached(&shards_[lane_shard_[lane]]->detached);
+  resume_on(lane, caller_now(), h);
+}
+
+void Engine::dispatch(Shard& sh, std::uint32_t shard_idx, Event& ev) {
+  sh.now = ev.at;
+  ++sh.processed;
+  const detail::ExecContext saved = detail::t_exec;
+  detail::t_exec = {this, shard_idx, ev.exec_lane};
   if (ev.handle) {
     ev.handle.resume();
   } else {
     ev.fn();
   }
+  detail::t_exec = saved;
 }
 
 Time Engine::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.pop(now_);
-    dispatch(ev);
+  if (nshards_ == 1) {
+    // Hot loop: the exec context is written once and only the lane field
+    // updates per event (dispatch()'s full save/restore costs two extra
+    // thread-local writes per event — measurable in the selfbench).
+    Shard& sh = *shards_[0];
+    const detail::ExecContext saved = detail::t_exec;
+    detail::t_exec = {this, 0, 0};
+    while (!sh.queue.empty()) {
+      Event ev = sh.queue.pop();
+      sh.now = ev.at;
+      ++sh.processed;
+      detail::t_exec.lane = ev.exec_lane;
+      if (ev.handle) {
+        ev.handle.resume();
+      } else {
+        ev.fn();
+      }
+    }
+    detail::t_exec = saved;
+    unified_now_ = std::max(unified_now_, sh.now);
+    return unified_now_;
   }
-  return now_;
+  run_parallel(kNoDeadline);
+  return unified_now_;
 }
 
 bool Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.next_time(now_) <= deadline) {
-    Event ev = queue_.pop(now_);
-    dispatch(ev);
+  if (nshards_ == 1) {
+    Shard& sh = *shards_[0];
+    const detail::ExecContext saved = detail::t_exec;
+    detail::t_exec = {this, 0, 0};
+    while (!sh.queue.empty() && sh.queue.next_time() <= deadline) {
+      Event ev = sh.queue.pop();
+      sh.now = ev.at;
+      ++sh.processed;
+      detail::t_exec.lane = ev.exec_lane;
+      if (ev.handle) {
+        ev.handle.resume();
+      } else {
+        ev.fn();
+      }
+    }
+    detail::t_exec = saved;
+    unified_now_ = std::max(unified_now_, sh.now);
+    if (sh.queue.empty()) return false;
+    unified_now_ = std::max(unified_now_, deadline);
+    return true;
   }
-  if (queue_.empty()) return false;
-  now_ = std::max(now_, deadline);
-  return true;
+  const bool remaining = run_parallel(deadline);
+  if (remaining) unified_now_ = std::max(unified_now_, deadline);
+  return remaining;
 }
 
 std::uint64_t Engine::run_events(std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (n < max_events && !queue_.empty()) {
-    Event ev = queue_.pop(now_);
-    dispatch(ev);
+  while (n < max_events) {
+    Shard* best = nullptr;
+    std::uint32_t best_idx = 0;
+    std::pair<Time, std::uint64_t> best_key{};
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      Shard& sh = *shards_[s];
+      if (sh.queue.empty()) continue;
+      const auto key = sh.queue.peek();
+      if (best == nullptr || key < best_key) {
+        best = &sh;
+        best_idx = s;
+        best_key = key;
+      }
+    }
+    if (best == nullptr) break;
+    Event ev = best->queue.pop();
+    dispatch(*best, best_idx, ev);
     ++n;
   }
+  Time mx = unified_now_;
+  for (const auto& sh : shards_) mx = std::max(mx, sh->now);
+  unified_now_ = mx;
   return n;
+}
+
+void Engine::merge_outboxes() {
+  for (auto& src : shards_) {
+    for (std::uint32_t d = 0; d < nshards_; ++d) {
+      auto& box = src->outbox[d];
+      for (Event& ev : box) shards_[d]->queue.push(std::move(ev));
+      box.clear();
+    }
+  }
+}
+
+void Engine::run_shard_epoch(std::uint32_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  const detail::ExecContext saved = detail::t_exec;
+  detail::t_exec = {this, shard_idx, 0};
+  while (!sh.queue.empty() && sh.queue.next_time() < epoch_end_) {
+    Event ev = sh.queue.pop();
+    sh.now = ev.at;
+    ++sh.processed;
+    detail::t_exec.lane = ev.exec_lane;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.fn();
+    }
+  }
+  detail::t_exec = saved;
+}
+
+void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
+  // The baseline generation is captured by the main thread BEFORE the
+  // first epoch is released — reading gen_ here instead would race with
+  // that release and could skip the first epoch (deadlocking the barrier).
+  std::uint64_t seen = base_gen;
+  for (;;) {
+    spin_until([&] { return gen_.load(std::memory_order_acquire) != seen; });
+    seen = gen_.load(std::memory_order_acquire);
+    if (stop_) return;
+    run_shard_epoch(shard_idx);
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+bool Engine::run_parallel(Time deadline) {
+  RDMASEM_CHECK_MSG(lookahead_ > 0,
+                    "parallel run requires set_lookahead() > 0");
+  stop_ = false;
+  parallel_running_ = true;
+  std::vector<std::thread> workers;
+  workers.reserve(nshards_ - 1);
+  const std::uint64_t base_gen = gen_.load(std::memory_order_relaxed);
+  for (std::uint32_t s = 1; s < nshards_; ++s)
+    workers.emplace_back(&Engine::worker_main, this, s, base_gen);
+
+  for (;;) {
+    // Workers are parked here (either not yet released, or arrived at the
+    // barrier), so the main thread owns every queue and outbox.
+    merge_outboxes();
+    Time t = kNoDeadline;
+    for (auto& sh : shards_)
+      if (!sh->queue.empty()) t = std::min(t, sh->queue.next_time());
+    if (t == kNoDeadline || (deadline != kNoDeadline && t > deadline)) break;
+    Time end = t + lookahead_;
+    if (end < t) end = kNoDeadline;  // saturate
+    if (deadline != kNoDeadline) end = std::min(end, deadline + 1);
+    epoch_end_ = end;
+    arrived_.store(0, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    run_shard_epoch(0);
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+    spin_until([&] {
+      return arrived_.load(std::memory_order_acquire) == nshards_;
+    });
+  }
+
+  stop_ = true;
+  gen_.fetch_add(1, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  parallel_running_ = false;
+
+  Time mx = unified_now_;
+  for (const auto& sh : shards_) mx = std::max(mx, sh->now);
+  unified_now_ = mx;
+  for (const auto& sh : shards_)
+    if (!sh->queue.empty()) return true;
+  return false;
 }
 
 }  // namespace rdmasem::sim

@@ -1,89 +1,276 @@
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/lane.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace rdmasem::sim {
 
-// Discrete-event simulation engine: a virtual clock plus a calendar queue
-// of (time, sequence, callback) events (see sim/event_queue.hpp). Events
-// with equal timestamps fire in schedule order (FIFO tie-break), which
-// keeps multi-actor simulations deterministic.
+class Engine;
+
+namespace detail {
+
+// Which engine/shard/lane the current thread is dispatching for. Set by
+// Engine::dispatch around every event; empty outside a dispatch.
+struct ExecContext {
+  Engine* eng = nullptr;
+  std::uint32_t shard = 0;
+  std::uint32_t lane = 0;
+};
+inline thread_local ExecContext t_exec{};
+
+}  // namespace detail
+
+// Discrete-event simulation engine: a virtual clock plus calendar queues
+// of (time, key, callback) events (see sim/event_queue.hpp).
 //
-// The hot path is allocation-free: callables ride in the event's inline
-// small buffer (InlineFn), event storage is recycled by the calendar
-// queue's bucket vectors, and coroutine frames come from FramePool.
+// Work is organized in LANES: lane 0 is the driver/main context, lane m+1
+// is machine m of a cluster. Every event carries the lane it executes on;
+// its dispatch key is (origin_lane << 48) | per_lane_seq, so the total
+// (at, key) order is a pure function of per-lane schedule order — it does
+// not depend on how lanes are placed onto shards. That is the determinism
+// backbone of the parallel mode.
 //
-// The engine is single-threaded by design — simulated concurrency comes from
-// coroutine Tasks interleaving on the virtual clock, not from OS threads.
+// With configure_lanes(lanes, shards > 1) the engine partitions lanes
+// across worker shards, each with its own EventQueue, and run()/run_until()
+// execute shards on OS threads synchronized in conservative epochs of
+// width set_lookahead() (the minimum cross-shard fabric latency). Events
+// crossing shards inside an epoch go through per-(src,dst) mailboxes and
+// are merged at the epoch barrier; because merge order is absorbed by the
+// (at, key) priority order, parallel execution is byte-identical to
+// serial (docs/PERF.md has the full argument; tests/determinism_test.cpp
+// and tests/parallel_determinism_test.cpp are the oracle).
+//
+// The default is one lane on one shard — the classic single-threaded
+// engine, with no threads and no barriers on the hot path.
 class Engine {
  public:
-  Engine() = default;
+  static constexpr std::uint32_t kLaneShift = 48;
+  static constexpr std::uint32_t kMaxLanes = 1u << 14;
+
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   // Reclaims spawned coroutine frames that are still suspended (e.g.
   // server loops parked on an empty channel).
   ~Engine();
 
-  Time now() const { return now_; }
+  // Inside a dispatch: the executing shard's clock (== the running
+  // event's timestamp, exactly as in the serial engine). Outside: the
+  // unified clock — max over shard clocks at the last run boundary —
+  // which is identical for every shard count. Benches and the Rig read
+  // timestamps only through this accessor, so they cannot observe
+  // shard-local time skew.
+  Time now() const {
+    return detail::t_exec.eng == this ? shards_[detail::t_exec.shard]->now
+                                      : unified_now_;
+  }
 
-  // Schedules `fn` to run at absolute time `at` (clamped to now()).
+  // --- lane topology -------------------------------------------------------
+
+  // Partitions `lanes` logical lanes (driver + machines) across `shards`
+  // worker shards. Must be called before any event is scheduled; lane 0
+  // always maps to shard 0 (the main thread).
+  void configure_lanes(std::uint32_t lanes, std::uint32_t shards);
+  std::uint32_t lanes() const { return lanes_; }
+  std::uint32_t shards() const { return nshards_; }
+  std::uint32_t shard_of(std::uint32_t lane) const {
+    return lane_shard_[lane];
+  }
+  // Conservative-epoch width for parallel runs: the minimum cross-shard
+  // event latency (minimum fabric link latency). Any cross-shard event
+  // scheduled less than this far ahead aborts the run (RDMASEM_CHECK).
+  void set_lookahead(Duration d) { lookahead_ = d; }
+  Duration lookahead() const { return lookahead_; }
+
+  // --- scheduling ----------------------------------------------------------
+
+  // Schedules `fn` to run at absolute time `at` (clamped to now()) on the
+  // calling lane.
   template <typename F>
   void schedule_at(Time at, F&& fn) {
-    queue_.push(now_, Event{at < now_ ? now_ : at, seq_++, nullptr,
-                            InlineFn(std::forward<F>(fn))});
+    const Caller c = caller();
+    schedule_from(c, c.lane, at, std::forward<F>(fn));
   }
-  // Schedules `fn` to run `delay` after now().
+  // Schedules `fn` to run `delay` after now() on the calling lane.
   template <typename F>
   void schedule_in(Duration delay, F&& fn) {
-    schedule_at(now_ + delay, std::forward<F>(fn));
+    const Caller c = caller();
+    schedule_from(c, c.lane, c.now + delay, std::forward<F>(fn));
   }
-  // Schedules a coroutine resumption (cheaper + clearer than a lambda).
-  void resume_at(Time at, std::coroutine_handle<> h) {
-    queue_.push(now_, Event{at < now_ ? now_ : at, seq_++, h, InlineFn{}});
-  }
-  void resume_in(Duration delay, std::coroutine_handle<> h) {
-    resume_at(now_ + delay, h);
+  // Schedules `fn` on an explicit lane. The dispatch key still carries
+  // the CALLING lane (origin), keeping the total order placement-free.
+  template <typename F>
+  void schedule_on(std::uint32_t lane, Time at, F&& fn) {
+    schedule_from(caller(), lane, at, std::forward<F>(fn));
   }
 
-  // Transfers ownership of a Task to the engine and starts it at now().
-  // The coroutine frame is destroyed when it finishes.
-  void spawn(Task&& task);
+  // Schedules a coroutine resumption (cheaper + clearer than a lambda).
+  void resume_at(Time at, std::coroutine_handle<> h) {
+    const Caller c = caller();
+    resume_from(c, c.lane, at, h);
+  }
+  void resume_in(Duration delay, std::coroutine_handle<> h) {
+    const Caller c = caller();
+    resume_from(c, c.lane, c.now + delay, h);
+  }
+  void resume_on(std::uint32_t lane, Time at, std::coroutine_handle<> h) {
+    resume_from(caller(), lane, at, h);
+  }
+
+  // Transfers ownership of a Task to the engine and starts it at now()
+  // on the calling lane (spawn) or an explicit lane (spawn_on). Root
+  // tasks that drive a machine MUST be spawned on that machine's lane
+  // (machine_id + 1) or they race under RDMASEM_SHARDS > 1. The frame is
+  // destroyed when the task finishes.
+  void spawn(Task&& task) { spawn_on(caller_lane(), std::move(task)); }
+  void spawn_on(std::uint32_t lane, Task&& task);
+
+  // --- running -------------------------------------------------------------
 
   // Runs until the event queue is empty. Returns the final clock value.
   Time run();
   // Runs events with timestamp <= deadline; clock ends at
   // max(now, min(deadline, last event time)). Returns true if events remain.
   bool run_until(Time deadline);
-  // Drains at most `max_events` events; returns number processed.
+  // Drains at most `max_events` events in global (at, key) order; returns
+  // the number processed. Always serial, whatever the shard count.
   std::uint64_t run_events(std::uint64_t max_events);
 
-  bool idle() const { return queue_.empty(); }
-  std::uint64_t events_processed() const { return processed_; }
+  bool idle() const {
+    for (const auto& sh : shards_)
+      if (!sh->queue.empty()) return false;
+    return true;
+  }
+  std::uint64_t events_processed() const {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_) n += sh->processed;
+    return n;
+  }
 
-  Rng& rng() { return rng_; }
-  void seed(std::uint64_t s) { rng_.reseed(s); }
+  // The calling lane's deterministic random stream. Streams are per-lane
+  // so draws are independent of shard placement; lane 0 keeps the exact
+  // seed-engine stream.
+  Rng& rng() { return lane_rng_[caller_lane()]; }
+  void seed(std::uint64_t s);
 
  private:
-  void dispatch(Event& ev);
+  struct alignas(64) Shard {
+    EventQueue queue;
+    Time now = 0;
+    std::uint64_t processed = 0;
+    // Cross-shard events produced during the current epoch, merged into
+    // the destination queues at the barrier by the main thread.
+    std::vector<std::vector<Event>> outbox;
+    DetachedRegistry detached;
+  };
 
-  Time now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::uint64_t processed_ = 0;
-  EventQueue queue_;
-  std::unordered_set<void*> detached_;
-  Rng rng_;
+  // The calling context's (origin lane, clock), read from thread-local
+  // state ONCE per public scheduling call — the schedule path is the
+  // engine's hottest, so every public entry snapshots this and threads it
+  // through instead of re-deriving per field.
+  struct Caller {
+    std::uint32_t lane;
+    Time now;
+  };
+  Caller caller() const {
+    const detail::ExecContext x = detail::t_exec;
+    return x.eng == this ? Caller{x.lane, shards_[x.shard]->now}
+                         : Caller{0, unified_now_};
+  }
+  std::uint32_t caller_lane() const { return caller().lane; }
+  Time caller_now() const { return caller().now; }
+  // Dispatch keys pack the ORIGIN lane above a per-lane counter: ties at
+  // one timestamp order by (origin lane, per-lane schedule order), which
+  // every shard count reproduces identically.
+  std::uint64_t key_for(std::uint32_t origin) {
+    return (static_cast<std::uint64_t>(origin) << kLaneShift) |
+           lane_seq_[origin]++;
+  }
+
+  template <typename F>
+  void schedule_from(const Caller& c, std::uint32_t lane, Time at, F&& fn) {
+    push_event(lane, Event{at < c.now ? c.now : at, key_for(c.lane), nullptr,
+                           InlineFn(std::forward<F>(fn)), lane});
+  }
+  void resume_from(const Caller& c, std::uint32_t lane, Time at,
+                   std::coroutine_handle<> h) {
+    push_event(lane, Event{at < c.now ? c.now : at, key_for(c.lane), h,
+                           InlineFn{}, lane});
+  }
+
+  void push_event(std::uint32_t target_lane, Event&& ev) {
+    RDMASEM_CHECK_MSG(target_lane < lanes_, "event lane out of range");
+    const std::uint32_t dst = lane_shard_[target_lane];
+    if (parallel_running_) {
+      const std::uint32_t src =
+          detail::t_exec.eng == this ? detail::t_exec.shard : 0;
+      if (dst != src) {
+        // Conservative-epoch safety: a cross-shard event may not land
+        // inside the current epoch (the destination may already have run
+        // past it). The fabric guarantees this by construction — every
+        // cross-machine path pays at least the lookahead latency.
+        RDMASEM_CHECK_MSG(ev.at >= epoch_end_,
+                          "cross-shard event inside the lookahead window");
+        shards_[src]->outbox[dst].push_back(std::move(ev));
+        return;
+      }
+    }
+    shards_[dst]->queue.push(std::move(ev));
+  }
+
+  void dispatch(Shard& sh, std::uint32_t shard_idx, Event& ev);
+  // Runs one shard's events with at < epoch_end_.
+  void run_shard_epoch(std::uint32_t shard_idx);
+  void worker_main(std::uint32_t shard_idx, std::uint64_t base_gen);
+  // The conservative-epoch driver; `deadline` = kNoDeadline for run().
+  // Returns true if events remain past the deadline.
+  bool run_parallel(Time deadline);
+  void merge_outboxes();
+
+  static constexpr Time kNoDeadline = ~Time{0};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint64_t> lane_seq_;
+  std::vector<Rng> lane_rng_;
+  std::vector<std::uint32_t> lane_shard_;
+  std::uint32_t lanes_ = 1;
+  std::uint32_t nshards_ = 1;
+  Duration lookahead_ = 0;
+  Time unified_now_ = 0;
+  std::uint64_t base_seed_;
+
+  // Parallel-run state. epoch_end_ / stop_ are written by the main thread
+  // only while the workers are parked at the barrier (publication happens
+  // through gen_'s release/acquire pair).
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::uint32_t> arrived_{0};
+  Time epoch_end_ = 0;
+  bool stop_ = false;
+  bool parallel_running_ = false;
+};
+
+// One suspended coroutine plus the lane it must resume on. Sync
+// primitives record this at await time so wakes land on the waiter's
+// lane whatever lane the waker runs on.
+struct LaneWaiter {
+  std::coroutine_handle<> handle;
+  std::uint32_t lane;
 };
 
 // Awaitable returned by delay(): suspends the coroutine and resumes it
-// `d` later on the virtual clock.
+// `d` later on the virtual clock, on the same lane.
 struct DelayAwaiter {
   Engine& engine;
   Duration d;
@@ -98,5 +285,43 @@ inline DelayAwaiter delay(Engine& e, Duration d) { return {e, d}; }
 
 // Yield: reschedule at the current time, behind already-queued events.
 inline DelayAwaiter yield(Engine& e) { return {e, 0}; }
+
+// Awaitable returned by hop(): suspends the coroutine and resumes it `d`
+// later ON `lane` — the only way execution migrates between lanes. Under
+// RDMASEM_SHARDS > 1, `d` must be >= the engine lookahead when the target
+// lane lives on another shard (the fabric's link latency always is).
+struct HopAwaiter {
+  Engine& engine;
+  std::uint32_t lane;
+  Duration d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.resume_on(lane, engine.now() + d, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline HopAwaiter hop(Engine& e, std::uint32_t lane, Duration d) {
+  return {e, lane, d};
+}
+
+// Conditional hop: no-op when the caller is already on `lane`, otherwise
+// a hop of one lookahead (the minimum legal cross-shard migration).
+// Per-machine objects (front-ends, proxy routers, executors) put this at
+// the top of their public coroutines so their state is only ever touched
+// from the owner machine's lane, whatever lane the caller was resumed on.
+struct SettleAwaiter {
+  Engine& engine;
+  std::uint32_t lane;
+  bool await_ready() const noexcept { return current_lane() == lane; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.resume_on(lane, engine.now() + engine.lookahead(), h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline SettleAwaiter settle(Engine& e, std::uint32_t lane) {
+  return {e, lane};
+}
 
 }  // namespace rdmasem::sim

@@ -4,6 +4,7 @@
 #include <bit>
 #include <coroutine>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/inline_fn.hpp"
@@ -14,13 +15,19 @@ namespace rdmasem::sim {
 
 // One scheduled engine event. `handle` set => coroutine resumption;
 // otherwise `fn` is invoked. (at, seq) is the total dispatch order:
-// earlier time first, FIFO (schedule order) on ties — exactly the seed
-// engine's binary-heap order, preserved bit-for-bit by EventQueue.
+// earlier time first, then seq. The engine packs seq as
+// (origin_lane << 48) | per_lane_seq, so the order is a pure function of
+// which lane scheduled the event and in what per-lane order — i.e. it
+// does not depend on how lanes are placed onto shards, which is what
+// makes parallel execution byte-identical to serial (docs/PERF.md).
+// `exec_lane` is the lane the event runs on (differs from the origin
+// lane only for cross-lane hops/wakes).
 struct Event {
   Time at = 0;
   std::uint64_t seq = 0;
   std::coroutine_handle<> handle{};
   InlineFn fn;
+  std::uint32_t exec_lane = 0;
 };
 
 inline bool event_before(const Event& a, const Event& b) {
@@ -35,31 +42,39 @@ inline bool event_after(const Event& a, const Event& b) {
 // simulation of RNIC/fabric traffic, replacing the seed's global binary
 // heap (O(log n) per op, one std::function heap allocation per event).
 //
-// Three tiers, by distance from the dispatch cursor:
+// Two tiers, by distance from the dispatch cursor:
 //
-//   * immediates: events scheduled AT the current dispatch timestamp
-//     (yield(), channel wake-ups, resume_at(now)). A plain FIFO ring —
-//     O(1) push/pop, no comparisons. The FIFO order IS (at, seq) order
-//     because every entry shares `at == now` and arrives in seq order.
 //   * near ring: kBuckets time buckets of kSlotWidth each (~2 us horizon
 //     total), covering the short-horizon delays that dominate the verb
-//     pipeline (EU/DMA/wire/DRAM service times). Future buckets are
-//     unsorted vectors (O(1) append); a bucket is heapified once, when
-//     the cursor reaches it, so dispatch costs O(log bucket_size) —
-//     effectively O(1) amortized since buckets hold few events.
+//     pipeline (EU/DMA/wire/DRAM service times) as well as same-timestamp
+//     wakeups, which land in the cursor bucket. Future buckets are
+//     unsorted vectors (O(1) append); a bucket is sorted once, when the
+//     cursor reaches it, and consumed through a head index, so dispatch
+//     is O(1) per event. Pushes into the cursor bucket insert in key
+//     order — an append when the key is past the bucket maximum (the
+//     common monotone case: per-lane seq counters only grow), a binary
+//     search + small memmove otherwise (buckets hold few events).
 //   * overflow: a (at, seq) min-heap for events past the ring horizon
-//     (retransmit timers, fault windows, app-level timeouts). When the
-//     ring drains, the window re-anchors at the overflow minimum and one
-//     horizon's worth of events migrates into the ring (each event
-//     migrates at most once).
+//     (retransmit timers, fault windows, app-level timeouts) or behind
+//     the cursor (cross-shard merges, pushes after run_until parked the
+//     clock). When the ring drains, the window re-anchors at the
+//     overflow minimum and one horizon's worth of events migrates into
+//     the ring (each event migrates at most once).
+//
+// The seed engine's separate same-timestamp FIFO ring is gone: with
+// lane-packed seq keys, push order at one timestamp is no longer key
+// order (a later push from a lower lane sorts first), so immediates are
+// ordered through the cursor-bucket heap like everything else.
 //
 // Determinism: pop() always returns the global (at, seq) minimum across
-// the three tiers, so dispatch order is identical to the seed heap
-// (asserted by the fuzz differential in tests/fuzz_test.cpp).
+// the tiers regardless of push order — pushes do NOT need increasing seq,
+// which is what lets the parallel driver bulk-merge cross-shard mailboxes
+// at epoch barriers in arbitrary arrival order (asserted by the fuzz
+// differential in tests/fuzz_test.cpp).
 //
-// Storage is pooled by construction: bucket vectors, the immediate ring
-// and the overflow heap all keep their capacity across cycles, so a
-// warmed-up queue schedules and dispatches without allocating.
+// Storage is pooled by construction: bucket vectors and the overflow
+// heap keep their capacity across cycles, so a warmed-up queue schedules
+// and dispatches without allocating.
 class EventQueue {
  public:
   // 256 buckets x 8.192 ns = ~2.1 us near horizon.
@@ -71,24 +86,24 @@ class EventQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  // `now` is the engine clock (time of the last dispatched event). `ev.at`
-  // must already be clamped to >= now; `ev.seq` must be strictly
-  // increasing across pushes.
-  void push(Time now, Event&& ev) {
+  // `ev.seq` must be unique among coexisting events; no push-order
+  // constraint beyond that.
+  void push(Event&& ev) {
     ++size_;
-    if (ev.at == now) {
-      imm_.push_back(std::move(ev));
-      return;
-    }
     const std::uint64_t slot = ev.at >> kSlotShift;
     if (slot >= cur_slot_ && slot - cur_slot_ < kBuckets) {
       auto& b = buckets_[slot & kIndexMask];
       mark_occupied(static_cast<std::uint32_t>(slot & kIndexMask));
       ++ring_count_;
-      b.push_back(std::move(ev));
-      // The cursor bucket is kept in heap form (pop reads its minimum).
-      if (slot == cur_slot_)
-        std::push_heap(b.begin(), b.end(), event_after);
+      if (slot != cur_slot_ || b.empty() || event_before(b.back(), ev)) {
+        b.push_back(std::move(ev));
+      } else {
+        // The cursor bucket is kept sorted from head_ (pop reads its
+        // minimum at head_); keep the live region ordered.
+        b.insert(std::upper_bound(b.begin() + head_, b.end(), ev,
+                                  event_before),
+                 std::move(ev));
+      }
       return;
     }
     // Past the horizon — or (rarely) behind the cursor, which happens
@@ -99,57 +114,59 @@ class EventQueue {
   }
 
   // Removes and returns the (at, seq)-minimum event. Requires !empty().
-  Event pop(Time now) {
+  Event pop() {
     RDMASEM_CHECK_MSG(size_ > 0, "pop on empty event queue");
     --size_;
-    prepare(now);
-    const Event* ring_top =
-        ring_count_ > 0 && !buckets_[cur_index()].empty()
-            ? &buckets_[cur_index()].front()
-            : nullptr;
-    const Event* ovf_top = overflow_.empty() ? nullptr : &overflow_.front();
-    const bool ring_wins =
-        ring_top != nullptr &&
-        (ovf_top == nullptr || event_before(*ring_top, *ovf_top));
-    const Event* best = ring_wins ? ring_top : ovf_top;
-    // Immediates (at == now) lose ties against bucket/overflow events at
-    // the same timestamp: those were scheduled earlier (smaller seq).
-    if (imm_head_ < imm_.size() && (best == nullptr || best->at != now))
-      return pop_immediate();
-    return ring_wins ? pop_ring() : pop_overflow();
+    prepare();
+    return ring_wins() ? pop_ring() : pop_overflow();
   }
 
   // Timestamp of the next event in dispatch order. Requires !empty().
-  Time next_time(Time now) {
+  Time next_time() {
     RDMASEM_CHECK_MSG(size_ > 0, "next_time on empty event queue");
-    if (imm_head_ < imm_.size()) return now;  // at == now by construction
-    prepare(now);
-    const Event* ring_top =
-        ring_count_ > 0 && !buckets_[cur_index()].empty()
-            ? &buckets_[cur_index()].front()
-            : nullptr;
-    const Event* ovf_top = overflow_.empty() ? nullptr : &overflow_.front();
-    if (ring_top != nullptr &&
-        (ovf_top == nullptr || event_before(*ring_top, *ovf_top)))
-      return ring_top->at;
-    return ovf_top->at;
+    prepare();
+    return peek_best()->at;
+  }
+
+  // (at, seq) key of the next event in dispatch order. Requires !empty().
+  // Used by the engine to pick the globally-minimum shard when stepping
+  // serially across shards (run_events).
+  std::pair<Time, std::uint64_t> peek() {
+    RDMASEM_CHECK_MSG(size_ > 0, "peek on empty event queue");
+    prepare();
+    const Event* best = peek_best();
+    return {best->at, best->seq};
   }
 
   // Drops every queued event (engine teardown). Capacities are kept.
   void clear() {
     for (auto& b : buckets_) b.clear();
     for (auto& w : occupied_) w = 0;
-    imm_.clear();
-    imm_head_ = 0;
     overflow_.clear();
     size_ = 0;
     ring_count_ = 0;
     cur_slot_ = 0;
+    head_ = 0;
   }
 
  private:
   std::uint32_t cur_index() const {
     return static_cast<std::uint32_t>(cur_slot_ & kIndexMask);
+  }
+
+  const Event* ring_top() const {
+    return ring_count_ > 0 && !buckets_[cur_index()].empty()
+               ? &buckets_[cur_index()][head_]
+               : nullptr;
+  }
+  bool ring_wins() const {
+    const Event* rt = ring_top();
+    return rt != nullptr &&
+           (overflow_.empty() || event_before(*rt, overflow_.front()));
+  }
+  // Pointer to the (at, seq)-minimum event; call prepare() first.
+  const Event* peek_best() const {
+    return ring_wins() ? ring_top() : &overflow_.front();
   }
 
   void mark_occupied(std::uint32_t idx) {
@@ -159,10 +176,18 @@ class EventQueue {
     occupied_[idx >> 6] &= ~(1ull << (idx & 63));
   }
 
+  // Sorts the bucket the cursor just reached and resets the consumption
+  // head. Done exactly once per bucket per window pass.
+  void open_bucket() {
+    auto& b = buckets_[cur_index()];
+    std::sort(b.begin(), b.end(), event_before);
+    head_ = 0;
+  }
+
   // Makes the cursor bucket hold the ring minimum: re-anchors an empty
   // ring at the overflow front (bulk refill, each event migrates once)
   // and walks the cursor to the next occupied bucket.
-  void prepare(Time /*now*/) {
+  void prepare() {
     if (ring_count_ == 0) {
       if (overflow_.empty()) return;
       // Re-anchor the window at the earliest overflow event and pull in
@@ -178,8 +203,7 @@ class EventQueue {
         mark_occupied(static_cast<std::uint32_t>(slot & kIndexMask));
         ++ring_count_;
       }
-      auto& b = buckets_[cur_index()];
-      std::make_heap(b.begin(), b.end(), event_after);
+      open_bucket();
       return;
     }
     if (!buckets_[cur_index()].empty()) return;
@@ -198,8 +222,7 @@ class EventQueue {
                                             std::countr_zero(bits));
         const std::uint32_t dist = (hit - ci) & kIndexMask;
         cur_slot_ += dist;
-        auto& b = buckets_[cur_index()];
-        std::make_heap(b.begin(), b.end(), event_after);
+        open_bucket();
         return;
       }
       pos = (pos + span) & kIndexMask;
@@ -208,21 +231,14 @@ class EventQueue {
     RDMASEM_CHECK_MSG(false, "ring_count_ > 0 but no occupied bucket");
   }
 
-  Event pop_immediate() {
-    Event ev = std::move(imm_[imm_head_++]);
-    if (imm_head_ == imm_.size()) {
-      imm_.clear();
-      imm_head_ = 0;
-    }
-    return ev;
-  }
-
   Event pop_ring() {
     auto& b = buckets_[cur_index()];
-    std::pop_heap(b.begin(), b.end(), event_after);
-    Event ev = std::move(b.back());
-    b.pop_back();
-    if (b.empty()) mark_empty(cur_index());
+    Event ev = std::move(b[head_]);
+    if (++head_ == b.size()) {
+      b.clear();
+      head_ = 0;
+      mark_empty(cur_index());
+    }
     --ring_count_;
     return ev;
   }
@@ -236,12 +252,11 @@ class EventQueue {
 
   std::vector<Event> buckets_[kBuckets];
   std::uint64_t occupied_[kBuckets / 64] = {};
-  // FIFO ring of events at exactly the current timestamp. Consumed from
-  // imm_head_; storage is recycled whenever the ring drains.
-  std::vector<Event> imm_;
-  std::size_t imm_head_ = 0;
   std::vector<Event> overflow_;  // min-heap on (at, seq)
   std::uint64_t cur_slot_ = 0;   // absolute slot of the cursor bucket
+  // Next live element of the cursor bucket; [0, head_) is consumed. Only
+  // ever non-zero for the cursor bucket (fully-consumed buckets clear).
+  std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::size_t ring_count_ = 0;
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -9,69 +10,159 @@
 
 namespace rdmasem::sim {
 
+// Lane discipline (RDMASEM_SHARDS > 1): these primitives are not locks —
+// they are virtual-clock rendezvous points. Each has a HOME lane (the
+// lane it was created on) that owns all of its bookkeeping. Signals and
+// wait registrations arriving from another lane are routed to the home
+// lane as an engine event one lookahead later — the same minimum latency
+// any cross-machine signal pays on the fabric — which (a) keeps every
+// cross-shard event outside the conservative epoch and (b) makes the
+// order in which racing signals land a pure function of virtual time and
+// origin-lane keys, i.e. identical for every shard count. Same-lane use
+// (the overwhelmingly common case) takes none of these detours and
+// behaves exactly like the classic single-threaded primitives.
+//
+// Cross-lane use therefore requires a nonzero engine lookahead; the
+// Cluster always configures one. Waiters are resumed on the lane they
+// suspended on.
+
 // OneShotEvent — level-triggered: once set(), all current and future
 // waiters proceed immediately. Used for "experiment warm-up done" barriers.
 class OneShotEvent {
  public:
-  explicit OneShotEvent(Engine& engine) : engine_(engine) {}
+  explicit OneShotEvent(Engine& engine)
+      : engine_(engine), home_(current_lane()) {}
 
   void set() {
-    if (set_) return;
-    set_ = true;
-    for (auto h : waiters_) engine_.resume_at(engine_.now(), h);
-    waiters_.clear();
+    if (current_lane() != home_) {
+      engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+                          [this] { set_local(); });
+      return;
+    }
+    set_local();
   }
+  // Home-lane view; racing cross-lane set()s are still in flight.
   bool is_set() const { return set_; }
 
   struct Awaiter {
     OneShotEvent& ev;
-    bool await_ready() const noexcept { return ev.set_; }
-    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    bool await_ready() const noexcept {
+      return current_lane() == ev.home_ && ev.set_;
+    }
+    void await_suspend(std::coroutine_handle<> h) { ev.suspend(h); }
     void await_resume() const noexcept {}
   };
   Awaiter wait() { return Awaiter{*this}; }
 
  private:
+  void set_local() {
+    if (set_) return;
+    set_ = true;
+    for (const auto& w : waiters_) wake(w);
+    waiters_.clear();
+  }
+  void wake(const LaneWaiter& w) {
+    const Duration d = w.lane == home_ ? 0 : engine_.lookahead();
+    engine_.resume_on(w.lane, engine_.now() + d, w.handle);
+  }
+  void suspend(std::coroutine_handle<> h) {
+    const std::uint32_t lane = current_lane();
+    if (lane == home_) {
+      waiters_.push_back({h, lane});
+      return;
+    }
+    engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+                        [this, h, lane] {
+                          if (set_)
+                            wake({h, lane});
+                          else
+                            waiters_.push_back({h, lane});
+                        });
+  }
+
   Engine& engine_;
+  const std::uint32_t home_;
   bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<LaneWaiter> waiters_;
 };
 
 // CountdownLatch — wait() suspends until count_down() has been called
 // `count` times. The standard join point for "spawn N executors, wait for
-// all of them".
+// all of them". count_down() is legal from any lane: off-home calls are
+// routed to the home lane one lookahead later, so N executors joining a
+// driver-owned latch is deterministic whatever the shard layout.
 class CountdownLatch {
  public:
   CountdownLatch(Engine& engine, std::uint64_t count)
-      : engine_(engine), remaining_(count) {}
+      : engine_(engine), home_(current_lane()), remaining_(count) {}
 
   void count_down() {
-    RDMASEM_CHECK_MSG(remaining_ > 0, "latch underflow");
-    if (--remaining_ == 0) {
-      for (auto h : waiters_) engine_.resume_at(engine_.now(), h);
-      waiters_.clear();
+    if (current_lane() != home_) {
+      engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+                          [this] { dec_local(); });
+      return;
     }
+    dec_local();
   }
-  std::uint64_t remaining() const { return remaining_; }
+  // Exact once the engine is idle (run() drains routed decrements);
+  // mid-run it can lag by signals still in flight.
+  std::uint64_t remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
 
   struct Awaiter {
     CountdownLatch& latch;
-    bool await_ready() const noexcept { return latch.remaining_ == 0; }
-    void await_suspend(std::coroutine_handle<> h) {
-      latch.waiters_.push_back(h);
+    bool await_ready() const noexcept {
+      return current_lane() == latch.home_ && latch.remaining() == 0;
     }
+    void await_suspend(std::coroutine_handle<> h) { latch.suspend(h); }
     void await_resume() const noexcept {}
   };
   Awaiter wait() { return Awaiter{*this}; }
 
  private:
+  void dec_local() {
+    const std::uint64_t prev = remaining_.load(std::memory_order_relaxed);
+    RDMASEM_CHECK_MSG(prev > 0, "latch underflow");
+    remaining_.store(prev - 1, std::memory_order_relaxed);
+    if (prev == 1) {
+      for (const auto& w : waiters_) wake(w);
+      waiters_.clear();
+    }
+  }
+  void wake(const LaneWaiter& w) {
+    const Duration d = w.lane == home_ ? 0 : engine_.lookahead();
+    engine_.resume_on(w.lane, engine_.now() + d, w.handle);
+  }
+  void suspend(std::coroutine_handle<> h) {
+    const std::uint32_t lane = current_lane();
+    if (lane == home_) {
+      waiters_.push_back({h, lane});
+      return;
+    }
+    engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+                        [this, h, lane] {
+                          if (remaining_.load(std::memory_order_relaxed) == 0)
+                            wake({h, lane});
+                          else
+                            waiters_.push_back({h, lane});
+                        });
+  }
+
   Engine& engine_;
-  std::uint64_t remaining_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  const std::uint32_t home_;
+  // Mutated on the home lane only; atomic so the driver may read
+  // remaining() after run() without a formal data race.
+  std::atomic<std::uint64_t> remaining_;
+  std::deque<LaneWaiter> waiters_;
 };
 
 // Semaphore — counting semaphore with FIFO waiters; models bounded
-// windows (e.g. outstanding-WR credit limits on a QP).
+// windows (e.g. outstanding-WR credit limits on a QP). Strictly
+// single-lane: acquirers and releasers are the same client pipeline, so
+// unlike the latch it gets no cross-lane routing. The lane that first
+// touches it becomes its home (construction often happens on the driver,
+// use on a machine lane).
 class Semaphore {
  public:
   Semaphore(Engine& engine, std::uint64_t initial)
@@ -80,6 +171,7 @@ class Semaphore {
   struct Awaiter {
     Semaphore& sem;
     bool await_ready() noexcept {
+      sem.bind_lane();
       if (sem.waiters_.empty() && sem.count_ > 0) {
         --sem.count_;
         return true;
@@ -87,19 +179,20 @@ class Semaphore {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      sem.waiters_.push_back(h);
+      sem.waiters_.push_back({h, current_lane()});
     }
     void await_resume() const noexcept {}
   };
   Awaiter acquire() { return Awaiter{*this}; }
 
   void release(std::uint64_t n = 1) {
+    bind_lane();
     count_ += n;
     while (!waiters_.empty() && count_ > 0) {
       --count_;
-      auto h = waiters_.front();
+      const LaneWaiter w = waiters_.front();
       waiters_.pop_front();
-      engine_.resume_at(engine_.now(), h);
+      engine_.resume_on(w.lane, engine_.now(), w.handle);
     }
   }
 
@@ -107,9 +200,20 @@ class Semaphore {
   std::size_t waiting() const { return waiters_.size(); }
 
  private:
+  void bind_lane() {
+    if (home_ == kUnbound) {
+      home_ = current_lane();
+      return;
+    }
+    RDMASEM_CHECK_MSG(current_lane() == home_,
+                      "Semaphore used from two lanes (single-lane primitive)");
+  }
+
+  static constexpr std::uint32_t kUnbound = ~0u;
   Engine& engine_;
   std::uint64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::uint32_t home_ = kUnbound;
+  std::deque<LaneWaiter> waiters_;
 };
 
 }  // namespace rdmasem::sim

@@ -3,6 +3,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <exception>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
@@ -25,6 +26,25 @@ namespace rdmasem::sim {
 // escaping a detached root task terminates the process (a simulation bug).
 template <typename T>
 class TaskT;
+
+// Engine-side registry of live detached coroutine frames, so frames still
+// suspended at engine teardown can be reclaimed. Mutex-guarded because a
+// frame spawned on one shard can finish on another after a fabric hop
+// (parallel runs); the engine keeps one registry per shard so the lock is
+// uncontended in the common same-shard case.
+struct DetachedRegistry {
+  std::mutex mu;
+  std::unordered_set<void*> frames;
+
+  void insert(void* p) {
+    std::lock_guard<std::mutex> lock(mu);
+    frames.insert(p);
+  }
+  void erase(void* p) {
+    std::lock_guard<std::mutex> lock(mu);
+    frames.erase(p);
+  }
+};
 
 namespace detail {
 
@@ -57,7 +77,7 @@ struct PromiseBase {
   bool finished = false;
   // When detached via Engine::spawn, the engine's registry of live frames
   // (so still-suspended tasks can be reclaimed when the engine dies).
-  std::unordered_set<void*>* detached_registry = nullptr;
+  DetachedRegistry* detached_registry = nullptr;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
@@ -127,7 +147,7 @@ class [[nodiscard]] TaskT {
 
   // Used by Engine::spawn: marks detached and releases ownership.
   std::coroutine_handle<promise_type> release_detached(
-      std::unordered_set<void*>* registry) {
+      DetachedRegistry* registry) {
     RDMASEM_CHECK(h_ != nullptr);
     h_.promise().detached = true;
     h_.promise().detached_registry = registry;
@@ -190,7 +210,7 @@ class [[nodiscard]] TaskT<void> {
   }
 
   std::coroutine_handle<promise_type> release_detached(
-      std::unordered_set<void*>* registry) {
+      DetachedRegistry* registry) {
     RDMASEM_CHECK(h_ != nullptr);
     h_.promise().detached = true;
     h_.promise().detached_registry = registry;

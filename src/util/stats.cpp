@@ -56,24 +56,25 @@ double Samples::percentile(double p) const {
 
 void Log2Histogram::add(std::uint64_t v) {
   const std::size_t b = v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
-  counts_[std::min(b, kBuckets - 1)]++;
-  ++total_;
+  counts_[std::min(b, kBuckets - 1)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t Log2Histogram::quantile_bound(double q) const {
-  if (total_ == 0) return 0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
   // Nearest-rank over buckets: target = ceil(q * total), clamped to
   // [1, total] so q=0 lands on the first non-empty bucket instead of
   // falling through to bucket 0 regardless of contents, and q=1 is the
   // last non-empty bucket (not past-the-end).
   const double clamped = (q > 0.0) ? std::min(q, 1.0) : 0.0;
   auto target = static_cast<std::uint64_t>(
-      std::ceil(clamped * static_cast<double>(total_)));
+      std::ceil(clamped * static_cast<double>(total)));
   if (target == 0) target = 1;
-  if (target > total_) target = total_;
+  if (target > total) target = total;
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    acc += counts_[i];
+    acc += bucket(i);
     if (acc >= target) return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
   }
   return ~std::uint64_t{0};

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -36,6 +37,9 @@ class Samples {
   void add(double x) { xs_.push_back(x); sorted_ = false; }
   void reserve(std::size_t n) { xs_.reserve(n); }
   std::size_t count() const { return xs_.size(); }
+  // i-th stored sample. Insertion order until percentile()/median() sorts
+  // the set; use for merging unsorted accumulators.
+  double sample(std::size_t i) const { return xs_[i]; }
   double mean() const;
   // p in [0, 100]; nearest-rank percentile. Returns 0 for empty sets.
   double percentile(double p) const;
@@ -48,19 +52,26 @@ class Samples {
 };
 
 // Fixed-bucket log2 histogram for latency distributions (nanosecond inputs).
+// add() is safe from concurrent recorders (relaxed atomics — bucket totals
+// commute, so the final distribution is independent of interleaving);
+// readers are expected to run after recorders have quiesced.
 class Log2Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
 
   void add(std::uint64_t v);
-  std::uint64_t count() const { return total_; }
-  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
   // Upper bound of the bucket that contains the q-quantile (q in [0,1]).
   std::uint64_t quantile_bound(double q) const;
 
  private:
-  std::uint64_t counts_[kBuckets] = {};
-  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> total_{0};
 };
 
 }  // namespace rdmasem::util

@@ -277,27 +277,42 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
 // retransmit, backing off exponentially (rc_retransmit doubling up to
 // rc_retransmit_cap) until cfg_.retry_cnt attempts are spent
 // (kInfiniteRetry never gives up). UC/UD get exactly one shot.
+//
+// Fabric::transit carries execution to the destination's lane, and the
+// drop decision is drawn there (destination RNG + fault replica). A
+// retransmit rides the sender's timeout back: hop(src, backoff), which
+// lands at the exact virtual time the serial engine would retransmit at,
+// on the sender's lane. Final failure hops to `home_machine` the same
+// way — the backoff timeout is how the requester learns the leg is dead.
+// All hop widths (backoff >= rc_retransmit = 8us, wire >= 200ns) clear
+// the conservative-epoch lookahead by orders of magnitude.
 sim::TaskT<bool> QueuePair::deliver(std::uint32_t src_machine,
                                     std::uint32_t sport,
                                     std::uint32_t dst_machine,
                                     std::uint32_t dport, std::size_t bytes,
-                                    bool reliable) {
+                                    bool reliable,
+                                    std::uint32_t home_machine) {
   auto& eng = ctx_.engine();
   const auto& P = ctx_.params();
   auto& fabric = ctx_.cluster().fabric();
   obs::Hub& hub = ctx_.cluster().obs();
+  const std::uint32_t src_lane = src_machine + 1;
+  const std::uint32_t home_lane = home_machine + 1;
   sim::Duration backoff = P.rc_retransmit;
   for (std::uint32_t attempt = 0;; ++attempt) {
     co_await fabric.transit(src_machine, sport, dst_machine, dport, bytes);
     if (!fabric.dropped(src_machine, sport, dst_machine, dport))
       co_return true;
-    if (!reliable) co_return false;
-    if (cfg_.retry_cnt != kInfiniteRetry && attempt >= cfg_.retry_cnt)
+    if (!reliable ||
+        (cfg_.retry_cnt != kInfiniteRetry && attempt >= cfg_.retry_cnt)) {
+      if (sim::current_lane() != home_lane)
+        co_await sim::hop(eng, home_lane, backoff);
       co_return false;
-    ++retransmits_;
+    }
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
     hub.retransmits.inc();
     hub.backoff_ps.inc(backoff);
-    co_await sim::delay(eng, backoff);
+    co_await sim::hop(eng, src_lane, backoff);
     backoff = std::min(backoff * 2, P.rc_retransmit_cap);
   }
 }
@@ -453,19 +468,34 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   if (unreliable)
     complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
 
+  // A concurrent WR may already have pushed the QP into ERROR (e.g. its
+  // retries exhausted while this one sat in the pipeline): flush before
+  // touching the wire or remote memory. Checked here because this is the
+  // last point on the requester's lane — QP state must not be read from
+  // the responder's side of the wire.
+  if (!unreliable && state_ == QpState::kError) {
+    complete(wr, Status::kWrFlushedError, 0);
+    co_return;
+  }
+
+  // Stage the outbound payload in the coroutine frame: gathered from the
+  // local MRs here on the requester's lane, copied out on the
+  // destination's lane. The frame is the only state both lanes touch,
+  // and only sequentially (before/after the wire hop).
+  std::vector<std::byte> payload;
+  if (carries_payload) {
+    payload.resize(total);
+    gather_to(wr, payload.data());
+  }
+
   const sim::Time t_wire = eng.now();
-  const bool delivered = co_await deliver(
-      lm.id(), cfg_.port, rm.id(), peer->cfg_.port, wire_bytes, !unreliable);
+  const bool delivered =
+      co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
+                       wire_bytes, !unreliable, /*home=*/lm.id());
   if (traced) stamp(obs::Stage::kWire, t_wire);
   if (!delivered) {
     if (unreliable) co_return;  // dropped silently; data never lands
     fail_wr(wr, Status::kRetryExceeded);
-    co_return;
-  }
-  // A concurrent WR may have pushed the QP into ERROR while this one was
-  // on the wire: it flushes without touching remote memory.
-  if (!unreliable && state_ == QpState::kError) {
-    complete(wr, Status::kWrFlushedError, 0);
     co_return;
   }
 
@@ -476,11 +506,12 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   sim::Duration rstall = rr.qp_touch(peer->id_);
 
   // Helper: send a header-only NAK back (RC) and finish with `st`;
-  // unreliable transports just drop the faulty packet.
+  // unreliable transports just drop the faulty packet. Runs on the
+  // responder's lane and lands home on the requester's.
   auto nak = [&](Status st) -> sim::TaskT<void> {
     if (unreliable) co_return;
     if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                          kAckBytes, true)) {
+                          kAckBytes, true, /*home=*/lm.id())) {
       fail_wr(wr, Status::kRetryExceeded);
       co_return;
     }
@@ -509,14 +540,16 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
           co_await sim::delay(eng, pen);
         co_await sim::delay(eng, P.pcie_dma_write_latency);
-        gather_to(wr, rmr->at(wr.remote_addr));  // the data actually moves
+        // The data actually moves: staged payload lands in the remote MR,
+        // here on its owner's lane.
+        std::memcpy(rmr->at(wr.remote_addr), payload.data(), total);
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       if (!unreliable) {
         co_await sim::delay(eng, P.net_ack_proc);
         const sim::Time t_resp = eng.now();
         if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                              kAckBytes, true)) {
+                              kAckBytes, true, /*home=*/lm.id())) {
           // The data landed but the ACK never made it back: the requester
           // cannot distinguish this from a lost write (§ failure model).
           fail_wr(wr, Status::kRetryExceeded);
@@ -548,12 +581,16 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
           co_await sim::delay(eng, pen);
         co_await sim::delay(eng, P.pcie_dma_read_latency);
+        // Snapshot the remote bytes into the frame while still on their
+        // owner's lane; the response leg carries them home.
+        payload.resize(total);
+        std::memcpy(payload.data(), rmr->at(wr.remote_addr), total);
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the payload back.
       const sim::Time t_resp = eng.now();
       if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                            total, true)) {
+                            total, true, /*home=*/lm.id())) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
@@ -575,7 +612,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         }
         if (numa_pen) co_await sim::delay(eng, numa_pen);
         co_await sim::delay(eng, P.pcie_dma_write_latency);
-        scatter_from(wr, rmr->at(wr.remote_addr));
+        scatter_from(wr, payload.data());
         if (traced) stamp(obs::Stage::kLocalDma, t_land);
       }
       complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
@@ -614,7 +651,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       // Response carries the original value (8 bytes).
       const sim::Time t_resp = eng.now();
       if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8,
-                            true)) {
+                            true, /*home=*/lm.id())) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
@@ -641,13 +678,14 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
           }
           ctx_.cluster().obs().rnr_naks.inc();
           if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                                kAckBytes, true)) {
+                                kAckBytes, true, /*home=*/lm.id())) {
             fail_wr(wr, Status::kRetryExceeded);
             co_return;
           }
+          // The RNR NAK landed us back home; pause and re-send from here.
           co_await sim::delay(eng, P.rnr_timer);
-          if (!co_await deliver(lm.id(), cfg_.port, rm.id(),
-                                peer->cfg_.port, wire_bytes, true)) {
+          if (!co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
+                                wire_bytes, true, /*home=*/lm.id())) {
             fail_wr(wr, Status::kRetryExceeded);
             co_return;
           }
@@ -673,7 +711,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
                                          hw::DramModel::Op::kWrite, same);
         co_await rm.mem_channel(rmr->socket).use(m);
         co_await sim::delay(eng, P.pcie_dma_write_latency);
-        gather_to(wr, rmr->at(rq.sge.addr));
+        std::memcpy(rmr->at(rq.sge.addr), payload.data(), total);
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Receiver-side completion.
@@ -691,7 +729,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_await sim::delay(eng, P.net_ack_proc);
         const sim::Time t_resp = eng.now();
         if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                              kAckBytes, true)) {
+                              kAckBytes, true, /*home=*/lm.id())) {
           fail_wr(wr, Status::kRetryExceeded);
           co_return;
         }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -72,7 +73,9 @@ class QueuePair {
   std::size_t recv_queue_depth() const { return recv_queue_.size(); }
   // Failure observability: transport retransmissions performed and WRs
   // (send or recv) flushed with kWrFlushedError.
-  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
   std::uint64_t flushed_wrs() const { return flushed_wrs_; }
 
  private:
@@ -90,9 +93,18 @@ class QueuePair {
   // One transfer leg with RC loss recovery: retransmits with exponential
   // backoff up to cfg_.retry_cnt. Returns false when the leg is lost for
   // good (unreliable transport, or retries exhausted).
+  //
+  // Lane contract (the parallel-engine migration protocol): call on the
+  // SOURCE machine's lane. Resumes the caller on the DESTINATION's lane
+  // when it returns true (the payload landed there), and on
+  // `home_machine`'s lane when it returns false (the requester's timeout
+  // is how loss is discovered — home is the machine that owns this WR's
+  // completion: the local machine for request legs, which is `dst` for
+  // response/ACK/NAK legs).
   sim::TaskT<bool> deliver(std::uint32_t src_machine, std::uint32_t sport,
                            std::uint32_t dst_machine, std::uint32_t dport,
-                           std::size_t bytes, bool reliable);
+                           std::size_t bytes, bool reliable,
+                           std::uint32_t home_machine);
   // Completes `wr` with `st` and transitions the QP to ERROR (transport
   // failure path: retry exhaustion).
   void fail_wr(const WorkRequest& wr, Status st);
@@ -113,7 +125,10 @@ class QueuePair {
   std::uint32_t outstanding_ = 0;
   std::uint64_t ops_completed_ = 0;
   std::uint64_t bytes_completed_ = 0;
-  std::uint64_t retransmits_ = 0;
+  // Bumped wherever a drop is discovered (response-leg retransmits count
+  // against the requester QP but fire on the responder's lane), so this
+  // is the one QP statistic that needs to be atomic.
+  std::atomic<std::uint64_t> retransmits_{0};
   std::uint64_t flushed_wrs_ = 0;
   std::deque<RecvRequest> recv_queue_;
   std::unordered_map<std::uint64_t, Waiter> waiters_;

@@ -69,14 +69,34 @@ BenchResult run_closed_loop(sim::Engine& engine, const ClientSpec& spec) {
   RDMASEM_CHECK_MSG(!spec.qps.empty(), "no clients");
   RDMASEM_CHECK_MSG(static_cast<bool>(spec.make_wr), "make_wr required");
 
-  Shared sh;
-  sh.start = engine.now();
+  // One accumulator per client, each written only by that client's lane;
+  // merged in client order after the run so the result is byte-identical
+  // whatever RDMASEM_SHARDS is.
   const auto n_clients = static_cast<std::uint32_t>(spec.qps.size());
+  std::vector<Shared> shs(n_clients);
   sim::CountdownLatch done(engine, n_clients);
-  for (std::uint32_t c = 0; c < n_clients; ++c)
-    engine.spawn(client_loop(engine, spec, c, sh, done));
+  for (std::uint32_t c = 0; c < n_clients; ++c) {
+    shs[c].start = engine.now();
+    // Each client drives its QP from the QP's machine lane — the pinning
+    // that lets the parallel engine spread clients across shards.
+    const std::uint32_t lane = spec.qps[c]->context().machine().id() + 1;
+    engine.spawn_on(lane, client_loop(engine, spec, c, shs[c], done));
+  }
   engine.run();
   RDMASEM_CHECK_MSG(done.remaining() == 0, "clients did not finish");
+
+  Shared sh;
+  sh.start = shs.front().start;
+  for (const Shared& s : shs) {
+    sh.last_completion = std::max(sh.last_completion, s.last_completion);
+    sh.completions += s.completions;
+    sh.errors += s.errors;
+    for (std::size_t i = 0; i < sh.by_status.size(); ++i)
+      sh.by_status[i] += s.by_status[i];
+    sh.latency_sum_us += s.latency_sum_us;
+    for (std::size_t i = 0; i < s.latencies.count(); ++i)
+      sh.latencies.add(s.latencies.sample(i));
+  }
 
   BenchResult r;
   r.elapsed = sh.last_completion > sh.start ? sh.last_completion - sh.start : 1;

@@ -207,9 +207,12 @@ TEST(SimStress, ResourceConservationLaw) {
 
 // ---------------------------------------------------------------------------
 // EventQueue differential fuzz: the calendar queue must dispatch in exactly
-// the (at, seq) order of the seed engine's binary heap — same timestamps,
-// FIFO on ties — across immediates, ring-window pushes, overflow pushes and
-// run_until-style clock parking.
+// (at, seq) order — same timestamps, smaller key on ties — across
+// same-timestamp pushes, ring-window pushes, overflow pushes and
+// run_until-style clock parking. Keys are lane-packed like the parallel
+// engine's ((origin_lane << 48) | per_lane_seq), so push order at one
+// timestamp is NOT key order — exactly the situation cross-shard mailbox
+// merges produce.
 
 namespace {
 
@@ -238,12 +241,15 @@ TEST_P(EventQueueDifferential, MatchesReferenceHeapOrder) {
 
   const auto push = [&](sim::Time at) {
     if (at < now) at = now;
-    q.push(now, sim::Event{at, seq, {}, sim::InlineFn{}});
-    ref.push(RefEvent{at, seq});
+    // Pack a random origin lane above the per-push counter: unique keys
+    // whose order differs from push order, as in cross-shard merges.
+    const std::uint64_t key = (rng.uniform(4) << 48) | seq;
+    q.push(sim::Event{at, key, {}, sim::InlineFn{}});
+    ref.push(RefEvent{at, key});
     ++seq;
   };
   const auto pop_one = [&]() {
-    const sim::Event ev = q.pop(now);
+    const sim::Event ev = q.pop();
     const RefEvent want = ref.top();
     ref.pop();
     ASSERT_EQ(ev.at, want.at);

@@ -273,9 +273,9 @@ TEST(FramePool, RecyclesSameSizeFrames) {
 // EventQueue unit edges (the differential fuzz lives in fuzz_test.cpp)
 
 TEST(EventQueueEdge, ImmediateLosesTieToEarlierScheduledEvent) {
-  // An event scheduled for time T while now == T (the immediate fast path)
-  // must fire after every event scheduled for T before the clock got
-  // there: FIFO tie-break means smaller seq wins.
+  // An event scheduled for time T while now == T must fire after every
+  // event scheduled for T before the clock got there: same-lane tie-break
+  // means smaller per-lane seq wins.
   sim::Engine eng;
   std::vector<int> order;
   eng.schedule_at(sim::us(1), [&] {
@@ -290,12 +290,12 @@ TEST(EventQueueEdge, ImmediateLosesTieToEarlierScheduledEvent) {
 TEST(EventQueueEdge, ClearDropsEverythingAndKeepsWorking) {
   sim::EventQueue q;
   for (int i = 0; i < 100; ++i)
-    q.push(0, sim::Event{static_cast<sim::Time>(i * 1000), static_cast<std::uint64_t>(i),
-                         {}, sim::InlineFn{}});
+    q.push(sim::Event{static_cast<sim::Time>(i * 1000),
+                      static_cast<std::uint64_t>(i), {}, sim::InlineFn{}});
   EXPECT_EQ(q.size(), 100u);
   q.clear();
   EXPECT_TRUE(q.empty());
-  q.push(0, sim::Event{5, 0, {}, sim::InlineFn{}});
-  EXPECT_EQ(q.pop(0).at, 5u);
+  q.push(sim::Event{5, 0, {}, sim::InlineFn{}});
+  EXPECT_EQ(q.pop().at, 5u);
   EXPECT_TRUE(q.empty());
 }
