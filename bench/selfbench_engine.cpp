@@ -19,6 +19,16 @@
 //               exercising frame-pool reuse and the resume fast path.
 //   e2e_micro — fig01-style closed-loop RDMA write microbench (4 QPs,
 //               window 16) timed end to end.
+//   datapath  — large-payload write/read storm mixing single-SGE and
+//               multi-SGE WRs, run once on the tuned verbs datapath
+//               (zero-copy borrow + payload pool + cost fusing + wakeup
+//               elision) and once with every knob off. The fast/legacy
+//               WR-throughput ratio is machine-independent and gated
+//               (scripts/perf_gate.py --min-datapath-speedup). A second
+//               criterion rides along: datapath_allocs/steady counts
+//               global-allocator hits during a steady-state single-SGE
+//               write loop via the operator new hook below — the gate
+//               requires exactly zero.
 //   e2e_shuffle — fig15-style small all-to-all shuffle timed end to end.
 //   parallel  — a 16-machine all-to-all shuffle run serially and again at
 //               RDMASEM_SHARDS=2/4. The shard4/serial wall-clock ratio is
@@ -33,10 +43,12 @@
 // in bench/selfbench_baseline.json is compared with a tolerance, and the
 // speedup row is the portable criterion. See docs/PERF.md.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <new>
 #include <queue>
 #include <string>
 #include <thread>
@@ -45,6 +57,53 @@
 #include "apps/shuffle/shuffle.hpp"
 #include "bench_common.hpp"
 #include "sim/engine.hpp"
+#include "verbs/payload.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every global-allocator acquisition in this
+// process bumps one relaxed atomic. The steady-state datapath loop below
+// snapshots it around a warmed single-SGE write storm; any WR-rate heap
+// traffic (a regressed pool, a re-allocating waiter table, a copied SGE
+// vector) shows up as a non-zero delta the perf gate rejects. Deletes are
+// not counted — a leak is the sanitizers' job; steady-state *acquisition*
+// is the perf property.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* counted_alloc(std::size_t n, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_alloc(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_alloc(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -249,6 +308,83 @@ double parallel_shuffle_mev(std::uint32_t shards) {
   return mev;
 }
 
+// ---------------------------------------------------------------------------
+// Datapath workload: a large-payload write/read storm mixing single-SGE
+// writes (the zero-copy route), 4-SGE gathers (pooled staging) and reads
+// (response staging), window 1 on one QP — the uncontended latency regime
+// the inline-wakeup fast path targets. Returns millions of WRs per
+// wall-clock second. `fast` selects the tuned datapath; legacy turns off
+// every verbs knob AND the engine's inline wakeup elision — the shape of
+// the datapath before this optimisation pass. Both run in this process on
+// the same build, so the ratio is machine-independent and gated
+// (perf_gate.py --min-datapath-speedup).
+double datapath_mwrs_per_sec(bool fast) {
+  const verbs::DatapathTuning saved = verbs::datapath_tuning();
+  verbs::datapath_tuning() = fast ? verbs::DatapathTuning{}
+                                  : verbs::DatapathTuning{false, false, false};
+  const std::uint64_t ops =
+      util::env_u64("RDMASEM_SELFBENCH_DATAPATH_OPS", 12000);
+  double mwrs = 0;
+  {
+    const auto w0 = std::chrono::steady_clock::now();
+    MicroRig rig(1 << 20, 1 << 20, 1);
+    if (!fast) rig.rig.eng.set_inline_wakeups(false);
+    wl::ClientSpec spec;
+    spec.qps = rig.qps;
+    spec.window = 1;
+    spec.ops_per_client = ops;
+    verbs::MemoryRegion* l = rig.lmr;
+    verbs::MemoryRegion* r = rig.rmr;
+    spec.make_wr = [l, r](std::uint32_t, std::uint64_t s) {
+      const std::uint64_t off = (s % 64) * (8 << 10);
+      if (s % 4 == 2) {
+        // The same 8 KB as a 4-element gather list.
+        verbs::WorkRequest wr;
+        wr.opcode = verbs::Opcode::kWrite;
+        for (std::uint64_t i = 0; i < 4; ++i)
+          wr.sg_list.push_back(
+              {l->addr + off + i * 2048, 2048, l->key});
+        wr.remote_addr = r->addr + off;
+        wr.rkey = r->key;
+        return wr;
+      }
+      if (s % 4 == 3) return wl::make_read(*l, off, *r, off, 8 << 10);
+      return wl::make_write(*l, off, *r, off, 8 << 10);
+    };
+    const wl::BenchResult res = wl::run_closed_loop(rig.rig.eng, spec);
+    benchmark::DoNotOptimize(res.errors);
+    mwrs = static_cast<double>(ops * rig.qps.size()) / secs_since(w0) / 1e6;
+  }
+  verbs::datapath_tuning() = saved;
+  return mwrs;
+}
+
+// Steady-state allocation probe: after a warm-up that grows every lazy
+// structure on the path (coroutine frame pools, the QP waiter table,
+// resource FIFOs, calendar ring slots, payload pool classes), a single-SGE
+// write loop must not touch the global allocator at all. Returns the
+// number of allocator hits over 512 steady-state WRs — the gate requires
+// exactly zero. (Sanitizer builds pass buffers straight through the pools
+// by design, so this row is only meaningful — and only gated — on plain
+// builds, where the perf gate runs.)
+std::uint64_t datapath_steady_allocs() {
+  MicroRig rig(1 << 16, 1 << 16, 1);
+  std::uint64_t delta = ~0ull;
+  auto loop = [](MicroRig& r, std::uint64_t* out) -> sim::Task {
+    for (int i = 0; i < 256; ++i)
+      (void)co_await r.qps[0]->execute(
+          wl::make_write(*r.lmr, 0, *r.rmr, 0, 4096));
+    const std::uint64_t a0 = g_heap_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < 512; ++i)
+      (void)co_await r.qps[0]->execute(
+          wl::make_write(*r.lmr, 0, *r.rmr, 0, 4096));
+    *out = g_heap_allocs.load(std::memory_order_relaxed) - a0;
+  };
+  rig.rig.eng.spawn(loop(rig, &delta));
+  rig.rig.eng.run();
+  return delta;
+}
+
 double add(const char* workload, const char* engine, double mev) {
   collector.add({workload, engine, util::fmt(mev)});
   bench::point_mops(workload, engine, mev);
@@ -259,6 +395,8 @@ void BM_selfbench(benchmark::State& state) {
   double legacy_mev = 0, calendar_mev = 0, coro_mev = 0;
   double micro_mev = 0, shuffle_mev = 0;
   double par1_mev = 0, par2_mev = 0, par4_mev = 0;
+  double dp_fast = 0, dp_legacy = 0;
+  std::uint64_t dp_allocs = 0;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -285,6 +423,21 @@ void BM_selfbench(benchmark::State& state) {
       return static_cast<double>(rig.rig.eng.events_processed()) /
              secs_since(w0) / 1e6;
     }));
+    dp_fast = add("datapath", "fast", best_of(2, [] {
+      return datapath_mwrs_per_sec(true);
+    }));
+    dp_legacy = add("datapath", "legacy", best_of(2, [] {
+      return datapath_mwrs_per_sec(false);
+    }));
+    bench::point_mops("speedup", "datapath", dp_fast / dp_legacy);
+    collector.add({"speedup", "datapath fast/legacy",
+                   util::fmt(dp_fast / dp_legacy)});
+    dp_allocs = datapath_steady_allocs();
+    bench::point_mops("datapath_allocs", "steady",
+                      static_cast<double>(dp_allocs));
+    collector.add({"datapath_allocs", "steady (512 WRs)",
+                   std::to_string(dp_allocs)});
+
     par1_mev = add("parallel", "serial", best_of(2, [] {
       return parallel_shuffle_mev(1);
     }));
@@ -332,6 +485,10 @@ void BM_selfbench(benchmark::State& state) {
   state.counters["par_shard2_Mev"] = par2_mev;
   state.counters["par_shard4_Mev"] = par4_mev;
   state.counters["par_speedup"] = par1_mev > 0 ? par4_mev / par1_mev : 0;
+  state.counters["datapath_fast_MWRs"] = dp_fast;
+  state.counters["datapath_legacy_MWRs"] = dp_legacy;
+  state.counters["datapath_speedup"] = dp_legacy > 0 ? dp_fast / dp_legacy : 0;
+  state.counters["datapath_steady_allocs"] = static_cast<double>(dp_allocs);
 }
 
 BENCHMARK(BM_selfbench)->UseManualTime()->Iterations(1)

@@ -14,7 +14,12 @@ bench/selfbench_engine) and fails when the scheduler hot path got slower:
      speedup/par4 (4-shard vs serial wall clock on a 16-machine shuffle)
      must stay above --min-par-speedup (default 2.0x) — enforced only
      when the parallel_cpus/host point shows >= 4 hardware threads,
-     because a core-starved host cannot exhibit the speedup.
+     because a core-starved host cannot exhibit the speedup. The verbs
+     datapath has a third in-run ratio: speedup/datapath (tuned vs
+     legacy datapath on the mixed-SGE write/read storm) must stay above
+     --min-datapath-speedup (default 1.5x). Alongside it, the
+     datapath_allocs/steady point must be exactly 0: the steady-state
+     single-SGE hot path is not allowed to touch the heap.
   2. Every workload's throughput, NORMALIZED by the in-run legacy
      dispatch number (which anchors how fast the host is), must stay
      within --tolerance (default 0.20) of the checked-in baseline
@@ -84,6 +89,10 @@ def main():
                     help="floor for the 4-shard/serial parallel ratio "
                          "(enforced only when the report was produced on "
                          "a host with >= 4 hardware threads)")
+    ap.add_argument("--min-datapath-speedup", type=float,
+                    default=float(os.environ.get(
+                        "RDMASEM_PERF_MIN_DATAPATH_SPEEDUP", "1.5")),
+                    help="floor for the tuned/legacy verbs-datapath ratio")
     ap.add_argument("--strict-absolute", action="store_true",
                     help="also enforce raw Mevents/s vs the baseline "
                          "(only meaningful on the baseline's machine)")
@@ -101,13 +110,15 @@ def main():
         die("report lacks a speedup/dispatch point")
 
     # Workload rows: everything except the legacy anchor, the ratio rows,
-    # and the parallel sweep — parallel throughput depends on the host's
+    # the parallel sweep — parallel throughput depends on the host's
     # core count, so it is gated by its own in-run ratio below, not by a
-    # cross-machine baseline comparison.
+    # cross-machine baseline comparison — and the allocation counter,
+    # which is an exact criterion of its own, not a throughput.
     workloads = {
         f"{series}/{x}": mops
         for (series, x), mops in sorted(points.items())
-        if series not in ("speedup", "parallel", "parallel_cpus")
+        if series not in ("speedup", "parallel", "parallel_cpus",
+                          "datapath_allocs")
         and (series, x) != ("dispatch", "legacy")
     }
     normalized = {k: v / legacy for k, v in workloads.items()}
@@ -116,6 +127,9 @@ def main():
     # parallel sweep (older reports predate it).
     par_speedup = points.get(("speedup", "par4"))
     par_cpus = points.get(("parallel_cpus", "host"))
+    # Verbs-datapath self-ratio and allocation count, same presence rule.
+    dp_speedup = points.get(("speedup", "datapath"))
+    dp_allocs = points.get(("datapath_allocs", "steady"))
 
     if args.update_baseline:
         baseline = {
@@ -132,6 +146,9 @@ def main():
             # Context only — the gate uses the in-run ratio, never this.
             baseline["parallel_speedup"] = round(par_speedup, 4)
             baseline["parallel_cpus"] = round(par_cpus or 0.0, 1)
+        if dp_speedup is not None:
+            # Context only, like parallel_speedup.
+            baseline["datapath_speedup"] = round(dp_speedup, 4)
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")
@@ -170,6 +187,23 @@ def main():
                   f"{par_speedup:.2f}x — floor SKIPPED (host has "
                   f"{0 if par_cpus is None else par_cpus:.0f} hardware "
                   f"threads, need >= 4)")
+
+    if dp_speedup is not None:
+        print(f"perf_gate: datapath speedup tuned/legacy = "
+              f"{dp_speedup:.2f}x (floor {args.min_datapath_speedup:.2f}x)")
+        if dp_speedup < args.min_datapath_speedup:
+            failures.append(
+                f"datapath speedup {dp_speedup:.2f}x fell below the "
+                f"{args.min_datapath_speedup:.2f}x floor")
+
+    if dp_allocs is not None:
+        verdict = "ok" if dp_allocs == 0 else "REGRESSED"
+        print(f"perf_gate: datapath steady-state heap allocations = "
+              f"{dp_allocs:.0f} (must be 0) {verdict}")
+        if dp_allocs != 0:
+            failures.append(
+                f"datapath hot path performed {dp_allocs:.0f} steady-state "
+                "heap allocations (must be 0)")
 
     for key, cur in sorted(normalized.items()):
         want = base["normalized"].get(key)

@@ -11,6 +11,11 @@ using sim::Duration;
 using sim::ns;
 using sim::us;
 
+// Default ConnectX-3 inline-send ceiling. Named (rather than a bare 256 in
+// ModelParams) because the verbs payload staging sizes its in-frame inline
+// arm to it.
+inline constexpr std::size_t kMaxInlineDefault = 256;
+
 // ModelParams — every timing constant in the simulator, in one place.
 //
 // The defaults are calibrated so that the testbed of the paper (dual-socket
@@ -90,7 +95,11 @@ struct ModelParams {
   // Max SGEs a single WQE may carry (hardware limit).
   std::size_t rnic_max_sge = 32;
   // Max payload the NIC accepts as "inlined" in the WQE (skips one DMA).
-  std::size_t rnic_max_inline = 256;
+  // The verbs payload-staging inline arm (verbs::PayloadBuf::kInlineBytes)
+  // is sized to this default so every inline-eligible payload also stages
+  // without touching the allocator; a static_assert in verbs/payload.cpp
+  // keeps the two in sync.
+  std::size_t rnic_max_inline = kMaxInlineDefault;
   // BlueFlame: single posts push the WQE with the doorbell and skip the
   // descriptor-fetch DMA. Disable for ablation.
   bool rnic_blueflame = true;

@@ -13,6 +13,9 @@ Hub::Hub()
       retransmits(metrics.counter("verbs.qp.retransmits")),
       backoff_ps(metrics.counter("verbs.qp.backoff_ps")),
       rnr_naks(metrics.counter("verbs.qp.rnr_naks")),
+      zero_copy_wrs(metrics.counter("verbs.payload.zero_copy")),
+      payload_pool_hits(metrics.counter("verbs.payload.pool_hits")),
+      payload_pool_misses(metrics.counter("verbs.payload.pool_misses")),
       consolidate_staged(metrics.counter("remem.consolidate.staged")),
       consolidate_merges(metrics.counter("remem.consolidate.merges")),
       consolidate_flushes(metrics.counter("remem.consolidate.flushes")),

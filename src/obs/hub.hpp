@@ -29,6 +29,16 @@ struct Hub {
   Counter& retransmits;        // RC transport retransmissions
   Counter& backoff_ps;         // total retransmit backoff (picoseconds)
   Counter& rnr_naks;           // SEND receiver-not-ready NAK rounds
+  // verbs datapath: payload staging routes. Deterministic predicates of
+  // the WR shape and tuning config (NOT freelist state, which depends on
+  // thread placement), so the values are shard-count invariant:
+  //   zero_copy_wrs     — payloads carried as a borrowed MR view
+  //   payload_pool_hits — staged through an O(1) route (inline arm or
+  //                       pooled size class)
+  //   payload_pool_misses — staged via the heap (oversize or pool off)
+  Counter& zero_copy_wrs;
+  Counter& payload_pool_hits;
+  Counter& payload_pool_misses;
   // remem: semantic-layer strategies
   Counter& consolidate_staged;
   Counter& consolidate_merges;   // writes absorbed into an already-dirty block

@@ -1,7 +1,5 @@
 #include "remem/batch.hpp"
 
-#include <cstring>
-
 #include "util/assert.hpp"
 
 namespace rdmasem::remem {
@@ -25,12 +23,12 @@ sim::TaskT<verbs::Completion> SpBatcher::flush_write(
   std::size_t off = 0;
   sim::Duration cpu = 0;
   for (const auto& item : items) {
-    const verbs::MemoryRegion* mr = qp_.context().lookup(item.local.lkey);
-    RDMASEM_CHECK_MSG(mr != nullptr, "SP gather: bad lkey");
+    RDMASEM_CHECK_MSG(qp_.context().lookup(item.local.lkey) != nullptr,
+                      "SP gather: bad lkey");
     RDMASEM_CHECK_MSG(off + item.local.length <= staging_.size(),
                       "SP staging overflow");
-    std::memcpy(staging_.data() + off, mr->at(item.local.addr),
-                item.local.length);
+    verbs::QueuePair::gather_sges(qp_.context(), &item.local, 1,
+                                  staging_.data() + off);
     cpu += p.memcpy_time(item.local.length);
     off += item.local.length;
   }
@@ -70,10 +68,10 @@ sim::TaskT<verbs::Completion> SpBatcher::flush_read(
   std::size_t off = 0;
   sim::Duration cpu = 0;
   for (const auto& item : items) {
-    verbs::MemoryRegion* mr = qp_.context().lookup(item.local.lkey);
-    RDMASEM_CHECK_MSG(mr != nullptr, "SP scatter: bad lkey");
-    std::memcpy(mr->at(item.local.addr), staging_.data() + off,
-                item.local.length);
+    RDMASEM_CHECK_MSG(qp_.context().lookup(item.local.lkey) != nullptr,
+                      "SP scatter: bad lkey");
+    verbs::QueuePair::scatter_sges(qp_.context(), &item.local, 1,
+                                   staging_.data() + off, item.local.length);
     cpu += p.memcpy_time(item.local.length);
     off += item.local.length;
   }

@@ -44,9 +44,14 @@ Engine::~Engine() {
   // resumptions reference frames), then destroy surviving frames.
   for (auto& sh : shards_) sh->queue.clear();
   for (auto& sh : shards_) {
-    for (void* addr : sh->detached.frames)
-      std::coroutine_handle<>::from_address(addr).destroy();
+    // Snapshot before destroying: a frame's locals may unregister other
+    // frames from their destructors.
+    std::vector<void*> live;
+    live.reserve(sh->detached.frames.size());
+    sh->detached.frames.for_each([&](void* p) { live.push_back(p); });
     sh->detached.frames.clear();
+    for (void* addr : live)
+      std::coroutine_handle<>::from_address(addr).destroy();
   }
 }
 
@@ -92,6 +97,31 @@ void Engine::spawn_on(std::uint32_t lane, Task&& task) {
   resume_on(lane, caller_now(), h);
 }
 
+bool Engine::try_inline_advance(Time at) {
+  const detail::ExecContext& x = detail::t_exec;
+  // `at >= inline_until` also covers the disabled states: outside a
+  // dispatch horizon (run_events, plain dispatch()) inline_until is 0.
+  if (x.eng != this || at >= x.inline_until) return false;
+  Shard& sh = *shards_[x.shard];
+  if (!sh.queue.empty()) {
+    const auto top = sh.queue.peek();
+    // The wakeup event's would-be key: this lane's NEXT seq value (not
+    // consumed — skipping it preserves relative per-lane order, which is
+    // all the (at, key) comparison ever uses). Grant inline only if the
+    // wakeup would be dispatched before everything queued.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(x.lane) << kLaneShift) |
+        lane_seq_[x.lane];
+    if (top.first < at || (top.first == at && top.second < key)) return false;
+  }
+  // Equivalent to pop + dispatch of the wakeup: clock lands on `at` and
+  // the processed count stays placement-invariant (every semantic
+  // resumption counts exactly once, granted inline or dispatched).
+  sh.now = at;
+  ++sh.processed;
+  return true;
+}
+
 void Engine::dispatch(Shard& sh, std::uint32_t shard_idx, Event& ev) {
   sh.now = ev.at;
   ++sh.processed;
@@ -112,7 +142,7 @@ Time Engine::run() {
     // thread-local writes per event — measurable in the selfbench).
     Shard& sh = *shards_[0];
     const detail::ExecContext saved = detail::t_exec;
-    detail::t_exec = {this, 0, 0};
+    detail::t_exec = {this, 0, 0, inline_wakeups_ ? kNoDeadline : 0};
     while (!sh.queue.empty()) {
       Event ev = sh.queue.pop();
       sh.now = ev.at;
@@ -136,7 +166,12 @@ bool Engine::run_until(Time deadline) {
   if (nshards_ == 1) {
     Shard& sh = *shards_[0];
     const detail::ExecContext saved = detail::t_exec;
-    detail::t_exec = {this, 0, 0};
+    // Horizon deadline + 1: events AT the deadline still run (saturating;
+    // a deadline of kNoDeadline behaves like run()).
+    detail::t_exec = {this, 0, 0,
+                      !inline_wakeups_         ? Time{0}
+                      : deadline == kNoDeadline ? kNoDeadline
+                                                : deadline + 1};
     while (!sh.queue.empty() && sh.queue.next_time() <= deadline) {
       Event ev = sh.queue.pop();
       sh.now = ev.at;
@@ -199,7 +234,10 @@ void Engine::merge_outboxes() {
 void Engine::run_shard_epoch(std::uint32_t shard_idx) {
   Shard& sh = *shards_[shard_idx];
   const detail::ExecContext saved = detail::t_exec;
-  detail::t_exec = {this, shard_idx, 0};
+  // Inline grants are bounded by the epoch: past epoch_end_ another shard
+  // may still produce an earlier cross-shard event, so the wakeup must go
+  // through the queue and the next barrier.
+  detail::t_exec = {this, shard_idx, 0, inline_wakeups_ ? epoch_end_ : 0};
   while (!sh.queue.empty() && sh.queue.next_time() < epoch_end_) {
     Event ev = sh.queue.pop();
     sh.now = ev.at;

@@ -23,10 +23,18 @@ namespace detail {
 
 // Which engine/shard/lane the current thread is dispatching for. Set by
 // Engine::dispatch around every event; empty outside a dispatch.
+// `inline_until` is the exclusive horizon for the inline-wakeup fast path
+// (see Engine::try_inline_advance): a suspension whose wakeup lands
+// strictly before it MAY run inline, without an event. The run loops set
+// it to their dispatch horizon (run: unbounded; run_until: deadline + 1;
+// parallel epochs: epoch_end). It stays 0 — fast path off — in
+// run_events(), whose cross-shard global-minimum stepping cannot be
+// checked against a single shard queue, and outside any dispatch.
 struct ExecContext {
   Engine* eng = nullptr;
   std::uint32_t shard = 0;
   std::uint32_t lane = 0;
+  Time inline_until = 0;
 };
 inline thread_local ExecContext t_exec{};
 
@@ -148,6 +156,53 @@ class Engine {
   // the number processed. Always serial, whatever the shard count.
   std::uint64_t run_events(std::uint64_t max_events);
 
+  // --- inline-wakeup fast path ---------------------------------------------
+
+  // Attempts to grant a suspension point inline: returns true — and
+  // advances the executing shard's clock to `at`, counting one processed
+  // event — iff resuming at `at` right now is indistinguishable from
+  // scheduling, popping and dispatching the wakeup event. That holds
+  // exactly when (a) the caller is inside a dispatch of this engine with
+  // `at` inside the loop's horizon, and (b) the shard queue holds no event
+  // ordered before the wakeup would be, under the event's would-be key
+  // ((lane << 48) | next per-lane seq — NOT consumed on the fast path;
+  // skipping seq values is order-preserving because comparisons only ever
+  // use relative per-lane order). Awaiters (sim::delay, Resource::use)
+  // call this from await_ready, so an uncontended pipeline stage costs no
+  // event, no queue traffic and no suspension. Determinism: the dispatch
+  // sequence (timestamps, lane order, processed-event count) is identical
+  // with the fast path on or off, at every shard count — asserted by
+  // tests/determinism_test.cpp and tests/parallel_determinism_test.cpp.
+  bool try_inline_advance(Time at);
+  bool try_inline_delay(Duration d) {
+    const detail::ExecContext& x = detail::t_exec;
+    if (x.eng != this) return false;
+    return try_inline_advance(shards_[x.shard]->now + d);
+  }
+  // Inline grant for a cross-lane hop. Legal only when the target lane
+  // lives on the EXECUTING shard: then the hop's wakeup event would land
+  // in this shard's own queue (never an epoch mailbox), and the same
+  // (at, key) front-of-queue check as try_inline_advance applies — the
+  // would-be key carries the ORIGIN lane, exactly as resume_on would
+  // build it. On grant the exec context migrates to `lane`, just as
+  // dispatching the event would have set it from Event::exec_lane. With
+  // one shard every hop is same-shard, so the whole verb pipeline
+  // (request leg, response leg, completion) can ride the fast path.
+  bool try_inline_hop(std::uint32_t lane, Duration d) {
+    const detail::ExecContext& x = detail::t_exec;
+    if (x.eng != this || lane >= lanes_ || lane_shard_[lane] != x.shard)
+      return false;
+    if (!try_inline_advance(shards_[x.shard]->now + d)) return false;
+    detail::t_exec.lane = lane;
+    return true;
+  }
+  // Master switch, read at run()/run_until() entry (set it while the
+  // engine is not running). Off: every suspension goes through the event
+  // queue, byte-identical to the fast path (the legacy anchor for the
+  // selfbench speedup ratio and the determinism toggle tests).
+  void set_inline_wakeups(bool on) { inline_wakeups_ = on; }
+  bool inline_wakeups() const { return inline_wakeups_; }
+
   bool idle() const {
     for (const auto& sh : shards_)
       if (!sh->queue.empty()) return false;
@@ -259,6 +314,7 @@ class Engine {
   Time epoch_end_ = 0;
   bool stop_ = false;
   bool parallel_running_ = false;
+  bool inline_wakeups_ = true;
 };
 
 // One suspended coroutine plus the lane it must resume on. Sync
@@ -270,11 +326,13 @@ struct LaneWaiter {
 };
 
 // Awaitable returned by delay(): suspends the coroutine and resumes it
-// `d` later on the virtual clock, on the same lane.
+// `d` later on the virtual clock, on the same lane. When the wakeup would
+// be the very next dispatch anyway, await_ready grants it inline (no
+// event, no suspension — Engine::try_inline_advance).
 struct DelayAwaiter {
   Engine& engine;
   Duration d;
-  bool await_ready() const noexcept { return false; }
+  bool await_ready() const noexcept { return engine.try_inline_delay(d); }
   void await_suspend(std::coroutine_handle<> h) const {
     engine.resume_in(d, h);
   }
@@ -290,11 +348,15 @@ inline DelayAwaiter yield(Engine& e) { return {e, 0}; }
 // later ON `lane` — the only way execution migrates between lanes. Under
 // RDMASEM_SHARDS > 1, `d` must be >= the engine lookahead when the target
 // lane lives on another shard (the fabric's link latency always is).
+// Same-shard hops may be granted inline like delays (see
+// Engine::try_inline_hop); cross-shard hops always go through the queue.
 struct HopAwaiter {
   Engine& engine;
   std::uint32_t lane;
   Duration d;
-  bool await_ready() const noexcept { return false; }
+  bool await_ready() const noexcept {
+    return engine.try_inline_hop(lane, d);
+  }
   void await_suspend(std::coroutine_handle<> h) const {
     engine.resume_on(lane, engine.now() + d, h);
   }

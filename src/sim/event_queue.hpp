@@ -83,6 +83,20 @@ class EventQueue {
   static constexpr std::uint32_t kIndexMask = kBuckets - 1;
   static constexpr std::uint32_t kSlotShift = 13;  // 2^13 ps per bucket
 
+  // Buckets start with room for a handful of coexisting events so the
+  // steady state really is allocation-free: without the reserve, every
+  // first-time collision of k events in one 8 ns bucket (the phase of a
+  // pipeline drifts across buckets over time) grows that bucket's vector
+  // 0->1->2->..., which shows up as rare-but-unbounded-tail allocations
+  // in the selfbench datapath probe. ~256 x 8 x sizeof(Event) = ~130 KB
+  // per queue, paid once at construction.
+  static constexpr std::size_t kInitialBucketCap = 8;
+
+  EventQueue() {
+    for (auto& b : buckets_) b.reserve(kInitialBucketCap);
+    overflow_.reserve(64);
+  }
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 

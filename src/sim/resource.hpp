@@ -31,10 +31,19 @@ class Resource {
   struct UseAwaiter {
     Resource& res;
     Duration service;
+    // Fixed post-service latency fused onto the same suspension (use_then):
+    // pure delay, not server occupancy — busy time counts `service` only.
+    Duration extra;
     Time completion = 0;
-    bool await_ready() const noexcept { return false; }
+    // The server slot is reserved here, before ready/suspend branches, so
+    // FIFO grant order is identical on both paths. When the resource is
+    // idle and the grant would be the next dispatch anyway, the engine
+    // advances the clock inline and the coroutine never suspends.
+    bool await_ready() {
+      completion = res.reserve(service) + extra;
+      return res.engine_.try_inline_advance(completion);
+    }
     void await_suspend(std::coroutine_handle<> h) {
-      completion = res.reserve(service);
       res.engine_.resume_at(completion, h);
     }
     // Returns the completion timestamp (== now() at resume).
@@ -42,7 +51,18 @@ class Resource {
   };
 
   // Occupies one server for `service` starting no earlier than now().
-  UseAwaiter use(Duration service) { return UseAwaiter{*this, service}; }
+  UseAwaiter use(Duration service) { return UseAwaiter{*this, service, 0}; }
+
+  // use() plus a trailing fixed latency, fused into one suspension:
+  // `co_await res.use_then(s, e)` resumes at reserve(s) + e, exactly when
+  // `co_await res.use(s); co_await delay(e)` would, with one suspension
+  // instead of two. Only valid where no semantic interleaving point
+  // (fault/state check, trace stamp) sits between service end and the
+  // extra delay. Never fuse a LEADING delay into a use — reserving before
+  // the delay would jump the FIFO queue.
+  UseAwaiter use_then(Duration service, Duration extra) {
+    return UseAwaiter{*this, service, extra};
+  }
 
   // Non-coroutine form: reserves a server slot and returns the completion
   // time. Callers that drive their own event scheduling (the RNIC pipeline)

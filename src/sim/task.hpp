@@ -4,11 +4,11 @@
 #include <cstddef>
 #include <exception>
 #include <mutex>
-#include <unordered_set>
 #include <utility>
 
 #include "sim/frame_pool.hpp"
 #include "util/assert.hpp"
+#include "util/ptr_set.hpp"
 
 namespace rdmasem::sim {
 
@@ -31,10 +31,12 @@ class TaskT;
 // suspended at engine teardown can be reclaimed. Mutex-guarded because a
 // frame spawned on one shard can finish on another after a fabric hop
 // (parallel runs); the engine keeps one registry per shard so the lock is
-// uncontended in the common same-shard case.
+// uncontended in the common same-shard case. Backed by a flat open-
+// addressing PtrSet: spawn/finish is once per work request, and a node-
+// based set would put one heap allocation on that path.
 struct DetachedRegistry {
   std::mutex mu;
-  std::unordered_set<void*> frames;
+  util::PtrSet frames;
 
   void insert(void* p) {
     std::lock_guard<std::mutex> lock(mu);

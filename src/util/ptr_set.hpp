@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rdmasem::util {
+
+// PtrSet — an open-addressing set of non-null pointers.
+//
+// Replaces std::unordered_set<void*> in the engine's detached-frame
+// registry: that set does one node allocation per insert and one free per
+// erase, which puts the allocator on the per-WR hot path (every spawned
+// pipeline coroutine registers and deregisters). Open addressing over a
+// flat power-of-two table makes insert/erase allocation-free at steady
+// state; deletion backshifts instead of tombstoning so probes stay short
+// under the registry's heavy insert/erase churn.
+class PtrSet {
+ public:
+  PtrSet() : slots_(kMinSlots, nullptr) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  void insert(void* p) {
+    RDMASEM_CHECK_MSG(p != nullptr, "PtrSet cannot hold null");
+    if ((count_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+    std::size_t i = probe_start(p);
+    for (;; i = next(i)) {
+      if (slots_[i] == p) return;  // already present
+      if (slots_[i] == nullptr) {
+        slots_[i] = p;
+        ++count_;
+        return;
+      }
+    }
+  }
+
+  bool erase(void* p) {
+    std::size_t i = probe_start(p);
+    for (;; i = next(i)) {
+      if (slots_[i] == nullptr) return false;
+      if (slots_[i] == p) break;
+    }
+    --count_;
+    // Backshift deletion: close the gap so later probe chains stay intact.
+    std::size_t hole = i;
+    for (std::size_t j = next(i);; j = next(j)) {
+      void* q = slots_[j];
+      if (q == nullptr) break;
+      const std::size_t home = probe_start(q);
+      // q may move into the hole iff the hole lies on q's probe path,
+      // i.e. home is not cyclically within (hole, j].
+      const bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = q;
+        hole = j;
+      }
+    }
+    slots_[hole] = nullptr;
+    return true;
+  }
+
+  bool contains(void* p) const {
+    std::size_t i = probe_start(p);
+    for (;; i = next(i)) {
+      if (slots_[i] == p) return true;
+      if (slots_[i] == nullptr) return false;
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (void* p : slots_)
+      if (p != nullptr) fn(p);
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), nullptr);
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 64;
+
+  std::size_t probe_start(void* p) const {
+    // splitmix64 finalizer over the address; pointers share low-bit
+    // alignment zeros, so mix before masking.
+    std::uint64_t z = reinterpret_cast<std::uintptr_t>(p);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & (slots_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  void rehash(std::size_t n) {
+    std::vector<void*> old = std::move(slots_);
+    slots_.assign(n, nullptr);
+    count_ = 0;
+    for (void* p : old)
+      if (p != nullptr) insert(p);
+  }
+
+  std::vector<void*> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rdmasem::util

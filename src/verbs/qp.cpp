@@ -7,6 +7,7 @@
 #include "obs/hub.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "verbs/payload.hpp"
 
 namespace rdmasem::verbs {
 
@@ -114,7 +115,7 @@ sim::Task QueuePair::flush_posted_wr(WorkRequest wr) {
   co_return;
 }
 
-void QueuePair::post_send(const WorkRequest& wr) {
+void QueuePair::post_send(WorkRequest&& wr) {
   if (cfg_.transport == Transport::kUD) {
     RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
   } else {
@@ -129,20 +130,25 @@ void QueuePair::post_send(const WorkRequest& wr) {
                        id_, ctx_.machine().id(),
                        static_cast<std::uint8_t>(wr.opcode));
   if (state_ == QpState::kError) {
-    ctx_.engine().spawn(flush_posted_wr(wr));
+    ctx_.engine().spawn(flush_posted_wr(std::move(wr)));
     return;
   }
-  ctx_.engine().spawn(run_wr(wr, /*bf=*/ctx_.params().rnic_blueflame));
+  ctx_.engine().spawn(
+      run_wr(std::move(wr), /*bf=*/ctx_.params().rnic_blueflame));
 }
 
 void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
+  post_send_batch(std::vector<WorkRequest>(wrs));
+}
+
+void QueuePair::post_send_batch(std::vector<WorkRequest>&& wrs) {
   obs::Hub& hub = ctx_.cluster().obs();
   hub.wr_posted.inc(wrs.size());
   if (hub.tracer.enabled() && !wrs.empty())
     hub.tracer.instant(obs::Stage::kDoorbell, ctx_.engine().now(),
                        wrs.front().wr_id, id_, ctx_.machine().id(),
                        static_cast<std::uint8_t>(wrs.front().opcode));
-  for (const auto& wr : wrs) {
+  for (auto& wr : wrs) {
     if (cfg_.transport == Transport::kUD) {
       RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
     } else {
@@ -151,11 +157,11 @@ void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
     RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
     ++outstanding_;
     if (state_ == QpState::kError) {
-      ctx_.engine().spawn(flush_posted_wr(wr));
+      ctx_.engine().spawn(flush_posted_wr(std::move(wr)));
       continue;
     }
     // Doorbell-listed WQEs are fetched from host memory by the RNIC.
-    ctx_.engine().spawn(run_wr(wr, /*bf=*/false));
+    ctx_.engine().spawn(run_wr(std::move(wr), /*bf=*/false));
   }
 }
 
@@ -180,7 +186,7 @@ sim::TaskT<void> QueuePair::post(WorkRequest wr) {
   if (tr.enabled())
     tr.span(obs::Stage::kPost, t0, ctx_.engine().now(), wr.wr_id, id_,
             ctx_.machine().id(), static_cast<std::uint8_t>(wr.opcode));
-  post_send(wr);
+  post_send(std::move(wr));
 }
 
 sim::TaskT<Completion> QueuePair::execute(WorkRequest wr) {
@@ -207,8 +213,15 @@ sim::TaskT<Completion> QueuePair::execute_batch(std::vector<WorkRequest> wrs) {
     tr.span(obs::Stage::kPost, t0, ctx_.engine().now(), wid, id_,
             ctx_.machine().id(),
             static_cast<std::uint8_t>(wrs.back().opcode));
-  post_send_batch(wrs);
+  post_send_batch(std::move(wrs));
   co_return co_await wait(wid);
+}
+
+QueuePair::Waiter* QueuePair::find_waiter(std::uint64_t wr_id) {
+  for (auto& w : waiters_) {
+    if (w.wr_id == wr_id) return &w;
+  }
+  return nullptr;
 }
 
 sim::TaskT<Completion> QueuePair::wait(std::uint64_t wr_id) {
@@ -216,17 +229,25 @@ sim::TaskT<Completion> QueuePair::wait(std::uint64_t wr_id) {
     QueuePair& qp;
     std::uint64_t wr_id;
     bool await_ready() {
-      auto it = qp.waiters_.find(wr_id);
-      return it != qp.waiters_.end() && it->second.done;
+      const Waiter* w = qp.find_waiter(wr_id);
+      return w != nullptr && w->done;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      qp.waiters_[wr_id].handle = h;
+      Waiter* w = qp.find_waiter(wr_id);
+      if (w == nullptr) {
+        qp.waiters_.emplace_back();
+        w = &qp.waiters_.back();
+        w->wr_id = wr_id;
+      }
+      w->handle = h;
     }
     Completion await_resume() {
-      auto it = qp.waiters_.find(wr_id);
-      RDMASEM_CHECK(it != qp.waiters_.end() && it->second.done);
-      Completion c = it->second.result;
-      qp.waiters_.erase(it);
+      Waiter* w = qp.find_waiter(wr_id);
+      RDMASEM_CHECK(w != nullptr && w->done);
+      Completion c = w->result;
+      // Swap-pop erase: slot order carries no meaning, capacity is kept.
+      *w = std::move(qp.waiters_.back());
+      qp.waiters_.pop_back();
       return c;
     }
   };
@@ -261,12 +282,10 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   c.completed_at = ctx_.engine().now();
   c.atomic_old = atomic_old;
 
-  auto it = waiters_.find(wr.wr_id);
-  if (it != waiters_.end()) {
-    it->second.result = c;
-    it->second.done = true;
-    if (it->second.handle)
-      ctx_.engine().resume_at(ctx_.engine().now(), it->second.handle);
+  if (Waiter* w = find_waiter(wr.wr_id); w != nullptr) {
+    w->result = c;
+    w->done = true;
+    if (w->handle) ctx_.engine().resume_at(ctx_.engine().now(), w->handle);
     return;
   }
   // IBV rule: error completions surface even for unsignaled WRs.
@@ -317,21 +336,26 @@ sim::TaskT<bool> QueuePair::deliver(std::uint32_t src_machine,
   }
 }
 
-void QueuePair::gather_to(const WorkRequest& wr, std::byte* dst) {
+void QueuePair::gather_sges(Context& ctx, const Sge* sges, std::size_t n,
+                            std::byte* dst) {
   std::size_t off = 0;
-  for (const auto& sge : wr.sg_list) {
-    const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sge& sge = sges[i];
+    const MemoryRegion* mr = ctx.lookup(sge.lkey);
     std::memcpy(dst + off, mr->at(sge.addr), sge.length);
     off += sge.length;
   }
 }
 
-void QueuePair::scatter_from(const WorkRequest& wr, const std::byte* src) {
+void QueuePair::scatter_sges(Context& ctx, const Sge* sges, std::size_t n,
+                             const std::byte* src, std::size_t limit) {
   std::size_t off = 0;
-  for (const auto& sge : wr.sg_list) {
-    MemoryRegion* mr = ctx_.lookup(sge.lkey);
-    std::memcpy(mr->at(sge.addr), src + off, sge.length);
-    off += sge.length;
+  for (std::size_t i = 0; i < n && off < limit; ++i) {
+    const Sge& sge = sges[i];
+    MemoryRegion* mr = ctx.lookup(sge.lkey);
+    const std::size_t len = std::min<std::size_t>(sge.length, limit - off);
+    std::memcpy(mr->at(sge.addr), src + off, len);
+    off += len;
   }
 }
 
@@ -352,10 +376,17 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   auto& lport = lr.port(cfg_.port);
   if (wr.posted_at == 0) wr.posted_at = eng.now();
 
+  // Host-side datapath knobs, snapshotted per WR (the struct is mutable
+  // between runs; a WR must see one consistent view across lanes).
+  // Toggling any knob changes no simulated time or byte — only how the
+  // simulator itself stages payloads and suspends (docs/PERF.md).
+  const DatapathTuning tune = datapath_tuning();
+
   // Lifecycle tracing: stamps read the clock and append to a buffer,
   // never schedule or delay anything, so `traced` on/off cannot change
   // the simulated timeline (obs zero-cost contract).
-  obs::Tracer& tracer = ctx_.cluster().obs().tracer;
+  obs::Hub& hub = ctx_.cluster().obs();
+  obs::Tracer& tracer = hub.tracer;
   const bool traced = tracer.enabled();
   const std::uint32_t trace_pid = lm.id();
   const auto trace_op = static_cast<std::uint8_t>(wr.opcode);
@@ -441,16 +472,29 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   if (carries_payload && !inlined) {
     const sim::Time t0 = eng.now();
     co_await lr.dma().use(P.pcie_time(total));
-    sim::Duration numa_pen = 0;
-    for (const auto& sge : wr.sg_list) {
-      const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+    if (tune.fused_costs && wr.sg_list.size() == 1) {
+      // Single-SGE fast path: the channel service and the NUMA penalty
+      // form a fixed chain with no interleaving point — one suspension.
+      const MemoryRegion* mr = ctx_.lookup(wr.sg_list[0].lkey);
       const bool same = (lps == mr->socket);
-      const sim::Duration m = mem_cost(lm, mr->socket, sge.addr, sge.length,
+      const sim::Duration m = mem_cost(lm, mr->socket, wr.sg_list[0].addr,
+                                       wr.sg_list[0].length,
                                        hw::DramModel::Op::kRead, same);
-      co_await lm.mem_channel(mr->socket).use(m);
-      numa_pen = std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+      co_await lm.mem_channel(mr->socket)
+          .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket));
+    } else {
+      sim::Duration numa_pen = 0;
+      for (const auto& sge : wr.sg_list) {
+        const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+        const bool same = (lps == mr->socket);
+        const sim::Duration m = mem_cost(lm, mr->socket, sge.addr, sge.length,
+                                         hw::DramModel::Op::kRead, same);
+        co_await lm.mem_channel(mr->socket).use(m);
+        numa_pen =
+            std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+      }
+      if (numa_pen) co_await sim::delay(eng, numa_pen);
     }
-    if (numa_pen) co_await sim::delay(eng, numa_pen);
     if (traced) stamp(obs::Stage::kLocalDma, t0);
   }
 
@@ -481,11 +525,26 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   // Stage the outbound payload in the coroutine frame: gathered from the
   // local MRs here on the requester's lane, copied out on the
   // destination's lane. The frame is the only state both lanes touch,
-  // and only sequentially (before/after the wire hop).
-  std::vector<std::byte> payload;
+  // and only sequentially (before/after the wire hop). Single-SGE RC
+  // payloads skip even the gather: the frame carries a borrowed view into
+  // the source MR and the landing memcpy is the only copy. The borrow is
+  // race-free for the same reason the frame is: the landing read
+  // happens-after the post via the wire-hop event chain, and the app
+  // cannot legally touch the buffer again before the completion, which
+  // happens-after the landing. Loopback (same machine) keeps staging so
+  // the landing never memcpy's between overlapping ranges.
+  PayloadBuf payload;
   if (carries_payload) {
-    payload.resize(total);
-    gather_to(wr, payload.data());
+    if (tune.zero_copy && tp == Transport::kRC && wr.sg_list.size() == 1 &&
+        lm.id() != rm.id()) {
+      payload.borrow(ctx_.lookup(wr.sg_list[0].lkey)->at(wr.sg_list[0].addr));
+      hub.zero_copy_wrs.inc();
+    } else {
+      gather_sges(ctx_, wr.sg_list.data(), wr.sg_list.size(),
+                  payload.stage(total, tune.payload_pool));
+      (payload.pool_hit() ? hub.payload_pool_hits : hub.payload_pool_misses)
+          .inc();
+    }
   }
 
   const sim::Time t_wire = eng.now();
@@ -536,12 +595,20 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         const sim::Duration m =
             mem_cost(rm, rmr->socket, wr.remote_addr, total,
                      hw::DramModel::Op::kWrite, same);
-        co_await rm.mem_channel(rmr->socket).use(m);
-        if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
-          co_await sim::delay(eng, pen);
-        co_await sim::delay(eng, P.pcie_dma_write_latency);
-        // The data actually moves: staged payload lands in the remote MR,
-        // here on its owner's lane.
+        const sim::Duration pen = rm.topo().dma_mem_penalty(rps, rmr->socket);
+        if (tune.fused_costs) {
+          // Channel service + NUMA penalty + PCIe completion latency is a
+          // fixed chain — nothing can semantically interleave, so it is
+          // one suspension on the fast path.
+          co_await rm.mem_channel(rmr->socket)
+              .use_then(m, pen + P.pcie_dma_write_latency);
+        } else {
+          co_await rm.mem_channel(rmr->socket).use(m);
+          if (pen) co_await sim::delay(eng, pen);
+          co_await sim::delay(eng, P.pcie_dma_write_latency);
+        }
+        // The data actually moves: staged (or borrowed) payload lands in
+        // the remote MR, here on its owner's lane.
         std::memcpy(rmr->at(wr.remote_addr), payload.data(), total);
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
@@ -577,14 +644,23 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         const sim::Duration m =
             mem_cost(rm, rmr->socket, wr.remote_addr, total,
                      hw::DramModel::Op::kRead, same);
-        co_await rm.mem_channel(rmr->socket).use(m);
-        if (const auto pen = rm.topo().dma_mem_penalty(rps, rmr->socket))
-          co_await sim::delay(eng, pen);
-        co_await sim::delay(eng, P.pcie_dma_read_latency);
+        const sim::Duration pen = rm.topo().dma_mem_penalty(rps, rmr->socket);
+        if (tune.fused_costs) {
+          co_await rm.mem_channel(rmr->socket)
+              .use_then(m, pen + P.pcie_dma_read_latency);
+        } else {
+          co_await rm.mem_channel(rmr->socket).use(m);
+          if (pen) co_await sim::delay(eng, pen);
+          co_await sim::delay(eng, P.pcie_dma_read_latency);
+        }
         // Snapshot the remote bytes into the frame while still on their
-        // owner's lane; the response leg carries them home.
-        payload.resize(total);
-        std::memcpy(payload.data(), rmr->at(wr.remote_addr), total);
+        // owner's lane; the response leg carries them home. READs always
+        // stage (never borrow): the source may mutate between here and
+        // the landing, and a borrowed view would race across shards.
+        std::memcpy(payload.stage(total, tune.payload_pool),
+                    rmr->at(wr.remote_addr), total);
+        (payload.pool_hit() ? hub.payload_pool_hits : hub.payload_pool_misses)
+            .inc();
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the payload back.
@@ -599,20 +675,37 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       if (total > 0) {
         const sim::Time t_land = eng.now();
         co_await lr.dma().use(P.pcie_time(total));
-        sim::Duration numa_pen = 0;
-        for (const auto& sge : wr.sg_list) {
-          const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+        if (tune.fused_costs && wr.sg_list.size() == 1) {
+          const MemoryRegion* mr = ctx_.lookup(wr.sg_list[0].lkey);
           const bool same = (lps == mr->socket);
-          const sim::Duration m = mem_cost(lm, mr->socket, sge.addr,
-                                           sge.length,
-                                           hw::DramModel::Op::kWrite, same);
-          co_await lm.mem_channel(mr->socket).use(m);
-          numa_pen =
-              std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+          const sim::Duration m =
+              mem_cost(lm, mr->socket, wr.sg_list[0].addr,
+                       wr.sg_list[0].length, hw::DramModel::Op::kWrite, same);
+          co_await lm.mem_channel(mr->socket)
+              .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket) +
+                               P.pcie_dma_write_latency);
+        } else {
+          sim::Duration numa_pen = 0;
+          for (const auto& sge : wr.sg_list) {
+            const MemoryRegion* mr = ctx_.lookup(sge.lkey);
+            const bool same = (lps == mr->socket);
+            const sim::Duration m = mem_cost(lm, mr->socket, sge.addr,
+                                             sge.length,
+                                             hw::DramModel::Op::kWrite, same);
+            co_await lm.mem_channel(mr->socket).use(m);
+            numa_pen =
+                std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
+          }
+          if (tune.fused_costs) {
+            // Two trailing pure delays; merge into one suspension.
+            co_await sim::delay(eng, numa_pen + P.pcie_dma_write_latency);
+          } else {
+            if (numa_pen) co_await sim::delay(eng, numa_pen);
+            co_await sim::delay(eng, P.pcie_dma_write_latency);
+          }
         }
-        if (numa_pen) co_await sim::delay(eng, numa_pen);
-        co_await sim::delay(eng, P.pcie_dma_write_latency);
-        scatter_from(wr, payload.data());
+        scatter_sges(ctx_, wr.sg_list.data(), wr.sg_list.size(),
+                     payload.data(), total);
         if (traced) stamp(obs::Stage::kLocalDma, t_land);
       }
       complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
@@ -655,8 +748,12 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
-      co_await lport.rx.use(P.rnic_rx_proc);
-      co_await sim::delay(eng, P.pcie_dma_write_latency);
+      if (tune.fused_costs) {
+        co_await lport.rx.use_then(P.rnic_rx_proc, P.pcie_dma_write_latency);
+      } else {
+        co_await lport.rx.use(P.rnic_rx_proc);
+        co_await sim::delay(eng, P.pcie_dma_write_latency);
+      }
       if (traced) stamp(obs::Stage::kResponse, t_resp);
       MemoryRegion* lmr = ctx_.lookup(wr.sg_list[0].lkey);
       std::memcpy(lmr->at(wr.sg_list[0].addr), &old, 8);
@@ -709,9 +806,16 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         const bool same = (rps == rmr->socket);
         const sim::Duration m = mem_cost(rm, rmr->socket, rq.sge.addr, total,
                                          hw::DramModel::Op::kWrite, same);
-        co_await rm.mem_channel(rmr->socket).use(m);
-        co_await sim::delay(eng, P.pcie_dma_write_latency);
-        std::memcpy(rmr->at(rq.sge.addr), payload.data(), total);
+        if (tune.fused_costs) {
+          co_await rm.mem_channel(rmr->socket)
+              .use_then(m, P.pcie_dma_write_latency);
+        } else {
+          co_await rm.mem_channel(rmr->socket).use(m);
+          co_await sim::delay(eng, P.pcie_dma_write_latency);
+        }
+        // The RECV consume is the same scatter primitive as a READ
+        // landing: one SGE, capped at the arriving message size.
+        scatter_sges(peer->ctx_, &rq.sge, 1, payload.data(), total);
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Receiver-side completion.

@@ -4,7 +4,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -49,8 +48,12 @@ class QueuePair {
   void reset();
 
   // ---- hardware-time posting ------------------------------------------
-  void post_send(const WorkRequest& wr);
+  void post_send(const WorkRequest& wr) { post_send(WorkRequest(wr)); }
+  // rvalue form: the WR's SGE storage moves into the pipeline coroutine
+  // instead of being copied, so posting never allocates.
+  void post_send(WorkRequest&& wr);
   void post_send_batch(const std::vector<WorkRequest>& wrs);
+  void post_send_batch(std::vector<WorkRequest>&& wrs);
   void post_recv(const RecvRequest& rr);
 
   // ---- CPU-charged coroutine helpers -----------------------------------
@@ -78,10 +81,26 @@ class QueuePair {
   }
   std::uint64_t flushed_wrs() const { return flushed_wrs_; }
 
+  // The one gather/scatter primitive every payload movement funnels
+  // through: WRITE/SEND source gather, READ response landing, the
+  // SEND->RECV consume, and the remem staging copies (SP batching).
+  // `limit` caps the total bytes scattered (a RECV SGE may be larger than
+  // the arriving message).
+  static void gather_sges(Context& ctx, const Sge* sges, std::size_t n,
+                          std::byte* dst);
+  static void scatter_sges(Context& ctx, const Sge* sges, std::size_t n,
+                           const std::byte* src, std::size_t limit);
+
  private:
   friend class Context;
 
+  // wait()/complete() rendezvous slot. Kept in a flat vector (linear scan,
+  // swap-pop erase): outstanding waiters are bounded by in-flight WRs per
+  // QP (typically the pipelining window, single digits), and the vector's
+  // capacity is retained across WRs so the rendezvous never allocates at
+  // steady state — a node-based map put one allocation on every execute().
   struct Waiter {
+    std::uint64_t wr_id = 0;
     std::coroutine_handle<> handle{};
     Completion result{};
     bool done = false;
@@ -112,10 +131,7 @@ class QueuePair {
   sim::Task flush_posted_wr(WorkRequest wr);
   void complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
                 std::uint64_t atomic_old = 0);
-  // Copies gathered local SGEs to `dst` (WRITE/SEND payload landing).
-  void gather_to(const WorkRequest& wr, std::byte* dst);
-  // Scatters `src` across local SGEs (READ response landing).
-  void scatter_from(const WorkRequest& wr, const std::byte* src);
+  Waiter* find_waiter(std::uint64_t wr_id);
 
   Context& ctx_;
   QpConfig cfg_;
@@ -131,7 +147,7 @@ class QueuePair {
   std::atomic<std::uint64_t> retransmits_{0};
   std::uint64_t flushed_wrs_ = 0;
   std::deque<RecvRequest> recv_queue_;
-  std::unordered_map<std::uint64_t, Waiter> waiters_;
+  std::vector<Waiter> waiters_;
 };
 
 }  // namespace rdmasem::verbs

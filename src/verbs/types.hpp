@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "sim/time.hpp"
+#include "util/small_vec.hpp"
 
 namespace rdmasem::verbs {
 
@@ -76,8 +76,10 @@ struct Sge {
 struct WorkRequest {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::kWrite;
-  std::vector<Sge> sg_list;       // local gather (WRITE/SEND) or scatter
-                                  // target (READ); result buffer (atomics)
+  // Local gather (WRITE/SEND) or scatter target (READ); result buffer
+  // (atomics). Inline storage for 4 SGEs: posting the common WR shapes
+  // never allocates (longer lists spill to the heap like a vector).
+  util::SmallVec<Sge, 4> sg_list;
   std::uint64_t remote_addr = 0;  // one-sided target
   std::uint32_t rkey = 0;
   std::uint64_t compare = 0;      // kCompSwap: expected value

@@ -15,6 +15,7 @@
 #include "cluster/stats.hpp"
 #include "fault/fault.hpp"
 #include "testbed.hpp"
+#include "verbs/payload.hpp"
 #include "wl/microbench.hpp"
 
 namespace v = rdmasem::verbs;
@@ -28,14 +29,26 @@ using rdmasem::test::Testbed;
 namespace {
 
 struct RunOutput {
-  std::string stats;   // StatsReport::render()
-  std::string trace;   // Tracer::chrome_json()
-  std::string rest;    // every other scalar, stringified
+  std::string stats;        // StatsReport::render()
+  std::string trace;        // Tracer::chrome_json()
+  std::string rest;         // every other scalar, stringified
+  std::uint64_t events = 0; // engine events_processed — kept out of `rest`
+                            // so the cost-fusing toggle (which legitimately
+                            // changes the suspension count) can still
+                            // assert full byte-identity of everything else
+};
+
+// Scoped override of the process-wide datapath tuning knobs.
+struct TuningOverride {
+  v::DatapathTuning saved = v::datapath_tuning();
+  explicit TuningOverride(v::DatapathTuning t) { v::datapath_tuning() = t; }
+  ~TuningOverride() { v::datapath_tuning() = saved; }
 };
 
 // Closed-loop write/read mix under a seed-derived chaos plan, tracing on.
-RunOutput microbench_run(std::uint64_t seed) {
+RunOutput microbench_run(std::uint64_t seed, bool inline_wakeups = true) {
   Testbed tb;
+  if (!inline_wakeups) tb.eng.set_inline_wakeups(false);
   tb.cluster.obs().tracer.set_enabled(true);
 
   sim::Rng plan_rng(seed * 2654435761u + 17);
@@ -70,9 +83,9 @@ RunOutput microbench_run(std::uint64_t seed) {
              "|" + std::to_string(r.p99_latency_us) + "|" +
              std::to_string(r.elapsed) + "|" + std::to_string(r.errors) +
              "|" + std::to_string(tb.eng.now()) + "|" +
-             std::to_string(tb.eng.events_processed()) + "|" +
              std::to_string(tb.cluster.fabric().messages()) + "|" +
              std::to_string(tb.cluster.fabric().drops());
+  out.events = tb.eng.events_processed();
   return out;
 }
 
@@ -92,8 +105,8 @@ RunOutput dlog_run(std::uint64_t seed) {
   out.rest = std::to_string(r.records) + "|" + std::to_string(r.mops) + "|" +
              std::to_string(r.elapsed) + "|" +
              std::to_string(log.verify_dense_and_intact()) + "|" +
-             std::to_string(tb.eng.now()) + "|" +
-             std::to_string(tb.eng.events_processed());
+             std::to_string(tb.eng.now());
+  out.events = tb.eng.events_processed();
   return out;
 }
 
@@ -108,6 +121,7 @@ TEST_P(SeedSweep, MicrobenchReplaysByteIdentical) {
   EXPECT_EQ(a.stats, b.stats);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.rest, b.rest);
+  EXPECT_EQ(a.events, b.events);
   EXPECT_FALSE(a.trace.empty());
 }
 
@@ -117,6 +131,7 @@ TEST_P(SeedSweep, DlogReplaysByteIdentical) {
   const RunOutput b = dlog_run(seed);
   EXPECT_EQ(a.stats, b.stats);
   EXPECT_EQ(a.rest, b.rest);
+  EXPECT_EQ(a.events, b.events);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 10));
@@ -127,4 +142,60 @@ TEST(SeedSweep, SeedsActuallyDiffer) {
   const RunOutput a = microbench_run(1);
   const RunOutput b = microbench_run(2);
   EXPECT_NE(a.rest, b.rest);
+}
+
+// --- datapath tuning toggles ------------------------------------------------
+//
+// The verbs datapath optimisations (verbs/payload.hpp) are host-side only:
+// each knob flipped off must reproduce the default run's observable output
+// byte for byte. zero_copy and payload_pool change only how payload bytes
+// are carried between the gather and the landing, so even the event count
+// matches; fused_costs collapses fixed-latency chains into fewer
+// suspensions, so it changes events_processed and nothing else.
+
+TEST(DatapathToggles, ZeroCopyOffIsByteIdentical) {
+  const RunOutput fast = microbench_run(3);
+  v::DatapathTuning t;
+  t.zero_copy = false;
+  TuningOverride o(t);
+  const RunOutput staged = microbench_run(3);
+  EXPECT_EQ(staged.stats, fast.stats);
+  EXPECT_EQ(staged.trace, fast.trace);
+  EXPECT_EQ(staged.rest, fast.rest);
+  EXPECT_EQ(staged.events, fast.events);
+}
+
+TEST(DatapathToggles, PayloadPoolOffIsByteIdentical) {
+  const RunOutput pooled = microbench_run(4);
+  v::DatapathTuning t;
+  t.payload_pool = false;
+  TuningOverride o(t);
+  const RunOutput heap = microbench_run(4);
+  EXPECT_EQ(heap.stats, pooled.stats);
+  EXPECT_EQ(heap.trace, pooled.trace);
+  EXPECT_EQ(heap.rest, pooled.rest);
+  EXPECT_EQ(heap.events, pooled.events);
+}
+
+TEST(DatapathToggles, FullLegacyDatapathKeepsAllTimesAndStats) {
+  const RunOutput fast = microbench_run(5);
+  TuningOverride o(v::DatapathTuning{false, false, false});
+  const RunOutput legacy = microbench_run(5);
+  EXPECT_EQ(legacy.stats, fast.stats);
+  EXPECT_EQ(legacy.trace, fast.trace);
+  EXPECT_EQ(legacy.rest, fast.rest);
+  // Unfused chains suspend more often; that is the ONLY thing that may
+  // differ, and it must differ (otherwise fusing isn't happening).
+  EXPECT_GT(legacy.events, fast.events);
+}
+
+TEST(DatapathToggles, InlineWakeupElisionIsByteIdentical) {
+  // Elided resource grants / delays still count as processed events, so
+  // the engine fast path is invisible even to the event counter.
+  const RunOutput fast = microbench_run(6);
+  const RunOutput queued = microbench_run(6, /*inline_wakeups=*/false);
+  EXPECT_EQ(queued.stats, fast.stats);
+  EXPECT_EQ(queued.trace, fast.trace);
+  EXPECT_EQ(queued.rest, fast.rest);
+  EXPECT_EQ(queued.events, fast.events);
 }

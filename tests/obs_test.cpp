@@ -15,6 +15,7 @@ namespace sim = rdmasem::sim;
 namespace v = rdmasem::verbs;
 namespace wl = rdmasem::wl;
 using rdmasem::test::Testbed;
+using rdmasem::test::make_read;
 using rdmasem::test::make_write;
 
 // --- json helpers ----------------------------------------------------------
@@ -284,6 +285,66 @@ TEST(ObsEndToEnd, HubGaugesSeeTheFabric) {
   // Latency histogram saw every completion.
   EXPECT_EQ(tb.cluster.obs().wr_latency_ns.count(), 100u);
   EXPECT_GT(tb.cluster.obs().wr_latency_ns.quantile_bound(0.5), 0u);
+}
+
+// The payload-staging counters are pure predicates of WR shape and the
+// tuning knobs (never of free-list state), so exact values are asserted:
+// one per route the datapath can take.
+TEST(ObsEndToEnd, PayloadStagingCountersTrackRoutes) {
+  Testbed tb;
+  v::Buffer src(256 << 10), dst(256 << 10);
+  auto* lmr = tb.ctx[0]->register_buffer(src, 1);
+  auto* rmr = tb.ctx[1]->register_buffer(dst, 1);
+  auto conn = tb.connect(0, 1);
+  auto& hub = tb.cluster.obs();
+
+  tb.eng.spawn([](Testbed& t, v::QueuePair* qp, v::MemoryRegion* l,
+                  v::MemoryRegion* r) -> sim::Task {
+    obs::Hub& h = t.cluster.obs();
+
+    // Single-SGE cross-machine RC WRITE: borrowed view, no staging copy.
+    (void)co_await qp->execute(make_write(*l, 0, *r, 0, 4096));
+    EXPECT_EQ(h.zero_copy_wrs.value(), 1u);
+    EXPECT_EQ(h.payload_pool_hits.value(), 0u);
+    EXPECT_EQ(h.payload_pool_misses.value(), 0u);
+
+    // Multi-SGE WRITE above the inline arm: staged through the pool.
+    v::WorkRequest multi;
+    multi.opcode = v::Opcode::kWrite;
+    multi.sg_list = {{l->addr + 0, 512, l->key}, {l->addr + 512, 512, l->key}};
+    multi.remote_addr = r->addr;
+    multi.rkey = r->key;
+    (void)co_await qp->execute(multi);
+    EXPECT_EQ(h.zero_copy_wrs.value(), 1u);
+    EXPECT_EQ(h.payload_pool_hits.value(), 1u);
+
+    // READ: the response snapshot always stages (on the responder's
+    // lane); 64 bytes fits the in-frame inline arm.
+    (void)co_await qp->execute(make_read(*l, 0, *r, 0, 64));
+    EXPECT_EQ(h.zero_copy_wrs.value(), 1u);
+    EXPECT_EQ(h.payload_pool_hits.value(), 2u);
+    EXPECT_EQ(h.payload_pool_misses.value(), 0u);
+
+    // Multi-SGE WRITE beyond the pooled range (2 x 40 KB): heap, a miss.
+    v::WorkRequest big;
+    big.opcode = v::Opcode::kWrite;
+    big.sg_list = {{l->addr + 0, 40 << 10, l->key},
+                   {l->addr + (40 << 10), 40 << 10, l->key}};
+    big.remote_addr = r->addr;
+    big.rkey = r->key;
+    (void)co_await qp->execute(big);
+    EXPECT_EQ(h.payload_pool_misses.value(), 1u);
+  }(tb, conn.local, lmr, rmr));
+  tb.eng.run();
+
+  EXPECT_EQ(hub.zero_copy_wrs.value(), 1u);
+  EXPECT_EQ(hub.payload_pool_hits.value(), 2u);
+  EXPECT_EQ(hub.payload_pool_misses.value(), 1u);
+  // The counters export under their registry names.
+  const std::string j = hub.metrics.json();
+  EXPECT_NE(j.find("\"verbs.payload.zero_copy\""), std::string::npos);
+  EXPECT_NE(j.find("\"verbs.payload.pool_hits\""), std::string::npos);
+  EXPECT_NE(j.find("\"verbs.payload.pool_misses\""), std::string::npos);
 }
 
 // --- bench export ----------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "cluster/stats.hpp"
 #include "fault/fault.hpp"
 #include "testbed.hpp"
+#include "verbs/payload.hpp"
 #include "wl/microbench.hpp"
 
 namespace v = rdmasem::verbs;
@@ -154,11 +155,24 @@ std::string hashtable_run(std::uint32_t shards) {
          cl::StatsReport::capture(tb.cluster).render();
 }
 
+// Scoped override of the process-wide datapath tuning knobs.
+struct TuningOverride {
+  v::DatapathTuning saved = v::datapath_tuning();
+  explicit TuningOverride(v::DatapathTuning t) { v::datapath_tuning() = t; }
+  ~TuningOverride() { v::datapath_tuning() = saved; }
+};
+
 // Microbench under a chaos fault plan, tracing on — retransmits, loss RNG
-// and the span merge all have to be shard-invariant too.
-std::string chaos_run(std::uint32_t shards) {
+// and the span merge all have to be shard-invariant too. `legacy_datapath`
+// turns off every verbs datapath optimisation AND the engine's inline
+// wakeup elision; the digest carries no event count, so legacy and fast
+// runs must match byte for byte.
+std::string chaos_run(std::uint32_t shards, bool legacy_datapath = false) {
   ShardEnv env(shards);
+  TuningOverride tuning(legacy_datapath ? v::DatapathTuning{false, false, false}
+                                        : v::datapath_tuning());
   Testbed tb;
+  if (legacy_datapath) tb.eng.set_inline_wakeups(false);
   tb.cluster.obs().tracer.set_enabled(true);
 
   sim::Rng plan_rng(777);
@@ -234,6 +248,15 @@ TEST(ParallelDeterminism, ChaosFaultsMatchSerialAtFourShards) {
   const std::string serial = chaos_run(1);
   for (const std::uint32_t s : {2u, 4u})
     EXPECT_EQ(chaos_run(s), serial) << "shards=" << s;
+}
+
+TEST(ParallelDeterminism, LegacyDatapathMatchesFastPathAtEveryShardCount) {
+  // One oracle for both contracts: the legacy datapath (no zero-copy, no
+  // pooling, no cost fusing, no wakeup elision) must produce the same
+  // timeline as the fast path, and it must stay shard-deterministic too.
+  const std::string fast = chaos_run(1);
+  for (const std::uint32_t s : kShardCounts)
+    EXPECT_EQ(chaos_run(s, /*legacy_datapath=*/true), fast) << "shards=" << s;
 }
 
 TEST(ParallelDeterminism, ShardCountBeyondMachinesClamps) {
