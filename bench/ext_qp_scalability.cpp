@@ -16,7 +16,8 @@ using bench::FigureCollector;
 
 FigureCollector collector(
     "Ext. QP scalability: server MOPS vs client count (32 B sends)",
-    {"clients", "RC", "UD", "RC_mcache_hit"});
+    {"clients", "RC", "UD", "RC_srv_conns", "UD_srv_conns", "RC_mcache_hit",
+     "RC_mcache_miss"});
 
 constexpr std::uint32_t kMsg = 32;
 
@@ -129,11 +130,23 @@ void BM_ext_qp(benchmark::State& state) {
     ud = run_ud(clients, ops);
     state.SetIterationTime(1e-3);
   }
+  // Connection count is the experiment's independent variable made
+  // explicit: the RC server carries one QP per client while the UD server
+  // always carries one, which is why only RC's metadata cache degrades.
+  const double miss = 1.0 - hit;
   state.counters["RC_MOPS"] = rc;
   state.counters["UD_MOPS"] = ud;
+  state.counters["RC_server_conns"] = static_cast<double>(clients);
+  state.counters["UD_server_conns"] = 1;
   state.counters["RC_mcache_hit"] = hit;
-  collector.add({std::to_string(clients), util::fmt(rc), util::fmt(ud),
-                 util::fmt(hit, 3)});
+  state.counters["RC_mcache_miss"] = miss;
+  const std::string x = std::to_string(clients);
+  bench::point_mops("RC", x, rc);
+  bench::point_mops("UD", x, ud);
+  bench::point_mops("RC_srv_conns", x, static_cast<double>(clients));
+  bench::point_mops("RC_mcache_miss", x, miss);
+  collector.add({x, util::fmt(rc), util::fmt(ud), std::to_string(clients),
+                 "1", util::fmt(hit, 3), util::fmt(miss, 3)});
 }
 
 BENCHMARK(BM_ext_qp)

@@ -32,6 +32,7 @@ execute_process(
           RDMASEM_JOIN_SCALE_SHIFT=9
           RDMASEM_SHUFFLE_ENTRIES=600
           RDMASEM_DLOG_RECORDS=200
+          RDMASEM_TENANT_OPS=2000
           RDMASEM_SELFBENCH_EVENTS=60000
           RDMASEM_SELFBENCH_ACTORS=512
           RDMASEM_SELFBENCH_TASKS=800

@@ -33,6 +33,15 @@ Regenerate the baseline after an intentional engine change with
   scripts/perf_gate.py BENCH_selfbench_engine.json --update-baseline
 and commit the result (procedure: docs/PERF.md).
 
+With --tenant-report BENCH_ext_tenant_scale.json the gate additionally
+enforces the multi-tenant scaling contract (docs/SERVICE.md): each
+series' "sustained" tenant count is the largest sweep point still within
+--tenant-tolerance (default 0.20) of that series' own peak MOPS, and
+broker+SRQ must sustain at least --min-tenant-ratio (default 5.0) times
+the tenant count RC-per-tenant sustains before its metadata-cache
+collapse; DC must sustain --min-dc-ratio (default 4.0) times. These are
+in-run ratios of simulated throughput, so they are machine-independent.
+
 Stdlib only. Exit 0 = pass, 1 = regression, 2 = bad input.
 """
 
@@ -69,6 +78,46 @@ def load_points(path):
     return points
 
 
+def sustained_tenants(points, series, tolerance):
+    """Largest x (tenant count) whose MOPS is within `tolerance` of the
+    series' peak — the scale the service tier sustains before collapse."""
+    sweep = {int(x): mops for (s, x), mops in points.items() if s == series}
+    if not sweep:
+        die(f"tenant report lacks a {series!r} series")
+    peak = max(sweep.values())
+    floor = peak * (1.0 - tolerance)
+    best = 0
+    for x in sorted(sweep):
+        if sweep[x] >= floor:
+            best = x
+    return best, peak
+
+
+def check_tenant_scaling(path, min_broker_ratio, min_dc_ratio, tolerance):
+    """-> list of failure strings from the multi-tenant scaling contract."""
+    points = load_points(path)
+    failures = []
+    rc, rc_peak = sustained_tenants(points, "RC", tolerance)
+    br, br_peak = sustained_tenants(points, "BROKER", tolerance)
+    dc, dc_peak = sustained_tenants(points, "DC", tolerance)
+    if rc <= 0:
+        die(f"{path}: RC series has no sustained point")
+    for name, sustained, peak, floor_ratio in (
+            ("broker+SRQ", br, br_peak, min_broker_ratio),
+            ("DC", dc, dc_peak, min_dc_ratio)):
+        ratio = sustained / rc
+        verdict = "ok" if ratio >= floor_ratio else "REGRESSED"
+        print(f"perf_gate: tenant scaling: {name} sustains {sustained} "
+              f"tenants (peak {peak:.2f} MOPS) vs RC {rc} "
+              f"(peak {rc_peak:.2f}) = {ratio:.1f}x "
+              f"(floor {floor_ratio:.1f}x) {verdict}")
+        if ratio < floor_ratio:
+            failures.append(
+                f"{name} sustains only {ratio:.1f}x RC's tenant count "
+                f"({sustained} vs {rc}), below the {floor_ratio:.1f}x floor")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("report", help="BENCH_selfbench_engine.json from a run")
@@ -93,6 +142,22 @@ def main():
                     default=float(os.environ.get(
                         "RDMASEM_PERF_MIN_DATAPATH_SPEEDUP", "1.5")),
                     help="floor for the tuned/legacy verbs-datapath ratio")
+    ap.add_argument("--tenant-report", default=None,
+                    help="BENCH_ext_tenant_scale.json; when given, also "
+                         "enforce the multi-tenant scaling floors")
+    ap.add_argument("--min-tenant-ratio", type=float,
+                    default=float(os.environ.get(
+                        "RDMASEM_PERF_MIN_TENANT_RATIO", "5.0")),
+                    help="floor for broker+SRQ sustained tenants vs RC")
+    ap.add_argument("--min-dc-ratio", type=float,
+                    default=float(os.environ.get(
+                        "RDMASEM_PERF_MIN_DC_RATIO", "4.0")),
+                    help="floor for DC sustained tenants vs RC")
+    ap.add_argument("--tenant-tolerance", type=float,
+                    default=float(os.environ.get(
+                        "RDMASEM_PERF_TENANT_TOLERANCE", "0.20")),
+                    help="fractional drop from a series' peak MOPS that "
+                         "still counts as sustained")
     ap.add_argument("--strict-absolute", action="store_true",
                     help="also enforce raw Mevents/s vs the baseline "
                          "(only meaningful on the baseline's machine)")
@@ -234,6 +299,11 @@ def main():
             failures.append(
                 f"{key} absolute throughput {cur:.2f} Mev/s is more than "
                 f"{args.tolerance:.0%} below baseline {want:.2f}")
+
+    if args.tenant_report:
+        failures += check_tenant_scaling(
+            args.tenant_report, args.min_tenant_ratio, args.min_dc_ratio,
+            args.tenant_tolerance)
 
     if failures:
         print("perf_gate: FAIL", file=sys.stderr)

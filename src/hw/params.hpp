@@ -86,6 +86,13 @@ struct ModelParams {
   // DRAM over PCIe. Charged as extra execution-unit occupancy (the WQE
   // stalls the pipeline) plus PCIe usage.
   Duration rnic_mcache_miss = ns(210);
+  // DC (dynamically-connected) transport: cost of the initiator-side
+  // attach handshake when a WR burst begins and the DC context is not
+  // resident — the half-handshake that materializes the connection state
+  // on the device. Charged ON TOP of rnic_mcache_miss (the context fetch
+  // itself) at the send-EU qp-touch point; the context is invalidated
+  // again when the QP goes idle (docs/MODEL.md §9).
+  Duration rnic_dc_attach = ns(120);
   // Weight of one cached object, in SRAM "entry" units.
   std::size_t rnic_weight_pte = 1;
   std::size_t rnic_weight_mr = 2;

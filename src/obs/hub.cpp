@@ -16,6 +16,13 @@ Hub::Hub()
       zero_copy_wrs(metrics.counter("verbs.payload.zero_copy")),
       payload_pool_hits(metrics.counter("verbs.payload.pool_hits")),
       payload_pool_misses(metrics.counter("verbs.payload.pool_misses")),
+      srq_posted(metrics.counter("verbs.srq.posted")),
+      srq_consumed(metrics.counter("verbs.srq.consumed")),
+      srq_rnr(metrics.counter("verbs.srq.rnr")),
+      dc_attaches(metrics.counter("verbs.dc.attaches")),
+      broker_admitted(metrics.counter("svc.broker.admitted")),
+      broker_rejected(metrics.counter("svc.broker.rejected")),
+      broker_queued(metrics.counter("svc.broker.queued")),
       consolidate_staged(metrics.counter("remem.consolidate.staged")),
       consolidate_merges(metrics.counter("remem.consolidate.merges")),
       consolidate_flushes(metrics.counter("remem.consolidate.flushes")),
@@ -23,7 +30,8 @@ Hub::Hub()
       proxy_direct(metrics.counter("remem.numa.direct")),
       cas_attempts(metrics.counter("remem.atomics.cas_attempts")),
       cas_failures(metrics.counter("remem.atomics.cas_failures")),
-      wr_latency_ns(metrics.histogram("verbs.wr.latency_ns")) {
+      wr_latency_ns(metrics.histogram("verbs.wr.latency_ns")),
+      broker_wait_ns(metrics.histogram("svc.broker.wait_ns")) {
   tracer.set_enabled(util::env_bool("RDMASEM_TRACE", false));
   tracer.set_capacity(util::env_u64("RDMASEM_TRACE_MAX_SPANS", 1u << 22));
 }

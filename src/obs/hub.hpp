@@ -39,6 +39,24 @@ struct Hub {
   Counter& zero_copy_wrs;
   Counter& payload_pool_hits;
   Counter& payload_pool_misses;
+  // verbs: shared receive queues (buffers posted to / consumed from an
+  // SRQ, and SEND arrivals that found the SRQ dry — counted whether the
+  // sender then retries or fails fast, so unlike rnr_naks it includes
+  // the zero-retry give-up round) and DC transport attach events (each
+  // is an mcache miss that additionally paid the dynamic-connect
+  // handshake).
+  Counter& srq_posted;
+  Counter& srq_consumed;
+  Counter& srq_rnr;
+  Counter& dc_attaches;
+  // svc: connection-broker admission control (docs/SERVICE.md).
+  //   admitted — ops dispatched to a pooled QP (includes previously
+  //              queued ops once they dispatch)
+  //   rejected — ops bounced by the queue-or-reject policy
+  //   queued   — ops that waited (throttle or full pool) before dispatch
+  Counter& broker_admitted;
+  Counter& broker_rejected;
+  Counter& broker_queued;
   // remem: semantic-layer strategies
   Counter& consolidate_staged;
   Counter& consolidate_merges;   // writes absorbed into an already-dirty block
@@ -49,6 +67,8 @@ struct Hub {
   Counter& cas_failures;         // lost CAS races = atomics contention
   // per-WR post-to-CQE latency (nanoseconds)
   util::Log2Histogram& wr_latency_ns;
+  // broker admission wait (queue + throttle), nanoseconds
+  util::Log2Histogram& broker_wait_ns;
 
   Hub();
   Hub(const Hub&) = delete;

@@ -36,6 +36,16 @@ sim::Duration Rnic::qp_touch(std::uint64_t qp_id) {
              : p_.rnic_mcache_miss;
 }
 
+sim::Duration Rnic::dc_touch(std::uint64_t qp_id) {
+  return mcache_.access(hw::MetadataCache::Kind::kQp, qp_id)
+             ? 0
+             : p_.rnic_mcache_miss + p_.rnic_dc_attach;
+}
+
+void Rnic::dc_detach(std::uint64_t qp_id) {
+  mcache_.invalidate(hw::MetadataCache::Kind::kQp, qp_id);
+}
+
 void Rnic::invalidate_mr(std::uint64_t mr_id, std::uint64_t base,
                          std::size_t len) {
   mcache_.invalidate(hw::MetadataCache::Kind::kMr, mr_id);

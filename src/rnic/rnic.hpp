@@ -59,6 +59,17 @@ class Rnic {
   // Touches the QP context entry; returns the stall on a miss.
   sim::Duration qp_touch(std::uint64_t qp_id);
 
+  // DC initiator-context touch: like qp_touch, but a miss additionally
+  // pays the dynamic-connect attach handshake (rnic_dc_attach) — the
+  // context is not merely refetched, it is re-established. Returns 0 on
+  // a hit (the burst is already attached).
+  sim::Duration dc_touch(std::uint64_t qp_id);
+
+  // DC detach: the initiator context leaves device SRAM as soon as the
+  // QP goes idle, so DC SRAM pressure tracks active flows. No-op if the
+  // entry was already evicted.
+  void dc_detach(std::uint64_t qp_id);
+
   // Drops all cached state for an MR's pages (deregistration).
   void invalidate_mr(std::uint64_t mr_id, std::uint64_t base, std::size_t len);
 

@@ -1,0 +1,128 @@
+#include "svc/broker.hpp"
+
+#include <algorithm>
+
+#include "obs/hub.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "verbs/context.hpp"
+
+namespace rdmasem::svc {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "ADMITTED";
+    case Admission::kQueued: return "QUEUED";
+    case Admission::kRejected: return "REJECTED";
+  }
+  return "?";
+}
+
+namespace {
+verbs::Context& checked_context(const std::vector<verbs::QueuePair*>& pool) {
+  RDMASEM_CHECK_MSG(!pool.empty(), "broker needs a non-empty QP pool");
+  return pool.front()->context();
+}
+}  // namespace
+
+Broker::Broker(std::vector<verbs::QueuePair*> pool, BrokerConfig cfg)
+    : ctx_(&checked_context(pool)),
+      cfg_(cfg),
+      pool_(std::move(pool)),
+      free_(pool_),
+      slots_(ctx_->engine(), pool_.size()) {
+  for (verbs::QueuePair* qp : pool_)
+    RDMASEM_CHECK_MSG(&qp->context() == ctx_,
+                      "broker pool spans multiple contexts");
+  RDMASEM_CHECK_MSG(cfg_.tokens_per_us > 0.0 && cfg_.bucket_depth >= 1.0,
+                    "bad token bucket parameters");
+  token_interval_ = static_cast<sim::Duration>(
+      static_cast<double>(sim::kMicrosecond) / cfg_.tokens_per_us);
+  burst_tolerance_ = static_cast<sim::Duration>(
+      (cfg_.bucket_depth - 1.0) * static_cast<double>(token_interval_));
+}
+
+std::uint32_t Broker::home_lane() const { return ctx_->machine().id() + 1; }
+
+const TenantStats* Broker::tenant_stats(TenantId t) const {
+  auto it = stats_.find(t);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+sim::TaskT<SubmitResult> Broker::submit(TenantId tenant,
+                                        verbs::WorkRequest wr) {
+  auto& eng = ctx_->engine();
+  // All broker state is single-lane: whatever lane the tenant ran on,
+  // the submission first lands on the broker machine's lane.
+  co_await sim::settle(eng, home_lane());
+  // Tenant -> broker handoff: one shared-memory IPC hop on this host.
+  co_await sim::delay(eng, ctx_->params().cpu_ipc);
+
+  obs::Hub& hub = ctx_->cluster().obs();
+  TenantStats& ts = stats_[tenant];
+  ++ts.submitted;
+  const sim::Time t0 = eng.now();
+
+  // ---- token-bucket admission (GCRA) ------------------------------------
+  // The op conforms immediately if the tenant's theoretical arrival time
+  // is within the burst tolerance; otherwise its token matures at
+  // tat - tolerance and the op sleeps exactly until then.
+  Bucket& b = buckets_[tenant];
+  const sim::Duration throttle_wait =
+      b.tat > t0 + burst_tolerance_ ? b.tat - burst_tolerance_ - t0 : 0;
+  if (throttle_wait > 0 &&
+      (!cfg_.queue_throttled || waiting_ >= cfg_.max_queue)) {
+    ++ts.rejected;
+    ++rejected_;
+    hub.broker_rejected.inc();
+    co_return SubmitResult{};  // rejected: no token consumed
+  }
+  b.tat = std::max(b.tat, t0) + token_interval_;
+  if (throttle_wait > 0) {
+    ++waiting_;
+    co_await sim::delay(eng, throttle_wait);
+    --waiting_;
+  }
+
+  // ---- bounded QP pool ---------------------------------------------------
+  if (slots_.available() == 0) {
+    if (waiting_ >= cfg_.max_queue) {
+      ++ts.rejected;
+      ++rejected_;
+      hub.broker_rejected.inc();
+      co_return SubmitResult{};
+    }
+    ++waiting_;
+    co_await slots_.acquire();
+    --waiting_;
+  } else {
+    co_await slots_.acquire();
+  }
+  verbs::QueuePair* qp = free_.back();
+  free_.pop_back();
+
+  const sim::Duration waited = eng.now() - t0;
+  ++ts.admitted;
+  ++admitted_;
+  hub.broker_admitted.inc();
+  if (waited > 0) {
+    ++ts.queued;
+    ++queued_;
+    hub.broker_queued.inc();
+  }
+  const std::uint64_t wait_ns = waited / sim::kNanosecond;
+  ts.wait_ns.add(wait_ns);
+  hub.broker_wait_ns.add(wait_ns);
+
+  verbs::Completion c = co_await qp->execute(std::move(wr));
+  free_.push_back(qp);
+  slots_.release();
+
+  SubmitResult out;
+  out.admission = waited > 0 ? Admission::kQueued : Admission::kAdmitted;
+  out.completion = c;
+  out.waited = waited;
+  co_return out;
+}
+
+}  // namespace rdmasem::svc

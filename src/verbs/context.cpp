@@ -2,6 +2,7 @@
 
 #include "util/assert.hpp"
 #include "verbs/qp.hpp"
+#include "verbs/srq.hpp"
 
 namespace rdmasem::verbs {
 
@@ -51,8 +52,16 @@ QueuePair* Context::create_qp(const QpConfig& cfg) {
   RDMASEM_CHECK_MSG(cfg.port < machine_.rnic().port_count(), "bad port");
   RDMASEM_CHECK_MSG(cfg.core_socket < params().sockets_per_machine,
                     "bad core socket");
+  RDMASEM_CHECK_MSG(cfg.srq == nullptr || &cfg.srq->context() == this,
+                    "SRQ belongs to a different Context");
   qps_.push_back(std::make_unique<QueuePair>(*this, cfg, cluster_.next_qp_id()));
   return qps_.back().get();
+}
+
+SharedReceiveQueue* Context::create_srq() {
+  srqs_.push_back(std::make_unique<SharedReceiveQueue>(
+      *this, static_cast<std::uint32_t>(srqs_.size() + 1)));
+  return srqs_.back().get();
 }
 
 void Context::connect(QueuePair& a, QueuePair& b) {

@@ -13,6 +13,7 @@
 namespace rdmasem::verbs {
 
 class QueuePair;
+class SharedReceiveQueue;
 
 // MemoryRegion — a registered slice of host memory. lkey == rkey == id
 // (the simulator does not model protection-key randomization). The region
@@ -51,6 +52,11 @@ struct QpConfig {
   // kRnrRetryExceeded (the pre-fault behavior); kInfiniteRetry waits
   // until a RECV shows up.
   std::uint32_t rnr_retry = 0;
+  // When set, arriving SENDs consume buffers from this shared pool
+  // instead of the QP's private receive queue (ibv_srq semantics). The
+  // QP then has no RQ of its own: post_recv() on it is an error. The
+  // SRQ must belong to the same Context as the QP.
+  SharedReceiveQueue* srq = nullptr;
 };
 
 // Context — the per-machine verbs endpoint (ibv_context + ibv_pd rolled
@@ -81,6 +87,7 @@ class Context {
 
   CompletionQueue* create_cq();
   QueuePair* create_qp(const QpConfig& cfg);
+  SharedReceiveQueue* create_srq();
 
   // Wires two QPs into an RC connection (both directions).
   static void connect(QueuePair& a, QueuePair& b);
@@ -100,6 +107,7 @@ class Context {
   std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> mrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
 };
 
 }  // namespace rdmasem::verbs

@@ -8,6 +8,7 @@
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "verbs/payload.hpp"
+#include "verbs/srq.hpp"
 
 namespace rdmasem::verbs {
 
@@ -19,6 +20,11 @@ constexpr std::size_t kAckBytes = 0;  // header-only; header cost added by wire_
 
 bool is_atomic(Opcode op) {
   return op == Opcode::kCompSwap || op == Opcode::kFetchAdd;
+}
+
+// UD and DC QPs have no fixed peer: every WR names its destination.
+bool per_wr_target(Transport tp) {
+  return tp == Transport::kUD || tp == Transport::kDc;
 }
 }  // namespace
 
@@ -62,14 +68,16 @@ const char* to_string(Transport t) {
     case Transport::kRC: return "RC";
     case Transport::kUC: return "UC";
     case Transport::kUD: return "UD";
+    case Transport::kDc: return "DC";
   }
   return "?";
 }
 
 QueuePair::QueuePair(Context& ctx, const QpConfig& cfg, std::uint64_t id)
     : ctx_(ctx), cfg_(cfg), id_(id) {
-  // UD QPs have no connect step: they are ready as soon as they exist.
-  if (cfg_.transport == Transport::kUD) state_ = QpState::kRts;
+  // UD and DC QPs have no connect step: they are ready as soon as they
+  // exist (DC establishes its connection state per-burst, on the fly).
+  if (per_wr_target(cfg_.transport)) state_ = QpState::kRts;
 }
 
 void QueuePair::to_error() {
@@ -77,6 +85,8 @@ void QueuePair::to_error() {
   state_ = QpState::kError;
   // Flush the receive queue: every posted RECV completes with
   // kWrFlushedError on the bound CQ (the IBV_WC_WR_FLUSH_ERR analog).
+  // SRQ buffers are deliberately NOT flushed: they belong to the shared
+  // pool, not to this QP, and stay consumable by every sibling QP.
   while (!recv_queue_.empty()) {
     const RecvRequest rr = recv_queue_.front();
     recv_queue_.pop_front();
@@ -116,8 +126,8 @@ sim::Task QueuePair::flush_posted_wr(WorkRequest wr) {
 }
 
 void QueuePair::post_send(WorkRequest&& wr) {
-  if (cfg_.transport == Transport::kUD) {
-    RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
+  if (per_wr_target(cfg_.transport)) {
+    RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD/DC send needs ud_dest");
   } else {
     RDMASEM_CHECK_MSG(peer_ != nullptr, "QP not connected");
   }
@@ -149,8 +159,8 @@ void QueuePair::post_send_batch(std::vector<WorkRequest>&& wrs) {
                        wrs.front().wr_id, id_, ctx_.machine().id(),
                        static_cast<std::uint8_t>(wrs.front().opcode));
   for (auto& wr : wrs) {
-    if (cfg_.transport == Transport::kUD) {
-      RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD send needs ud_dest");
+    if (per_wr_target(cfg_.transport)) {
+      RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD/DC send needs ud_dest");
     } else {
       RDMASEM_CHECK_MSG(peer_ != nullptr, "QP not connected");
     }
@@ -165,7 +175,22 @@ void QueuePair::post_send_batch(std::vector<WorkRequest>&& wrs) {
   }
 }
 
-void QueuePair::post_recv(const RecvRequest& rr) { recv_queue_.push_back(rr); }
+void QueuePair::post_recv(const RecvRequest& rr) {
+  RDMASEM_CHECK_MSG(cfg_.srq == nullptr,
+                    "QP drains an SRQ; post buffers to the SRQ instead");
+  recv_queue_.push_back(rr);
+}
+
+bool QueuePair::recv_ready() const {
+  return cfg_.srq != nullptr ? !cfg_.srq->empty() : !recv_queue_.empty();
+}
+
+RecvRequest QueuePair::consume_recv() {
+  if (cfg_.srq != nullptr) return cfg_.srq->consume();
+  const RecvRequest rq = recv_queue_.front();
+  recv_queue_.pop_front();
+  return rq;
+}
 
 sim::Duration QueuePair::post_cost(std::size_t n_wrs,
                                    std::size_t inline_bytes) const {
@@ -260,6 +285,14 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   --outstanding_;
   ++ops_completed_;
   bytes_completed_ += bytes;
+  // DC: the initiator context detaches as soon as the burst drains —
+  // the last in-flight WR's completion evicts the QP context from
+  // device SRAM, so DC metadata-cache pressure tracks active flows.
+  // Safe and deterministic: complete() always runs on the owning
+  // machine's lane, and invalidating an already-evicted (or
+  // never-attached, e.g. flushed-WR) entry is a no-op.
+  if (cfg_.transport == Transport::kDc && outstanding_ == 0)
+    ctx_.machine().rnic().dc_detach(id_);
   if (st == Status::kWrFlushedError) ++flushed_wrs_;
   obs::Hub& hub = ctx_.cluster().obs();
   hub.wr_completed.inc();
@@ -394,20 +427,20 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
     tracer.span(st, begin, eng.now(), wr.wr_id, id_, trace_pid, trace_op);
   };
 
-  // Transport-level opcode checks (§II-A): WRITE needs RC/UC; READ and
-  // atomics need RC; UD carries SEND only.
+  // Transport-level opcode checks (§II-A): WRITE needs RC/UC/DC; READ
+  // and atomics need RC or DC; UD carries SEND only.
   const Transport tp = cfg_.transport;
   const bool op_ok =
       wr.opcode == Opcode::kSend ||
       (wr.opcode == Opcode::kWrite && tp != Transport::kUD) ||
       ((wr.opcode == Opcode::kRead || is_atomic(wr.opcode)) &&
-       tp == Transport::kRC);
+       (tp == Transport::kRC || tp == Transport::kDc));
   if (!op_ok) {
     complete(wr, Status::kUnsupportedOpcode, 0);
     co_return;
   }
 
-  QueuePair* peer = tp == Transport::kUD ? wr.ud_dest : peer_;
+  QueuePair* peer = per_wr_target(tp) ? wr.ud_dest : peer_;
   auto& rm = peer->ctx_.machine();
   auto& rr = rm.rnic();
   auto& rport = rr.port(peer->cfg_.port);
@@ -450,7 +483,17 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   }
 
   // ---- 2. send-side execution unit ----------------------------------------
-  sim::Duration stall = lr.qp_touch(id_);
+  // DC pays the dynamic-connect attach on top of the context fetch when
+  // the burst starts cold; a non-zero dc_touch stall IS an attach (hits
+  // return 0). The responder side keeps a plain qp_touch: the model's DC
+  // target is a single long-lived entry, like a real DCT.
+  sim::Duration stall;
+  if (tp == Transport::kDc) {
+    stall = lr.dc_touch(id_);
+    if (stall > 0) hub.dc_attaches.inc();
+  } else {
+    stall = lr.qp_touch(id_);
+  }
   sim::Duration sge_extra = 0;
   for (std::size_t i = 0; i < wr.sg_list.size(); ++i) {
     const auto& sge = wr.sg_list[i];
@@ -506,9 +549,9 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   if (tp == Transport::kUD) wire_bytes += P.ud_grh_bytes;
 
   // Unreliable transports (UC/UD) complete locally as soon as the packet
-  // leaves the NIC; delivery is not guaranteed (§II-A). RC retransmits
-  // lost packets after a timeout.
-  const bool unreliable = tp != Transport::kRC;
+  // leaves the NIC; delivery is not guaranteed (§II-A). RC and DC
+  // retransmit lost packets after a timeout.
+  const bool unreliable = tp == Transport::kUC || tp == Transport::kUD;
   if (unreliable)
     complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
 
@@ -535,8 +578,9 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   // the landing never memcpy's between overlapping ranges.
   PayloadBuf payload;
   if (carries_payload) {
-    if (tune.zero_copy && tp == Transport::kRC && wr.sg_list.size() == 1 &&
-        lm.id() != rm.id()) {
+    if (tune.zero_copy &&
+        (tp == Transport::kRC || tp == Transport::kDc) &&
+        wr.sg_list.size() == 1 && lm.id() != rm.id()) {
       payload.borrow(ctx_.lookup(wr.sg_list[0].lkey)->at(wr.sg_list[0].addr));
       hub.zero_copy_wrs.inc();
     } else {
@@ -762,13 +806,17 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
     }
 
     case Opcode::kSend: {
-      if (peer->recv_queue_.empty()) {
-        // Receiver not ready. UC/UD: the datagram evaporates. RC: each
-        // RNR NAK costs a wire round plus an rnr_timer pause before the
-        // retransmit; cfg_.rnr_retry bounds the attempts (kInfiniteRetry
-        // waits until a RECV shows up; 0 fails fast).
+      // A receiver backed by an SRQ drains the shared pool; otherwise
+      // its private receive queue (recv_ready/consume_recv indirection).
+      const bool srq_backed = peer->cfg_.srq != nullptr;
+      if (!peer->recv_ready()) {
+        // Receiver not ready. UC/UD: the datagram evaporates. RC/DC:
+        // each RNR NAK costs a wire round plus an rnr_timer pause before
+        // the retransmit; cfg_.rnr_retry bounds the attempts
+        // (kInfiniteRetry waits until a buffer shows up; 0 fails fast).
         if (unreliable) co_return;
-        for (std::uint32_t rnr = 0; peer->recv_queue_.empty(); ++rnr) {
+        for (std::uint32_t rnr = 0; !peer->recv_ready(); ++rnr) {
+          if (srq_backed) hub.srq_rnr.inc();
           if (cfg_.rnr_retry != kInfiniteRetry && rnr >= cfg_.rnr_retry) {
             co_await nak(Status::kRnrRetryExceeded);
             co_return;
@@ -789,8 +837,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
           co_await rport.rx.use(P.rnic_rx_proc);
         }
       }
-      const RecvRequest rq = peer->recv_queue_.front();
-      peer->recv_queue_.pop_front();
+      const RecvRequest rq = peer->consume_recv();
       MemoryRegion* rmr = peer->ctx_.lookup(rq.sge.lkey);
       if (rmr == nullptr || rq.sge.length < total ||
           !rmr->contains(rq.sge.addr, total)) {

@@ -132,6 +132,10 @@ class QueuePair {
   void complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
                 std::uint64_t atomic_old = 0);
   Waiter* find_waiter(std::uint64_t wr_id);
+  // Receive-side pool indirection: a QP with QpConfig::srq set consumes
+  // arriving SENDs from the shared pool, otherwise from its private RQ.
+  bool recv_ready() const;
+  RecvRequest consume_recv();
 
   Context& ctx_;
   QpConfig cfg_;

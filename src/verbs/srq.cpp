@@ -1,0 +1,27 @@
+#include "verbs/srq.hpp"
+
+#include "obs/hub.hpp"
+#include "util/assert.hpp"
+#include "verbs/context.hpp"
+
+namespace rdmasem::verbs {
+
+SharedReceiveQueue::SharedReceiveQueue(Context& ctx, std::uint32_t id)
+    : ctx_(ctx), id_(id) {}
+
+void SharedReceiveQueue::post(const RecvRequest& rr) {
+  q_.push_back(rr);
+  ++posted_;
+  ctx_.cluster().obs().srq_posted.inc();
+}
+
+RecvRequest SharedReceiveQueue::consume() {
+  RDMASEM_CHECK_MSG(!q_.empty(), "consume from empty SRQ");
+  const RecvRequest rr = q_.front();
+  q_.pop_front();
+  ++consumed_;
+  ctx_.cluster().obs().srq_consumed.inc();
+  return rr;
+}
+
+}  // namespace rdmasem::verbs

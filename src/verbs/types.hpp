@@ -52,12 +52,18 @@ const char* to_string(QpState s);
 inline constexpr std::uint32_t kInfiniteRetry = 7;
 
 // Transport types (§II-A). All support channel semantics; WRITE needs
-// RC or UC; READ and atomics need RC. UC/UD complete locally once the
-// packet leaves the NIC — delivery is not guaranteed (loss injectable).
+// RC or UC; READ and atomics need RC or DC. UC/UD complete locally once
+// the packet leaves the NIC — delivery is not guaranteed (loss
+// injectable). DC (dynamically connected) is reliable and routes per-WR
+// like UD, but its initiator context is attached to device SRAM only
+// while the QP has WRs in flight and detached when the burst drains, so
+// RNIC metadata-cache pressure follows ACTIVE flows rather than
+// established connections (docs/SERVICE.md).
 enum class Transport : std::uint8_t {
   kRC = 0,  // reliable connection
   kUC,      // unreliable connection
   kUD,      // unreliable datagram (SEND/RECV only, one QP to many peers)
+  kDc,      // dynamically connected: reliable, per-WR target, attach/detach
 };
 
 const char* to_string(Transport t);
@@ -86,8 +92,8 @@ struct WorkRequest {
   std::uint64_t swap_or_add = 0;  // kCompSwap: new value; kFetchAdd: delta
   bool signaled = true;           // generate a CQE on completion
   bool inline_data = false;       // payload pushed with the MMIO (<= max)
-  // UD only: destination of this datagram (the "address handle"); UD QPs
-  // have no fixed peer. Ignored on RC/UC.
+  // UD/DC only: destination of this datagram (the "address handle" /
+  // DC target); UD and DC QPs have no fixed peer. Ignored on RC/UC.
   class QueuePair* ud_dest = nullptr;
   // Stamped by the simulator when the WR becomes visible to the RNIC;
   // drives post-to-CQE latency attribution (obs). Callers leave it 0.

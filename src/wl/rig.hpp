@@ -57,11 +57,13 @@ struct Rig {
     if (cfg_b.cq == nullptr) cfg_b.cq = ctx[b]->create_cq();
     auto* qa = ctx[a]->create_qp(cfg_a);
     auto* qb = ctx[b]->create_qp(cfg_b);
-    // UD QPs are connectionless: they come up RTS at creation and route
-    // per-WR via ud_dest, so there is no QP state to transition here —
-    // the returned pair is just the caller's convenience handle.
-    if (cfg_a.transport != verbs::Transport::kUD ||
-        cfg_b.transport != verbs::Transport::kUD)
+    // UD and DC QPs are connectionless: they come up RTS at creation and
+    // route per-WR via ud_dest, so there is no QP state to transition
+    // here — the returned pair is just the caller's convenience handle.
+    auto connectionless = [](verbs::Transport t) {
+      return t == verbs::Transport::kUD || t == verbs::Transport::kDc;
+    };
+    if (!connectionless(cfg_a.transport) || !connectionless(cfg_b.transport))
       verbs::Context::connect(*qa, *qb);
     return {qa, qb};
   }

@@ -18,8 +18,11 @@
 #include "apps/shuffle/shuffle.hpp"
 #include "cluster/stats.hpp"
 #include "fault/fault.hpp"
+#include "sim/sync.hpp"
+#include "svc/broker.hpp"
 #include "testbed.hpp"
 #include "verbs/payload.hpp"
+#include "verbs/srq.hpp"
 #include "wl/microbench.hpp"
 
 namespace v = rdmasem::verbs;
@@ -31,6 +34,7 @@ namespace ht = rdmasem::apps::hashtable;
 namespace sh = rdmasem::apps::shuffle;
 namespace jn = rdmasem::apps::join;
 namespace dl = rdmasem::apps::dlog;
+namespace svc = rdmasem::svc;
 using rdmasem::test::Testbed;
 
 namespace {
@@ -155,6 +159,136 @@ std::string hashtable_run(std::uint32_t shards) {
          cl::StatsReport::capture(tb.cluster).render();
 }
 
+// The multi-tenant service tier end to end: two per-host brokers (token
+// bucket + bounded queue + pooled RC QPs) feeding one server SRQ, plus DC
+// initiators targeting a DCT on the same SRQ. Admission decisions, SRQ
+// buffer handout and DC attach/detach churn all have to replay
+// identically at every shard count; tallies merge in client order so the
+// digest is a pure function of virtual time.
+v::WorkRequest svc_wr(v::MemoryRegion* mr, v::MemoryRegion* rmr,
+                      std::uint32_t id, std::uint32_t seq) {
+  const std::uint32_t phase = (seq + id) % 4;
+  v::WorkRequest wr;
+  if (phase == 3) {
+    wr.opcode = v::Opcode::kSend;
+    wr.sg_list = {{mr->addr, 32, mr->key}};
+  } else {
+    wr.opcode = phase == 1 ? v::Opcode::kRead : v::Opcode::kWrite;
+    wr.sg_list = {{mr->addr + 64, 64, mr->key}};
+    wr.remote_addr = rmr->addr + ((id * 37u + seq) % 128) * 64;
+    wr.rkey = rmr->key;
+  }
+  return wr;
+}
+
+struct SvcTally {
+  std::uint64_t ok = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+};
+
+std::string broker_run(std::uint32_t shards) {
+  ShardEnv env(shards);
+  Testbed tb;
+  constexpr std::uint32_t kHosts = 2, kTenantsPerHost = 8, kOps = 12;
+  constexpr std::uint32_t kDcClients = 4;
+  auto& sctx = *tb.ctx[0];
+  auto* srq = sctx.create_srq();
+  v::Buffer rbuf(1 << 14);
+  auto* rmr = sctx.register_buffer(rbuf, 1);
+
+  svc::BrokerConfig bcfg;
+  bcfg.tokens_per_us = 0.2;  // 5 us/token: some ops throttle-queue
+  bcfg.bucket_depth = 2.0;
+  bcfg.max_queue = 3;  // and some bounce off the bounded queue
+  std::vector<std::unique_ptr<svc::Broker>> brokers;
+  for (std::uint32_t h = 0; h < kHosts; ++h) {
+    std::vector<v::QueuePair*> pool;
+    for (int i = 0; i < 2; ++i) {
+      auto ca = tb.paper_qp();
+      ca.cq = tb.ctx[1 + h]->create_cq();
+      auto cb = tb.paper_qp();
+      cb.cq = sctx.create_cq();
+      cb.srq = srq;
+      pool.push_back(tb.connect(1 + h, 0, ca, cb).local);
+    }
+    brokers.push_back(std::make_unique<svc::Broker>(std::move(pool), bcfg));
+  }
+  auto ct = tb.paper_qp();
+  ct.transport = v::Transport::kDc;
+  ct.cq = sctx.create_cq();
+  ct.srq = srq;
+  auto* dct = sctx.create_qp(ct);
+
+  std::vector<std::unique_ptr<v::Buffer>> bufs;
+  std::vector<v::MemoryRegion*> mrs;  // client machines 1..3
+  for (std::uint32_t m = 1; m <= 3; ++m) {
+    bufs.push_back(std::make_unique<v::Buffer>(4096));
+    mrs.push_back(tb.ctx[m]->register_buffer(*bufs.back(), 1));
+  }
+
+  const std::uint32_t total = kHosts * kTenantsPerHost + kDcClients;
+  // Each client's 12-op mix contains exactly three phase-3 SENDs.
+  for (std::uint64_t i = 0; i < total * 3ull; ++i)
+    srq->post({i, {rmr->addr + (i % 64) * 64, 64, rmr->key}});
+
+  std::vector<SvcTally> tallies(total);
+  sim::CountdownLatch done(tb.eng, total);
+
+  auto tenant = [](svc::Broker* br, v::MemoryRegion* mr, v::MemoryRegion* rm,
+                   std::uint32_t id, std::uint32_t ops, SvcTally* out,
+                   sim::CountdownLatch* d) -> sim::Task {
+    for (std::uint32_t seq = 0; seq < ops; ++seq) {
+      auto r = co_await br->submit(id, svc_wr(mr, rm, id, seq));
+      if (r.ok()) ++out->ok;
+      if (r.admission == svc::Admission::kQueued) ++out->queued;
+      if (r.admission == svc::Admission::kRejected) ++out->rejected;
+    }
+    d->count_down();
+  };
+  auto dc_client = [](v::QueuePair* q, v::QueuePair* tgt, v::MemoryRegion* mr,
+                      v::MemoryRegion* rm, std::uint32_t id, std::uint32_t ops,
+                      SvcTally* out, sim::CountdownLatch* d) -> sim::Task {
+    for (std::uint32_t seq = 0; seq < ops; ++seq) {
+      auto wr = svc_wr(mr, rm, id, seq);
+      wr.ud_dest = tgt;
+      if ((co_await q->execute(wr)).ok()) ++out->ok;
+    }
+    d->count_down();
+  };
+
+  std::uint32_t id = 0;
+  for (std::uint32_t h = 0; h < kHosts; ++h)
+    for (std::uint32_t t = 0; t < kTenantsPerHost; ++t, ++id)
+      tb.eng.spawn_on(2 + h, tenant(brokers[h].get(), mrs[h], rmr, id, kOps,
+                                    &tallies[id], &done));
+  for (std::uint32_t c = 0; c < kDcClients; ++c, ++id) {
+    auto ci = tb.paper_qp();
+    ci.transport = v::Transport::kDc;
+    ci.cq = tb.ctx[3]->create_cq();
+    tb.eng.spawn_on(4, dc_client(tb.ctx[3]->create_qp(ci), dct, mrs[2], rmr,
+                                 id, kOps, &tallies[id], &done));
+  }
+  tb.eng.run();
+
+  std::string out;
+  for (const SvcTally& t : tallies)
+    out += std::to_string(t.ok) + "," + std::to_string(t.queued) + "," +
+           std::to_string(t.rejected) + ";";
+  for (const auto& b : brokers)
+    out += "|b:" + std::to_string(b->admitted()) + "," +
+           std::to_string(b->queued()) + "," + std::to_string(b->rejected());
+  const auto& hub = tb.cluster.obs();
+  out += "|srq:" + std::to_string(srq->posted()) + "," +
+         std::to_string(srq->consumed()) + "," + std::to_string(srq->depth());
+  out += "|dc:" + std::to_string(hub.dc_attaches.value());
+  out += "|rnr:" + std::to_string(hub.srq_rnr.value());
+  out += "|" + std::to_string(tb.eng.now()) + "|" +
+         std::to_string(tb.eng.events_processed()) + "|" +
+         cl::StatsReport::capture(tb.cluster).render();
+  return out;
+}
+
 // Scoped override of the process-wide datapath tuning knobs.
 struct TuningOverride {
   v::DatapathTuning saved = v::datapath_tuning();
@@ -242,6 +376,12 @@ TEST(ParallelDeterminism, HashtableMatchesSerialAtEveryShardCount) {
   const std::string serial = hashtable_run(1);
   for (const std::uint32_t s : kShardCounts)
     EXPECT_EQ(hashtable_run(s), serial) << "shards=" << s;
+}
+
+TEST(ParallelDeterminism, BrokerSrqDcMatchesSerialAtEveryShardCount) {
+  const std::string serial = broker_run(1);
+  for (const std::uint32_t s : kShardCounts)
+    EXPECT_EQ(broker_run(s), serial) << "shards=" << s;
 }
 
 TEST(ParallelDeterminism, ChaosFaultsMatchSerialAtFourShards) {

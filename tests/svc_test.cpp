@@ -1,0 +1,506 @@
+// Service tier: shared receive queues, the connection broker, and the
+// dynamically-connected transport. These are the pieces that let one
+// server carry thousands of tenants (bench/ext_tenant_scale.cpp); here
+// each mechanism is pinned down in isolation — SRQ pool semantics and RNR
+// behavior, broker admission (token bucket, queue-or-reject, bounded
+// pool), and DC attach/detach accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/hub.hpp"
+#include "sim/sync.hpp"
+#include "svc/broker.hpp"
+#include "testbed.hpp"
+#include "verbs/srq.hpp"
+
+namespace v = rdmasem::verbs;
+namespace sim = rdmasem::sim;
+namespace svc = rdmasem::svc;
+using rdmasem::test::Testbed;
+using rdmasem::test::make_write;
+
+namespace {
+
+void run(Testbed& tb, sim::Task t) {
+  tb.eng.spawn(std::move(t));
+  tb.eng.run();
+}
+
+// Connects a client QP on machine `cm` to a server QP on machine 0 that
+// drains the given SRQ.
+v::QueuePair* srq_client(Testbed& tb, std::uint32_t cm,
+                         v::SharedReceiveQueue* srq,
+                         std::uint32_t rnr_retry = 0) {
+  auto ca = tb.paper_qp();
+  ca.cq = tb.ctx[cm]->create_cq();
+  ca.rnr_retry = rnr_retry;
+  auto cb = tb.paper_qp();
+  cb.cq = tb.ctx[0]->create_cq();
+  cb.srq = srq;
+  auto conn = tb.connect(cm, 0, ca, cb);
+  return conn.local;
+}
+
+v::WorkRequest make_send(const v::MemoryRegion& mr, std::uint32_t len) {
+  v::WorkRequest wr;
+  wr.opcode = v::Opcode::kSend;
+  wr.sg_list = {{mr.addr, len, mr.key}};
+  return wr;
+}
+
+}  // namespace
+
+// --- SRQ -------------------------------------------------------------------
+
+TEST(Srq, ManyQpsDrainOnePool) {
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(256), rbuf(1024);
+  auto* smr = tb.ctx[1]->register_buffer(sbuf, 1);
+  auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+  v::QueuePair* a = srq_client(tb, 1, srq);
+  v::QueuePair* b = srq_client(tb, 2, srq);
+  auto* bmr = tb.ctx[2]->register_buffer(sbuf, 1);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    srq->post({i, {rmr->addr + i * 64, 64, rmr->key}});
+  EXPECT_EQ(srq->depth(), 4u);
+
+  run(tb, [](Testbed& t, v::QueuePair* qa, v::QueuePair* qb,
+             v::MemoryRegion* ma, v::MemoryRegion* mb) -> sim::Task {
+    for (int i = 0; i < 2; ++i) {
+      auto ca = co_await qa->execute(make_send(*ma, 32));
+      auto cb = co_await qb->execute(make_send(*mb, 32));
+      EXPECT_TRUE(ca.ok());
+      EXPECT_TRUE(cb.ok());
+    }
+    (void)t;
+  }(tb, a, b, smr, bmr));
+
+  EXPECT_EQ(srq->depth(), 0u);
+  EXPECT_EQ(srq->posted(), 4u);
+  EXPECT_EQ(srq->consumed(), 4u);
+  EXPECT_EQ(tb.cluster.obs().srq_posted.value(), 4u);
+  EXPECT_EQ(tb.cluster.obs().srq_consumed.value(), 4u);
+}
+
+TEST(Srq, RnrFailFastWhenPoolEmpty) {
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(64);
+  auto* smr = tb.ctx[1]->register_buffer(sbuf, 1);
+  v::QueuePair* qp = srq_client(tb, 1, srq);  // rnr_retry = 0
+
+  run(tb, [](Testbed&, v::QueuePair* q, v::MemoryRegion* m) -> sim::Task {
+    auto c = co_await q->execute(make_send(*m, 16));
+    EXPECT_EQ(c.status, v::Status::kRnrRetryExceeded);
+  }(tb, qp, smr));
+
+  EXPECT_EQ(srq->consumed(), 0u);
+  // srq_rnr counts the dry-pool encounter even on a zero-retry fail-fast
+  // (rnr_naks only counts rounds that actually retransmit).
+  EXPECT_EQ(tb.cluster.obs().srq_rnr.value(), 1u);
+  EXPECT_EQ(tb.cluster.obs().rnr_naks.value(), 0u);
+}
+
+TEST(Srq, InfiniteRnrRetryWaitsForLatePost) {
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(64), rbuf(64);
+  auto* smr = tb.ctx[1]->register_buffer(sbuf, 1);
+  auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+  v::QueuePair* qp = srq_client(tb, 1, srq, v::kInfiniteRetry);
+
+  // The buffer shows up 30 us in — the sender must RNR-loop until then.
+  tb.eng.spawn_on(1, [](Testbed& t, v::SharedReceiveQueue* s,
+                        v::MemoryRegion* m) -> sim::Task {
+    co_await sim::delay(t.eng, sim::us(30.0));
+    s->post({7, {m->addr, 64, m->key}});
+  }(tb, srq, rmr));
+
+  run(tb, [](Testbed& t, v::QueuePair* q, v::MemoryRegion* m) -> sim::Task {
+    auto c = co_await q->execute(make_send(*m, 16));
+    EXPECT_TRUE(c.ok());
+    EXPECT_GE(t.eng.now(), sim::us(30.0));
+  }(tb, qp, smr));
+
+  EXPECT_EQ(srq->consumed(), 1u);
+  EXPECT_GE(tb.cluster.obs().srq_rnr.value(), 1u);
+}
+
+TEST(Srq, FairAcrossCompetingQps) {
+  // Two senders race for a pool that exactly covers their demand: FIFO
+  // buffer handout must let both finish with zero RNR failures.
+  constexpr std::uint64_t kEach = 16;
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(64), rbuf(4096);
+  auto* m1 = tb.ctx[1]->register_buffer(sbuf, 1);
+  auto* m2 = tb.ctx[2]->register_buffer(sbuf, 1);
+  auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+  v::QueuePair* a = srq_client(tb, 1, srq, v::kInfiniteRetry);
+  v::QueuePair* b = srq_client(tb, 2, srq, v::kInfiniteRetry);
+  for (std::uint64_t i = 0; i < 2 * kEach; ++i)
+    srq->post({i, {rmr->addr + (i % 64) * 64, 64, rmr->key}});
+
+  std::uint64_t ok_a = 0, ok_b = 0;
+  sim::CountdownLatch done(tb.eng, 2);
+  auto loop = [](Testbed& t, v::QueuePair* q, v::MemoryRegion* m,
+                 std::uint64_t* ok, sim::CountdownLatch* d) -> sim::Task {
+    for (std::uint64_t i = 0; i < kEach; ++i)
+      if ((co_await q->execute(make_send(*m, 16))).ok()) ++*ok;
+    d->count_down();
+    (void)t;
+  };
+  tb.eng.spawn_on(2, loop(tb, a, m1, &ok_a, &done));
+  tb.eng.spawn_on(3, loop(tb, b, m2, &ok_b, &done));
+  tb.eng.run();
+
+  EXPECT_EQ(ok_a, kEach);
+  EXPECT_EQ(ok_b, kEach);
+  EXPECT_EQ(srq->consumed(), 2 * kEach);
+  EXPECT_EQ(srq->depth(), 0u);
+}
+
+TEST(Srq, ErrorQpDoesNotStrandPoolBuffers) {
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(64), rbuf(256);
+  auto* smr = tb.ctx[1]->register_buffer(sbuf, 1);
+  auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+  v::QueuePair* healthy = srq_client(tb, 1, srq);
+  auto sa = tb.paper_qp();
+  sa.cq = tb.ctx[0]->create_cq();
+  sa.srq = srq;
+  auto cc = tb.paper_qp();
+  cc.cq = tb.ctx[2]->create_cq();
+  auto doomed = tb.connect(0, 2, sa, cc);
+  for (std::uint64_t i = 0; i < 2; ++i)
+    srq->post({i, {rmr->addr + i * 64, 64, rmr->key}});
+
+  // Killing a QP that drains the SRQ flushes ITS state, not the pool:
+  // the buffers belong to the SRQ and stay available to siblings.
+  doomed.local->to_error();
+  EXPECT_EQ(doomed.local->state(), v::QpState::kError);
+  EXPECT_EQ(srq->depth(), 2u);
+
+  run(tb, [](Testbed&, v::QueuePair* q, v::MemoryRegion* m) -> sim::Task {
+    for (int i = 0; i < 2; ++i)
+      EXPECT_TRUE((co_await q->execute(make_send(*m, 16))).ok());
+  }(tb, healthy, smr));
+  EXPECT_EQ(srq->depth(), 0u);
+  EXPECT_EQ(srq->consumed(), 2u);
+}
+
+TEST(SrqDeath, PostRecvOnSrqBackedQpIsAnError) {
+  EXPECT_DEATH(
+      {
+        Testbed tb;
+        auto* srq = tb.ctx[0]->create_srq();
+        v::Buffer rbuf(64);
+        auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+        auto cb = tb.paper_qp();
+        cb.cq = tb.ctx[0]->create_cq();
+        cb.srq = srq;
+        auto conn = tb.connect(0, 1, cb, tb.paper_qp());
+        conn.local->post_recv({0, {rmr->addr, 64, rmr->key}});
+      },
+      "drains an SRQ");
+}
+
+TEST(SrqDeath, SrqMustBelongToSameContext) {
+  EXPECT_DEATH(
+      {
+        Testbed tb;
+        auto* srq = tb.ctx[1]->create_srq();  // wrong machine
+        auto cb = tb.paper_qp();
+        cb.cq = tb.ctx[0]->create_cq();
+        cb.srq = srq;
+        tb.ctx[0]->create_qp(cb);
+      },
+      "");
+}
+
+// --- broker ----------------------------------------------------------------
+
+namespace {
+
+// Builds a broker on machine 1 whose pooled QPs target machine 0, with a
+// remote MR to write to. Keeps everything alive for the test body.
+struct BrokerBed {
+  Testbed tb;
+  v::Buffer src{4096}, dst{4096};
+  v::MemoryRegion* lmr;
+  v::MemoryRegion* rmr;
+  std::unique_ptr<svc::Broker> broker;
+
+  explicit BrokerBed(std::size_t pool_qps, svc::BrokerConfig cfg = {}) {
+    lmr = tb.ctx[1]->register_buffer(src, 1);
+    rmr = tb.ctx[0]->register_buffer(dst, 1);
+    std::vector<v::QueuePair*> pool;
+    for (std::size_t i = 0; i < pool_qps; ++i)
+      pool.push_back(tb.connect(1, 0).local);
+    broker = std::make_unique<svc::Broker>(std::move(pool), cfg);
+  }
+
+  v::WorkRequest write(std::uint32_t len = 64) {
+    return make_write(*lmr, 0, *rmr, 0, len);
+  }
+};
+
+sim::Task submit_into(BrokerBed& bed, svc::TenantId tenant,
+                      svc::SubmitResult* out, sim::CountdownLatch* done) {
+  *out = co_await bed.broker->submit(tenant, bed.write());
+  if (done != nullptr) done->count_down();
+}
+
+}  // namespace
+
+TEST(Broker, AdmitsAndRunsTheWr) {
+  BrokerBed bed(2);
+  std::memcpy(bed.src.data(), "tenant-0", 8);
+  svc::SubmitResult r;
+  run(bed.tb, submit_into(bed, 7, &r, nullptr));
+
+  EXPECT_EQ(r.admission, svc::Admission::kAdmitted);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.waited, 0);
+  EXPECT_EQ(std::memcmp(bed.dst.data(), "tenant-0", 8), 0);
+  EXPECT_EQ(bed.broker->admitted(), 1u);
+  EXPECT_EQ(bed.broker->queued(), 0u);
+  const svc::TenantStats* ts = bed.broker->tenant_stats(7);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->submitted, 1u);
+  EXPECT_EQ(ts->admitted, 1u);
+  EXPECT_EQ(bed.tb.cluster.obs().broker_admitted.value(), 1u);
+}
+
+TEST(Broker, QueuesWhenEveryPooledQpIsBusy) {
+  BrokerBed bed(1);
+  constexpr int kTenants = 6;
+  svc::SubmitResult r[kTenants];
+  sim::CountdownLatch done(bed.tb.eng, kTenants);
+  for (int t = 0; t < kTenants; ++t)
+    bed.tb.eng.spawn(submit_into(bed, static_cast<svc::TenantId>(t), &r[t],
+                                 &done));
+  bed.tb.eng.run();
+
+  std::uint64_t queued = 0;
+  for (const auto& s : r) {
+    EXPECT_TRUE(s.ok());
+    if (s.admission == svc::Admission::kQueued) {
+      ++queued;
+      EXPECT_GT(s.waited, 0);
+    }
+  }
+  // One dispatches straight away; the rest serialize behind the lone QP.
+  EXPECT_EQ(queued, kTenants - 1u);
+  EXPECT_EQ(bed.broker->admitted(), static_cast<std::uint64_t>(kTenants));
+  EXPECT_EQ(bed.broker->queued(), queued);
+  EXPECT_EQ(bed.tb.cluster.obs().broker_queued.value(), queued);
+  EXPECT_EQ(bed.broker->queue_depth(), 0u);
+}
+
+TEST(Broker, TokenBucketPacesATenant) {
+  svc::BrokerConfig cfg;
+  cfg.tokens_per_us = 0.01;  // one token per 100 us
+  cfg.bucket_depth = 1.0;
+  BrokerBed bed(4, cfg);
+  svc::SubmitResult r1, r2;
+  run(bed.tb, [](BrokerBed& b, svc::SubmitResult* a,
+                 svc::SubmitResult* c) -> sim::Task {
+    *a = co_await b.broker->submit(1, b.write());
+    *c = co_await b.broker->submit(1, b.write());
+  }(bed, &r1, &r2));
+
+  EXPECT_EQ(r1.admission, svc::Admission::kAdmitted);
+  EXPECT_EQ(r2.admission, svc::Admission::kQueued);
+  // The second op matures one full token interval after the first, minus
+  // the time the first op's RDMA round trip already burned.
+  EXPECT_GT(r2.waited, sim::us(90.0));
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(Broker, RejectsThrottledOpsWhenQueueingDisabled) {
+  svc::BrokerConfig cfg;
+  cfg.tokens_per_us = 0.01;
+  cfg.bucket_depth = 1.0;
+  cfg.queue_throttled = false;
+  BrokerBed bed(4, cfg);
+  svc::SubmitResult r1, r2, r3;
+  run(bed.tb, [](BrokerBed& b, svc::SubmitResult* a, svc::SubmitResult* c,
+                 svc::SubmitResult* d) -> sim::Task {
+    *a = co_await b.broker->submit(1, b.write());
+    *c = co_await b.broker->submit(1, b.write());  // over rate: bounced
+    *d = co_await b.broker->submit(2, b.write());  // other tenant: fine
+  }(bed, &r1, &r2, &r3));
+
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r2.admission, svc::Admission::kRejected);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_TRUE(r3.ok());
+  EXPECT_EQ(bed.broker->rejected(), 1u);
+  EXPECT_EQ(bed.tb.cluster.obs().broker_rejected.value(), 1u);
+  // A rejected op consumes no token: tenant 1's next op (after the
+  // interval) would conform — its bucket was not double-charged.
+  const svc::TenantStats* ts = bed.broker->tenant_stats(1);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->submitted, 2u);
+  EXPECT_EQ(ts->admitted, 1u);
+  EXPECT_EQ(ts->rejected, 1u);
+}
+
+TEST(Broker, BoundedQueueRejectsTheOverflow) {
+  svc::BrokerConfig cfg;
+  cfg.max_queue = 0;  // nothing may wait
+  cfg.tokens_per_us = 0.01;
+  cfg.bucket_depth = 1.0;
+  BrokerBed bed(4, cfg);
+  svc::SubmitResult r1, r2;
+  run(bed.tb, [](BrokerBed& b, svc::SubmitResult* a,
+                 svc::SubmitResult* c) -> sim::Task {
+    *a = co_await b.broker->submit(1, b.write());
+    *c = co_await b.broker->submit(1, b.write());
+  }(bed, &r1, &r2));
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r2.admission, svc::Admission::kRejected);
+}
+
+// --- DC transport ----------------------------------------------------------
+
+namespace {
+
+struct DcBed {
+  Testbed tb;
+  v::Buffer src{4096}, dst{4096};
+  v::MemoryRegion* lmr;
+  v::MemoryRegion* rmr;
+  v::QueuePair* dci;  // initiator on machine 1
+  v::QueuePair* dct;  // target on machine 0
+
+  DcBed() {
+    lmr = tb.ctx[1]->register_buffer(src, 1);
+    rmr = tb.ctx[0]->register_buffer(dst, 1);
+    auto ci = tb.paper_qp();
+    ci.transport = v::Transport::kDc;
+    ci.cq = tb.ctx[1]->create_cq();
+    dci = tb.ctx[1]->create_qp(ci);
+    auto ct = tb.paper_qp();
+    ct.transport = v::Transport::kDc;
+    ct.cq = tb.ctx[0]->create_cq();
+    dct = tb.ctx[0]->create_qp(ct);
+  }
+
+  v::WorkRequest write(std::uint32_t len = 64) {
+    auto wr = make_write(*lmr, 0, *rmr, 0, len);
+    wr.ud_dest = dct;
+    return wr;
+  }
+};
+
+}  // namespace
+
+TEST(Dc, ComesUpRtsAndSupportsReadsAndAtomics) {
+  DcBed bed;
+  // Connectionless: ready at creation, no Context::connect step.
+  EXPECT_EQ(bed.dci->state(), v::QpState::kRts);
+  std::memcpy(bed.dst.data() + 1024, "dc-read", 7);
+  run(bed.tb, [](DcBed& b) -> sim::Task {
+    auto w = co_await b.dci->execute(b.write());
+    EXPECT_TRUE(w.ok());
+
+    v::WorkRequest rd;
+    rd.opcode = v::Opcode::kRead;
+    rd.sg_list = {{b.lmr->addr + 128, 7, b.lmr->key}};
+    rd.remote_addr = b.rmr->addr + 1024;
+    rd.rkey = b.rmr->key;
+    rd.ud_dest = b.dct;
+    auto r = co_await b.dci->execute(rd);
+    EXPECT_TRUE(r.ok());
+
+    v::WorkRequest faa;
+    faa.opcode = v::Opcode::kFetchAdd;
+    faa.sg_list = {{b.lmr->addr + 256, 8, b.lmr->key}};
+    faa.remote_addr = b.rmr->addr + 512;
+    faa.rkey = b.rmr->key;
+    faa.swap_or_add = 5;
+    faa.ud_dest = b.dct;
+    auto f1 = co_await b.dci->execute(faa);
+    auto f2 = co_await b.dci->execute(faa);
+    EXPECT_TRUE(f1.ok());
+    EXPECT_EQ(f1.atomic_old, 0u);
+    EXPECT_EQ(f2.atomic_old, 5u);
+  }(bed));
+  EXPECT_EQ(std::memcmp(bed.src.data() + 128, "dc-read", 7), 0);
+}
+
+TEST(Dc, AttachesPerBurstAndDetachesWhenIdle) {
+  DcBed bed;
+  auto& hub = bed.tb.cluster.obs();
+  // Three sequential ops: the DCI goes idle between each, so its context
+  // is detached from the mcache and every op pays a fresh attach.
+  run(bed.tb, [](DcBed& b) -> sim::Task {
+    for (int i = 0; i < 3; ++i)
+      EXPECT_TRUE((co_await b.dci->execute(b.write())).ok());
+  }(bed));
+  EXPECT_EQ(hub.dc_attaches.value(), 3u);
+
+  // A burst posted back-to-back keeps the flow active: one attach total.
+  run(bed.tb, [](DcBed& b) -> sim::Task {
+    std::vector<v::WorkRequest> burst(3, b.write());
+    auto c = co_await b.dci->execute_batch(std::move(burst));
+    EXPECT_TRUE(c.ok());
+  }(bed));
+  EXPECT_EQ(hub.dc_attaches.value(), 4u);
+}
+
+TEST(Dc, SendsLandInTargetSrq) {
+  Testbed tb;
+  auto* srq = tb.ctx[0]->create_srq();
+  v::Buffer sbuf(64), rbuf(256);
+  auto* smr = tb.ctx[1]->register_buffer(sbuf, 1);
+  auto* rmr = tb.ctx[0]->register_buffer(rbuf, 1);
+  auto ci = tb.paper_qp();
+  ci.transport = v::Transport::kDc;
+  ci.cq = tb.ctx[1]->create_cq();
+  auto* dci = tb.ctx[1]->create_qp(ci);
+  auto ct = tb.paper_qp();
+  ct.transport = v::Transport::kDc;
+  ct.cq = tb.ctx[0]->create_cq();
+  ct.srq = srq;
+  auto* dct = tb.ctx[0]->create_qp(ct);
+  srq->post({0, {rmr->addr, 64, rmr->key}});
+
+  std::memcpy(sbuf.data(), "dc-send", 7);
+  run(tb, [](Testbed&, v::QueuePair* q, v::QueuePair* d,
+             v::MemoryRegion* m) -> sim::Task {
+    auto wr = make_send(*m, 7);
+    wr.ud_dest = d;
+    auto c = co_await q->execute(wr);
+    EXPECT_TRUE(c.ok());
+  }(tb, dci, dct, smr));
+  EXPECT_EQ(srq->consumed(), 1u);
+  EXPECT_EQ(std::memcmp(rbuf.data(), "dc-send", 7), 0);
+}
+
+// --- observability ---------------------------------------------------------
+
+TEST(SvcObs, CountersAppearInExportedJson) {
+  // The zero-cost contract: every service-tier counter is registered at
+  // Hub construction, so a fresh cluster's export already carries them.
+  Testbed tb;
+  const std::string j = tb.cluster.obs().metrics.json();
+  for (const char* name :
+       {"svc.broker.admitted", "svc.broker.rejected", "svc.broker.queued",
+        "svc.broker.wait_ns", "verbs.srq.posted", "verbs.srq.consumed",
+        "verbs.srq.rnr", "verbs.dc.attaches"}) {
+    std::string needle = "\"";
+    needle += name;
+    needle += '"';
+    EXPECT_NE(j.find(needle), std::string::npos)
+        << name << " missing from metrics export";
+  }
+}
