@@ -20,7 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/attr.hpp"
 #include "obs/bench_export.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/engine_profile.hpp"
 #include "obs/json.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -68,19 +71,68 @@ inline std::vector<obs::Span>& trace_spans() {
   static std::vector<obs::Span> s;
   return s;
 }
+// Attribution-record sink and the PROCESS-WIDE resource-name table the
+// sunk records index into. Every cluster interns names in its own order,
+// so absorb() remaps each batch before sinking it.
+inline std::vector<obs::AttrSpan>& trace_attrs() {
+  static std::vector<obs::AttrSpan> a;
+  return a;
+}
+inline std::vector<std::string>& trace_res_names() {
+  static std::vector<std::string> n;
+  return n;
+}
+inline std::uint16_t intern_trace_res(const std::string& name) {
+  auto& names = trace_res_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<std::uint16_t>(i);
+  names.push_back(name);
+  return static_cast<std::uint16_t>(names.size() - 1);
+}
+// Plane-1 aggregates (per-resource queueing waits, per-WR critical path)
+// and the Plane-2 host-time engine profile, all merged across the
+// process's sweep-point clusters.
+inline obs::ResourceWaits& resource_waits() {
+  static obs::ResourceWaits w;
+  return w;
+}
+inline obs::CriticalPath& critical_path() {
+  static obs::CriticalPath c;
+  return c;
+}
+inline obs::EngineProfileAccum& engine_profile() {
+  static obs::EngineProfileAccum a;
+  return a;
+}
 
 // Folds one finished cluster's observability state into the process-wide
-// report: stage totals merge, trace spans move into the shared sink, and
+// report: stage totals merge, trace spans + attribution records move into
+// the shared sinks (critical path folded first, while the attribution ids
+// are still cluster-local), every live resource's wait counters fold into
+// the bottleneck table, the engine's host-time profile is drained, and
 // the metrics registry is sampled once so the report carries a final
-// counter/gauge snapshot (last absorbed cluster wins).
+// counter/gauge snapshot (last absorbed cluster wins). Call once per
+// cluster: resource counters are cumulative and would double-fold.
 inline void absorb(cluster::Cluster& c) {
   obs::Hub& hub = c.obs();
   report().absorb(hub.tracer.breakdown());
   if (hub.tracer.enabled()) {
     auto spans = hub.tracer.drain();
+    auto attrs = hub.tracer.drain_attrs();
+    const auto& names = hub.tracer.res_names();
+    critical_path().fold(spans, attrs, names);
+    std::vector<std::uint16_t> remap(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+      remap[i] = intern_trace_res(names[i]);
+    for (auto& a : attrs)
+      if (a.res < remap.size()) a.res = remap[a.res];
+    auto& asink = trace_attrs();
+    asink.insert(asink.end(), attrs.begin(), attrs.end());
     auto& sink = trace_spans();
     sink.insert(sink.end(), spans.begin(), spans.end());
   }
+  c.for_each_resource([](sim::Resource& r) { resource_waits().add(r); });
+  engine_profile().absorb(c.engine().drain_profile());
   hub.metrics.sample(c.engine().now());
   report().set_metrics_json(hub.metrics.json());
 }
@@ -127,9 +179,29 @@ inline void finish(const char* argv0, const FigureCollector& collector) {
   r.set_table(collector.title(), collector.header(), collector.rows());
   const std::string stages = r.stages().render();
   if (!stages.empty()) std::fputs(stages.c_str(), stdout);
+  const std::string waits = resource_waits().render();
+  if (!waits.empty()) std::fputs(waits.c_str(), stdout);
+  const std::string cpath = critical_path().render();
+  if (!cpath.empty()) std::fputs(cpath.c_str(), stdout);
+  const std::string eprof = engine_profile().render();
+  if (!eprof.empty()) std::fputs(eprof.c_str(), stdout);
+  if (!resource_waits().empty())
+    r.set_resource_waits_json(resource_waits().json());
+  if (!critical_path().empty())
+    r.set_critical_path_json(critical_path().json());
+  if (!engine_profile().empty()) {
+    const std::string ejson = engine_profile().json();
+    r.set_engine_profile_json(ejson);
+    const std::string epath =
+        util::env_str("RDMASEM_PROF_OUT", dir + "/ENGINE_PROFILE.json");
+    if (!epath.empty() && obs::write_text_file(epath, ejson))
+      std::fprintf(stderr, "engine profile: %s\n", epath.c_str());
+  }
   if (!trace_spans().empty()) {
     const std::string tpath = dir + "/trace_" + name + ".json";
-    if (obs::write_text_file(tpath, obs::chrome_trace_json(trace_spans())))
+    if (obs::write_text_file(
+            tpath, obs::chrome_trace_json(trace_spans(), trace_attrs(),
+                                          trace_res_names())))
       r.set_trace_file(tpath);
   }
   const std::string out = r.write(dir);

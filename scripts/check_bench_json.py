@@ -40,6 +40,59 @@ STAGES = {
     "wire", "remote_rx", "remote_dram", "response", "cqe",
 }
 
+# Plane-1/Plane-2 profiler sections (PR 7). Integer picosecond fields so
+# reconciliation can be asserted exactly, not within a tolerance.
+WAIT_ROW_KEYS = {
+    "name": str,
+    "requests": int,
+    "waited": int,
+    "wait_ps": int,
+    "service_ps": int,
+    "p99_wait_ns": int,
+}
+
+CP_KEYS = {
+    "closed_wrs": int,
+    "reconciled_wrs": int,
+    "mismatched_wrs": int,
+    "e2e_ps": int,
+    "attr_ps": int,
+    "resources": list,
+    "stages": list,
+}
+
+CP_RES_KEYS = {
+    "name": str,
+    "grants": int,
+    "wait_ps": int,
+    "service_ps": int,
+    "whatif_2x": (int, float),
+    "whatif_inf": (int, float),
+}
+
+CP_STAGE_KEYS = {
+    "stage": str,
+    "count": int,
+    "total_ps": int,
+    "whatif_2x": (int, float),
+}
+
+ENGINE_SCHEMA = "rdmasem-engine-profile-v1"
+
+EP_ROW_KEYS = {
+    "shard": int,
+    "epochs": int,
+    "events": int,
+    "inline_grants": int,
+    "merged_events": int,
+    "merge_ns": int,
+    "barrier_park_ns": int,
+    "dispatch_ns": int,
+    "wall_ns": int,
+    "max_queue_depth": int,
+    "accounted_share": (int, float),
+}
+
 
 def fail(path, msg):
     raise SystemExit(f"{path}: {msg}")
@@ -62,6 +115,17 @@ def check_trace(path):
     if not isinstance(events, list) or not events:
         fail(path, "traceEvents missing or empty")
     for ev in events:
+        if ev.get("ph") == "C":
+            # Per-resource queueing-wait counter track (Perfetto).
+            check_typed_dict(path, "counter event", ev,
+                             {"name": str, "ts": (int, float), "pid": int})
+            if not ev["name"].startswith("wait:"):
+                fail(path, f"unknown counter track {ev['name']!r}")
+            args = ev.get("args")
+            if (not isinstance(args, dict)
+                    or not isinstance(args.get("wait_us"), (int, float))):
+                fail(path, "counter event without args.wait_us")
+            continue
         check_typed_dict(path, "event", ev,
                          {"name": str, "ph": str, "ts": (int, float),
                           "pid": int, "tid": int})
@@ -72,6 +136,67 @@ def check_trace(path):
         if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
             fail(path, "complete event without dur")
     print(f"ok: {path} ({len(events)} events)")
+
+
+def check_resource_waits(path, rows):
+    if not isinstance(rows, list) or not rows:
+        fail(path, "resource_waits present but not a non-empty list")
+    for r in rows:
+        check_typed_dict(path, "resource_waits row", r, WAIT_ROW_KEYS)
+        if r["waited"] > r["requests"]:
+            fail(path, f"{r['name']}: waited {r['waited']} exceeds "
+                       f"requests {r['requests']}")
+        if r["waited"] == 0 and r["wait_ps"] != 0:
+            fail(path, f"{r['name']}: wait_ps non-zero with zero waited")
+
+
+def check_critical_path(path, cp):
+    check_typed_dict(path, "critical_path", cp, CP_KEYS)
+    if cp["reconciled_wrs"] + cp["mismatched_wrs"] != cp["closed_wrs"]:
+        fail(path, "critical_path: reconciled + mismatched != closed")
+    if cp["mismatched_wrs"] != 0:
+        fail(path, f"critical_path: {cp['mismatched_wrs']} WR(s) whose "
+                   "attribution records do not partition the doorbell->CQE "
+                   "window")
+    # The reconciliation invariant: attribution covers end-to-end latency
+    # exactly, in integer picoseconds — no tolerance.
+    if cp["attr_ps"] != cp["e2e_ps"]:
+        fail(path, f"critical_path: attr_ps {cp['attr_ps']} != "
+                   f"e2e_ps {cp['e2e_ps']}")
+    total = 0
+    for r in cp["resources"]:
+        check_typed_dict(path, "critical_path resource", r, CP_RES_KEYS)
+        total += r["wait_ps"] + r["service_ps"]
+    if total != cp["attr_ps"]:
+        fail(path, f"critical_path: resource rows sum to {total}, "
+                   f"attr_ps is {cp['attr_ps']}")
+    for s in cp["stages"]:
+        check_typed_dict(path, "critical_path stage", s, CP_STAGE_KEYS)
+        if s["stage"] not in STAGES:
+            fail(path, f"unknown critical_path stage {s['stage']!r}")
+
+
+def check_engine_profile(path, ep):
+    if not isinstance(ep, dict) or ep.get("schema") != ENGINE_SCHEMA:
+        fail(path, f"engine_profile schema is not {ENGINE_SCHEMA!r}")
+    groups = ep.get("groups")
+    if not isinstance(groups, list) or not groups:
+        fail(path, "engine_profile.groups missing or empty")
+    for g in groups:
+        check_typed_dict(path, "engine_profile group", g,
+                         {"shards": int, "runs": int, "rows": list})
+        if g["shards"] < 1 or g["runs"] < 1:
+            fail(path, "engine_profile group with no shards or runs")
+        if len(g["rows"]) != g["shards"]:
+            fail(path, f"engine_profile group shards={g['shards']} has "
+                       f"{len(g['rows'])} rows")
+        for r in g["rows"]:
+            check_typed_dict(path, "engine_profile row", r, EP_ROW_KEYS)
+            # Machine-dependent, so not gated at 0.95 here (the CI smoke
+            # and obs_report.py --min-accounted do that); just sane.
+            if not 0.0 <= r["accounted_share"] <= 1.0:
+                fail(path, f"accounted_share out of [0,1]: "
+                           f"{r['accounted_share']}")
 
 
 def check_report(path):
@@ -133,7 +258,22 @@ def check_report(path):
             if section not in metrics:
                 fail(path, f"metrics missing {section!r}")
 
-    print(f"ok: {path} ({len(points)} points, {len(stages)} stages)")
+    extras = []
+    rw = report.get("resource_waits")
+    if rw is not None:
+        check_resource_waits(path, rw)
+        extras.append(f"{len(rw)} wait rows")
+    cp = report.get("critical_path")
+    if cp is not None:
+        check_critical_path(path, cp)
+        extras.append(f"{cp['closed_wrs']} WRs reconciled")
+    ep = report.get("engine_profile")
+    if ep is not None:
+        check_engine_profile(path, ep)
+        extras.append(f"{len(ep['groups'])} profile group(s)")
+
+    suffix = (", " + ", ".join(extras)) if extras else ""
+    print(f"ok: {path} ({len(points)} points, {len(stages)} stages{suffix})")
 
 
 def main(argv):

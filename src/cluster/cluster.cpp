@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "util/env.hpp"
 
@@ -50,6 +51,11 @@ Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
   for (MachineId m = 0; m < params.machines; ++m)
     machines_.push_back(std::make_unique<Machine>(engine, p_, m));
   fabric_.set_faults(&faults_);
+  // Assign every resource its attribution id (the tracer's interned name
+  // index) so per-WR attribution records can reference resources by a
+  // 16-bit id while sim stays obs-free.
+  for_each_resource(
+      [this](sim::Resource& r) { r.set_attr_id(obs_.tracer.intern_res(r.name())); });
   register_gauges();
   // A stalled RNIC stops fetching WQEs, processing inbound packets and
   // serving atomics for the stall window: occupy one full window on every
@@ -110,6 +116,18 @@ void Cluster::register_gauges() {
         return mach->mem_channel(s).utilization();
       });
   }
+  // Queueing-delay attribution gauges: total wait picoseconds per resource
+  // NAME (the bottleneck signal the obs tooling ranks by). Fabric links
+  // share one name per direction, so their gauge sums over every link.
+  std::map<std::string, std::vector<sim::Resource*>> by_name;
+  for_each_resource(
+      [&by_name](sim::Resource& r) { by_name[r.name()].push_back(&r); });
+  for (auto& [name, group] : by_name)
+    m.gauge(name + ".wait_ps", [group] {
+      std::uint64_t ps = 0;
+      for (const sim::Resource* r : group) ps += r->wait_time();
+      return static_cast<double>(ps);
+    });
 }
 
 }  // namespace rdmasem::cluster

@@ -83,6 +83,31 @@ class Cluster {
   // Cluster-wide unique QP ids (metadata-cache keys must never alias).
   std::uint64_t next_qp_id() { return ++qp_id_; }
 
+  // Visits every contended sim::Resource of the testbed in a fixed order
+  // (machines: per-port EU/RX/atomic unit, RNIC DMA, per-socket memory
+  // channels; then the fabric's per-(machine,port) tx/rx links). The obs
+  // layer interns attribution ids against this walk at construction and
+  // folds the per-resource wait tables from it at bench absorb time.
+  template <typename Fn>
+  void for_each_resource(Fn&& fn) {
+    for (auto& mach : machines_) {
+      auto& r = mach->rnic();
+      for (rnic::PortId p = 0; p < r.port_count(); ++p) {
+        fn(r.port(p).eu);
+        fn(r.port(p).rx);
+        fn(r.port(p).atomic_unit);
+      }
+      fn(r.dma());
+      for (SocketId s = 0; s < p_.sockets_per_machine; ++s)
+        fn(mach->mem_channel(s));
+    }
+    for (MachineId m = 0; m < size(); ++m)
+      for (std::uint32_t p = 0; p < p_.rnic_ports; ++p) {
+        fn(fabric_.tx_link(m, p));
+        fn(fabric_.rx_link(m, p));
+      }
+  }
+
  private:
   void register_gauges();
 

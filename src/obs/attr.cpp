@@ -1,0 +1,97 @@
+#include "obs/attr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace rdmasem::obs {
+
+std::uint64_t ResourceWaits::Row::wait_quantile_ns(double q) const {
+  if (hist_count == 0) return 0;
+  const double clamped = (q > 0.0) ? std::min(q, 1.0) : 0.0;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(hist_count)));
+  if (target == 0) target = 1;
+  if (target > hist_count) target = hist_count;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    acc += buckets[i];
+    if (acc >= target) return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  return ~std::uint64_t{0};
+}
+
+void ResourceWaits::add(const sim::Resource& r) {
+  if (r.name().empty()) return;
+  Row* row = nullptr;
+  for (Row& existing : rows_)
+    if (existing.name == r.name()) {
+      row = &existing;
+      break;
+    }
+  if (row == nullptr) {
+    rows_.emplace_back();
+    row = &rows_.back();
+    row->name = r.name();
+  }
+  row->requests += r.requests();
+  row->waited += r.waited_requests();
+  row->wait_ps += r.wait_time();
+  row->service_ps += r.busy_time();
+  const util::Log2Histogram& h = r.wait_hist();
+  for (std::size_t i = 0; i < util::Log2Histogram::kBuckets; ++i)
+    row->buckets[i] += h.bucket(i);
+  row->hist_count += h.count();
+}
+
+std::vector<ResourceWaits::Row> ResourceWaits::sorted() const {
+  std::vector<Row> out = rows_;
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return a.wait_ps != b.wait_ps ? a.wait_ps > b.wait_ps : a.name < b.name;
+  });
+  return out;
+}
+
+std::string ResourceWaits::render(std::size_t top_k) const {
+  if (rows_.empty()) return {};
+  util::Table t({"resource", "grants", "waited", "wait_us", "service_us",
+                 "wait_share", "p99_wait_ns"});
+  t.set_title("per-resource queueing delay (bottleneck order)");
+  const std::vector<Row> rows = sorted();
+  std::size_t shown = 0;
+  for (const Row& r : rows) {
+    if (shown++ == top_k) break;
+    const double attributed =
+        static_cast<double>(r.wait_ps) + static_cast<double>(r.service_ps);
+    t.add_row({r.name, std::to_string(r.requests), std::to_string(r.waited),
+               util::fmt(sim::to_us(r.wait_ps), 3),
+               util::fmt(sim::to_us(r.service_ps), 3),
+               attributed > 0
+                   ? util::fmt(static_cast<double>(r.wait_ps) / attributed, 3)
+                   : "0",
+               std::to_string(r.wait_quantile_ns(0.99))});
+  }
+  return t.render();
+}
+
+std::string ResourceWaits::json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Row& r : sorted()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + json_str(r.name);
+    out += ", \"requests\": " + std::to_string(r.requests);
+    out += ", \"waited\": " + std::to_string(r.waited);
+    out += ", \"wait_ps\": " + std::to_string(r.wait_ps);
+    out += ", \"service_ps\": " + std::to_string(r.service_ps);
+    out += ", \"p99_wait_ns\": " + std::to_string(r.wait_quantile_ns(0.99));
+    out += "}";
+  }
+  out += first ? "]" : "\n  ]";
+  return out;
+}
+
+}  // namespace rdmasem::obs

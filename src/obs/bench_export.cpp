@@ -67,6 +67,16 @@ std::string BenchReport::json() const {
   out += "  \"trace_file\": " +
          (trace_file_.empty() ? std::string("null") : json_str(trace_file_)) +
          ",\n";
+  // Raw pre-rendered sections; trailing newlines trimmed so the embedding
+  // stays well-formed whatever the sub-renderer's file conventions are.
+  const auto raw = [](const std::string& j) {
+    std::string s = j.empty() ? std::string("null") : j;
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+    return s;
+  };
+  out += "  \"resource_waits\": " + raw(resource_waits_json_) + ",\n";
+  out += "  \"critical_path\": " + raw(critical_path_json_) + ",\n";
+  out += "  \"engine_profile\": " + raw(engine_profile_json_) + ",\n";
   out += "  \"metrics\": " +
          (metrics_json_.empty() ? std::string("null") : metrics_json_) + "\n";
   out += "}\n";

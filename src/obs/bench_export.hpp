@@ -44,6 +44,17 @@ class BenchReport {
   void set_trace_file(std::string path) { trace_file_ = std::move(path); }
   // Raw JSON object string (MetricsRegistry::json()) embedded verbatim.
   void set_metrics_json(std::string j) { metrics_json_ = std::move(j); }
+  // Two-plane profiler sections, embedded verbatim (null when empty):
+  // ResourceWaits::json(), CriticalPath::json(), EngineProfileAccum::json().
+  void set_resource_waits_json(std::string j) {
+    resource_waits_json_ = std::move(j);
+  }
+  void set_critical_path_json(std::string j) {
+    critical_path_json_ = std::move(j);
+  }
+  void set_engine_profile_json(std::string j) {
+    engine_profile_json_ = std::move(j);
+  }
 
   std::string json() const;
   // Writes `<dir>/BENCH_<name>.json`; returns the path ("" on failure).
@@ -58,6 +69,9 @@ class BenchReport {
   StageBreakdown stages_;
   std::string trace_file_;
   std::string metrics_json_;
+  std::string resource_waits_json_;
+  std::string critical_path_json_;
+  std::string engine_profile_json_;
 };
 
 }  // namespace rdmasem::obs

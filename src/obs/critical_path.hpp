@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rdmasem::obs {
+
+// CriticalPath — the Plane-1 per-WR critical-path decomposition. Folds a
+// cluster's Tracer spans + attribution records into:
+//
+//   * a per-resource table of (grants, wait, service) picoseconds on the
+//     WR critical path, merged BY NAME across clusters;
+//   * the classic per-stage breakdown (identical to Tracer::breakdown()
+//     over the same spans — pinned by tests/obs_profiler_test.cpp);
+//   * reconciliation: for every completed WR the attribution records must
+//     form a CONTIGUOUS partition of its doorbell->CQE window, so
+//     attr_ps == e2e_ps holds exactly, in integer picoseconds, when every
+//     WR reconciles (mismatched_wrs counts the ones that do not);
+//   * CoZ-style what-if estimates: the predicted end-to-end gain if
+//     resource/stage X were k× faster, computed as
+//     sum_X(wait+service) * (1 - 1/k) / sum(e2e). This treats the WR
+//     pipeline as a serial chain — an UPPER BOUND on the real gain, since
+//     overlapping WRs would re-queue behind the shrunk stage.
+//
+// WRs are keyed (qp_id, seq, wr_id) — QP ids are cluster-unique and seq
+// is the posting QP's post-order counter (WorkRequest::trace_seq), so the
+// key names one WR INSTANCE even when an app posts every WR with wr_id 0
+// (legal; the RPC reply path does). fold() is called once per cluster
+// (the bench absorb path), aggregates merge by name after that. Batch-posted WRs carry no doorbell instant: their
+// window starts at the first attribution record instead. Flushed WRs
+// complete with an empty window (doorbell == cqe, no records) and
+// reconcile trivially.
+class CriticalPath {
+ public:
+  struct Row {
+    std::string name;
+    std::uint64_t grants = 0;
+    sim::Duration wait_ps = 0;
+    sim::Duration service_ps = 0;
+  };
+
+  // Folds one cluster's drained spans + attribution records. `res_names`
+  // is that cluster's Tracer name table (ids are cluster-local).
+  void fold(const std::vector<Span>& spans,
+            const std::vector<AttrSpan>& attrs,
+            const std::vector<std::string>& res_names);
+
+  bool empty() const { return closed_wrs_ == 0 && rows_.empty(); }
+  std::uint64_t closed_wrs() const { return closed_wrs_; }
+  std::uint64_t reconciled_wrs() const { return reconciled_wrs_; }
+  std::uint64_t mismatched_wrs() const { return mismatched_wrs_; }
+  // Sum of doorbell->CQE windows over completed WRs / sum of attribution
+  // record durations. Equal iff every WR reconciled.
+  sim::Duration e2e_ps() const { return e2e_ps_; }
+  sim::Duration attr_ps() const { return attr_ps_; }
+  // Per-resource rows sorted by wait+service descending, ties by name.
+  std::vector<Row> sorted() const;
+  const StageBreakdown& stages() const { return stages_; }
+
+  // Predicted end-to-end gain (0..1) if the named row were k× faster
+  // (serial-chain upper bound; see class comment).
+  double whatif_gain(const Row& r, double k) const;
+
+  // Bottleneck table + what-if columns; empty string when nothing folded.
+  std::string render(std::size_t top_k = 12) const;
+  // The "critical_path" bench-report section: integer ps fields so
+  // scripts/check_bench_json.py can assert reconciliation exactly.
+  std::string json() const;
+
+ private:
+  std::vector<Row> rows_;
+  StageBreakdown stages_;
+  std::uint64_t closed_wrs_ = 0;
+  std::uint64_t reconciled_wrs_ = 0;
+  std::uint64_t mismatched_wrs_ = 0;
+  sim::Duration e2e_ps_ = 0;
+  sim::Duration attr_ps_ = 0;
+};
+
+}  // namespace rdmasem::obs

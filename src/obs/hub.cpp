@@ -30,6 +30,7 @@ Hub::Hub()
       proxy_direct(metrics.counter("remem.numa.direct")),
       cas_attempts(metrics.counter("remem.atomics.cas_attempts")),
       cas_failures(metrics.counter("remem.atomics.cas_failures")),
+      mcache_stall_ps(metrics.counter("rnic.mcache.stall_ps")),
       wr_latency_ns(metrics.histogram("verbs.wr.latency_ns")),
       broker_wait_ns(metrics.histogram("svc.broker.wait_ns")) {
   tracer.set_enabled(util::env_bool("RDMASEM_TRACE", false));

@@ -65,6 +65,11 @@ struct Hub {
   Counter& proxy_direct;
   Counter& cas_attempts;
   Counter& cas_failures;         // lost CAS races = atomics contention
+  // rnic: total metadata-cache miss stall picoseconds charged to WRs
+  // (requester + responder side). The per-resource wait tables cover
+  // server queueing; mcache stalls are latency, not occupancy, so they
+  // get their own counter.
+  Counter& mcache_stall_ps;
   // per-WR post-to-CQE latency (nanoseconds)
   util::Log2Histogram& wr_latency_ns;
   // broker admission wait (queue + throttle), nanoseconds

@@ -93,9 +93,28 @@ std::vector<Span> Tracer::spans() const {
   return out;
 }
 
+std::vector<AttrSpan> Tracer::attr_spans() const {
+  std::vector<AttrSpan> out;
+  std::size_t total = 0;
+  for (const auto& ln : lanes_) total += ln.attrs.size();
+  out.reserve(total);
+  for (const auto& ln : lanes_)
+    out.insert(out.end(), ln.attrs.begin(), ln.attrs.end());
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const AttrSpan& a, const AttrSpan& b) { return a.begin < b.begin; });
+  return out;
+}
+
 std::vector<Span> Tracer::drain() {
   std::vector<Span> out = spans();
   for (auto& ln : lanes_) ln.spans.clear();
+  return out;
+}
+
+std::vector<AttrSpan> Tracer::drain_attrs() {
+  std::vector<AttrSpan> out = attr_spans();
+  for (auto& ln : lanes_) ln.attrs.clear();
   return out;
 }
 
@@ -103,6 +122,8 @@ void Tracer::clear() {
   for (auto& ln : lanes_) {
     ln.spans.clear();
     ln.dropped = 0;
+    ln.attrs.clear();
+    ln.attr_dropped = 0;
   }
 }
 
@@ -142,6 +163,38 @@ std::string chrome_trace_json(const std::vector<Span>& spans,
     out += ", \"args\": {\"wr\": " + std::to_string(s.wr_id) + "}}";
   }
   out += "\n]}\n";
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              const std::vector<AttrSpan>& attrs,
+                              const std::vector<std::string>& res_names,
+                              const char* (*opcode_name)(std::uint8_t)) {
+  std::string out = chrome_trace_json(spans, opcode_name);
+  // Cumulative per-resource wait, sampled at every waiting grant. attrs
+  // arrive begin-sorted, so each series is monotone in both ts and value.
+  std::vector<std::uint64_t> cum(res_names.size(), 0);
+  std::string counters;
+  for (const AttrSpan& a : attrs) {
+    if (a.grant == a.begin) continue;  // no queueing — nothing to plot
+    if (a.res >= cum.size()) continue;  // unknown id: skip, never misattribute
+    cum[a.res] += a.grant - a.begin;
+    counters += ",\n{\"name\": \"wait:";
+    counters += json_escape(res_names[a.res]);
+    counters += "\", \"ph\": \"C\", \"ts\": ";
+    counters += us_from_ps(a.grant);
+    counters += ", \"pid\": 0, \"args\": {\"wait_us\": ";
+    counters += us_from_ps(cum[a.res]);
+    counters += "}}";
+  }
+  if (!counters.empty()) {
+    // Splice the counter events before the closing "\n]}\n". With no span
+    // events the array is empty and the first counter must not lead with
+    // a comma.
+    out.resize(out.size() - 4);
+    out += spans.empty() ? counters.substr(1) : counters;
+    out += "\n]}\n";
+  }
   return out;
 }
 

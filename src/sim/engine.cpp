@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/env.hpp"
+
 namespace rdmasem::sim {
 
 namespace {
@@ -27,6 +29,15 @@ void spin_until(Cond&& cond) {
   }
 }
 
+using ProfClock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(ProfClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ProfClock::now() -
+                                                           t0)
+          .count());
+}
+
 }  // namespace
 
 std::uint32_t current_lane() noexcept { return detail::t_exec.lane; }
@@ -37,6 +48,7 @@ Engine::Engine() : base_seed_(kDefaultSeed) {
   lane_seq_.assign(1, 0);
   lane_rng_.emplace_back(base_seed_);
   lane_shard_.assign(1, 0);
+  prof_ = util::env_bool("RDMASEM_PROF", false);
 }
 
 Engine::~Engine() {
@@ -119,6 +131,7 @@ bool Engine::try_inline_advance(Time at) {
   // resumption counts exactly once, granted inline or dispatched).
   sh.now = at;
   ++sh.processed;
+  ++sh.prof.inline_grants;
   return true;
 }
 
@@ -141,6 +154,8 @@ Time Engine::run() {
     // updates per event (dispatch()'s full save/restore costs two extra
     // thread-local writes per event — measurable in the selfbench).
     Shard& sh = *shards_[0];
+    ProfClock::time_point w0;
+    if (prof_) w0 = ProfClock::now();
     const detail::ExecContext saved = detail::t_exec;
     detail::t_exec = {this, 0, 0, inline_wakeups_ ? kNoDeadline : 0};
     while (!sh.queue.empty()) {
@@ -155,6 +170,14 @@ Time Engine::run() {
       }
     }
     detail::t_exec = saved;
+    if (prof_) {
+      // The whole serial run is one "epoch": dispatch == wall.
+      const std::uint64_t ns = ns_since(w0);
+      sh.prof.dispatch_ns += ns;
+      sh.prof.wall_ns += ns;
+      ++sh.prof.epochs;
+      ++prof_runs_;
+    }
     unified_now_ = std::max(unified_now_, sh.now);
     return unified_now_;
   }
@@ -165,6 +188,8 @@ Time Engine::run() {
 bool Engine::run_until(Time deadline) {
   if (nshards_ == 1) {
     Shard& sh = *shards_[0];
+    ProfClock::time_point w0;
+    if (prof_) w0 = ProfClock::now();
     const detail::ExecContext saved = detail::t_exec;
     // Horizon deadline + 1: events AT the deadline still run (saturating;
     // a deadline of kNoDeadline behaves like run()).
@@ -184,6 +209,13 @@ bool Engine::run_until(Time deadline) {
       }
     }
     detail::t_exec = saved;
+    if (prof_) {
+      const std::uint64_t ns = ns_since(w0);
+      sh.prof.dispatch_ns += ns;
+      sh.prof.wall_ns += ns;
+      ++sh.prof.epochs;
+      ++prof_runs_;
+    }
     unified_now_ = std::max(unified_now_, sh.now);
     if (sh.queue.empty()) return false;
     unified_now_ = std::max(unified_now_, deadline);
@@ -225,6 +257,10 @@ void Engine::merge_outboxes() {
   for (auto& src : shards_) {
     for (std::uint32_t d = 0; d < nshards_; ++d) {
       auto& box = src->outbox[d];
+      if (box.empty()) continue;
+      // Safe to write another shard's profile row here: workers are
+      // parked at the barrier whenever the main thread merges.
+      shards_[d]->prof.merged_events += box.size();
       for (Event& ev : box) shards_[d]->queue.push(std::move(ev));
       box.clear();
     }
@@ -233,6 +269,8 @@ void Engine::merge_outboxes() {
 
 void Engine::run_shard_epoch(std::uint32_t shard_idx) {
   Shard& sh = *shards_[shard_idx];
+  ProfClock::time_point w0;
+  if (prof_) w0 = ProfClock::now();
   const detail::ExecContext saved = detail::t_exec;
   // Inline grants are bounded by the epoch: past epoch_end_ another shard
   // may still produce an earlier cross-shard event, so the wakeup must go
@@ -250,20 +288,37 @@ void Engine::run_shard_epoch(std::uint32_t shard_idx) {
     }
   }
   detail::t_exec = saved;
+  if (prof_) {
+    sh.prof.dispatch_ns += ns_since(w0);
+    ++sh.prof.epochs;
+  }
 }
 
 void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
   // The baseline generation is captured by the main thread BEFORE the
   // first epoch is released — reading gen_ here instead would race with
   // that release and could skip the first epoch (deadlocking the barrier).
+  Shard& sh = *shards_[shard_idx];
+  const bool prof = prof_;
+  ProfClock::time_point wall0;
+  if (prof) wall0 = ProfClock::now();
   std::uint64_t seen = base_gen;
   for (;;) {
-    spin_until([&] { return gen_.load(std::memory_order_acquire) != seen; });
+    if (prof) {
+      const ProfClock::time_point p0 = ProfClock::now();
+      spin_until(
+          [&] { return gen_.load(std::memory_order_acquire) != seen; });
+      sh.prof.barrier_park_ns += ns_since(p0);
+    } else {
+      spin_until(
+          [&] { return gen_.load(std::memory_order_acquire) != seen; });
+    }
     seen = gen_.load(std::memory_order_acquire);
-    if (stop_) return;
+    if (stop_) break;
     run_shard_epoch(shard_idx);
     arrived_.fetch_add(1, std::memory_order_acq_rel);
   }
+  if (prof) sh.prof.wall_ns += ns_since(wall0);
 }
 
 bool Engine::run_parallel(Time deadline) {
@@ -277,10 +332,20 @@ bool Engine::run_parallel(Time deadline) {
   for (std::uint32_t s = 1; s < nshards_; ++s)
     workers.emplace_back(&Engine::worker_main, this, s, base_gen);
 
+  const bool prof = prof_;
+  Shard& s0 = *shards_[0];
+  ProfClock::time_point wall0;
+  if (prof) wall0 = ProfClock::now();
   for (;;) {
     // Workers are parked here (either not yet released, or arrived at the
     // barrier), so the main thread owns every queue and outbox.
-    merge_outboxes();
+    if (prof) {
+      const ProfClock::time_point m0 = ProfClock::now();
+      merge_outboxes();
+      s0.prof.merge_ns += ns_since(m0);
+    } else {
+      merge_outboxes();
+    }
     Time t = kNoDeadline;
     for (auto& sh : shards_)
       if (!sh->queue.empty()) t = std::min(t, sh->queue.next_time());
@@ -293,11 +358,23 @@ bool Engine::run_parallel(Time deadline) {
     gen_.fetch_add(1, std::memory_order_release);
     run_shard_epoch(0);
     arrived_.fetch_add(1, std::memory_order_acq_rel);
-    spin_until([&] {
-      return arrived_.load(std::memory_order_acquire) == nshards_;
-    });
+    if (prof) {
+      const ProfClock::time_point p0 = ProfClock::now();
+      spin_until([&] {
+        return arrived_.load(std::memory_order_acquire) == nshards_;
+      });
+      s0.prof.barrier_park_ns += ns_since(p0);
+    } else {
+      spin_until([&] {
+        return arrived_.load(std::memory_order_acquire) == nshards_;
+      });
+    }
   }
 
+  if (prof) {
+    s0.prof.wall_ns += ns_since(wall0);
+    ++prof_runs_;
+  }
   stop_ = true;
   gen_.fetch_add(1, std::memory_order_release);
   for (auto& w : workers) w.join();
@@ -309,6 +386,26 @@ bool Engine::run_parallel(Time deadline) {
   for (const auto& sh : shards_)
     if (!sh->queue.empty()) return true;
   return false;
+}
+
+EngineProfile Engine::drain_profile() {
+  EngineProfile p;
+  p.enabled = prof_;
+  p.shards = nshards_;
+  p.runs = prof_runs_;
+  p.shard.reserve(nshards_);
+  for (auto& sh : shards_) {
+    ShardProfile row = sh->prof;
+    row.events = sh->processed - sh->prof_events_base;
+    row.max_queue_depth = sh->queue.max_size();
+    p.shard.push_back(row);
+    // Start a new profiling window.
+    sh->prof = ShardProfile{};
+    sh->prof_events_base = sh->processed;
+    sh->queue.reset_max_size();
+  }
+  prof_runs_ = 0;
+  return p;
 }
 
 }  // namespace rdmasem::sim

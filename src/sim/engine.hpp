@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -39,6 +40,40 @@ struct ExecContext {
 inline thread_local ExecContext t_exec{};
 
 }  // namespace detail
+
+// --- engine profiling (Plane 2: host time) ----------------------------------
+//
+// Per-shard host-clock statistics of one profiling window (between
+// drain_profile() calls). Gated by RDMASEM_PROF / Engine::set_profiling and
+// measured with std::chrono::steady_clock, strictly OUTSIDE the virtual
+// timeline: profiling reads wall clocks and bumps plain shard-local
+// counters, never schedules events, never reads the RNG and never moves a
+// shard clock — a profiled run is byte-identical to an unprofiled one at
+// every shard count (tests/obs_profiler_test.cpp asserts this).
+//
+// The inline_grants / merged_events / max_queue_depth counters are cheap
+// enough to maintain unconditionally; only the steady_clock reads are
+// gated.
+struct ShardProfile {
+  std::uint64_t epochs = 0;       // epochs run (serial: 1 per run call)
+  std::uint64_t events = 0;       // events dispatched (incl. inline grants)
+  std::uint64_t inline_grants = 0;   // suspensions elided by the fast path
+  std::uint64_t merged_events = 0;   // cross-shard events merged INTO this
+                                     // shard's queue at epoch barriers
+  std::uint64_t merge_ns = 0;        // outbox-merge wall time (shard 0 only:
+                                     // the main thread does every merge)
+  std::uint64_t barrier_park_ns = 0;  // parked at the epoch barrier
+  std::uint64_t dispatch_ns = 0;      // inside the event-dispatch loop
+  std::uint64_t wall_ns = 0;          // whole-run wall time for this shard
+  std::uint64_t max_queue_depth = 0;  // event-queue high-water mark
+};
+
+struct EngineProfile {
+  bool enabled = false;
+  std::uint32_t shards = 1;
+  std::uint64_t runs = 0;  // profiled run()/run_until() invocations
+  std::vector<ShardProfile> shard;
+};
 
 // Discrete-event simulation engine: a virtual clock plus calendar queues
 // of (time, key, callback) events (see sim/event_queue.hpp).
@@ -203,6 +238,18 @@ class Engine {
   void set_inline_wakeups(bool on) { inline_wakeups_ = on; }
   bool inline_wakeups() const { return inline_wakeups_; }
 
+  // --- engine profiling (Plane 2) ------------------------------------------
+
+  // Host-time profiling switch; the constructor seeds it from RDMASEM_PROF.
+  // Flip it only while the engine is not running.
+  void set_profiling(bool on) { prof_ = on; }
+  bool profiling() const { return prof_; }
+  // Moves the accumulated per-shard host-clock stats out and starts a new
+  // profiling window (event counts restart from the current processed
+  // totals, queue high-water marks re-anchor at the live depth). The
+  // returned snapshot reflects everything run since the last drain.
+  EngineProfile drain_profile();
+
   bool idle() const {
     for (const auto& sh : shards_)
       if (!sh->queue.empty()) return false;
@@ -229,6 +276,12 @@ class Engine {
     // the destination queues at the barrier by the main thread.
     std::vector<std::vector<Event>> outbox;
     DetachedRegistry detached;
+    // Host-time profiling accumulator (Plane 2). Written only by the
+    // thread that owns the shard, except merge_ns/merged_events which the
+    // main thread writes while the workers are parked at the barrier.
+    ShardProfile prof;
+    // processed-count anchor of the current profiling window.
+    std::uint64_t prof_events_base = 0;
   };
 
   // The calling context's (origin lane, clock), read from thread-local
@@ -315,6 +368,10 @@ class Engine {
   bool stop_ = false;
   bool parallel_running_ = false;
   bool inline_wakeups_ = true;
+  // Plane-2 profiling (RDMASEM_PROF). Written only while the engine is
+  // not running; worker threads read it after being spawned.
+  bool prof_ = false;
+  std::uint64_t prof_runs_ = 0;
 };
 
 // One suspended coroutine plus the lane it must resume on. Sync

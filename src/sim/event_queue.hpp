@@ -99,11 +99,18 @@ class EventQueue {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+  // High-water mark of size() since construction / clear() /
+  // reset_max_size(). One predicted compare per push; the engine profiler
+  // (RDMASEM_PROF) reads it per drain window as the shard's peak queue
+  // depth.
+  std::size_t max_size() const { return max_size_; }
+  void reset_max_size() { max_size_ = size_; }
 
   // `ev.seq` must be unique among coexisting events; no push-order
   // constraint beyond that.
   void push(Event&& ev) {
     ++size_;
+    if (size_ > max_size_) max_size_ = size_;
     const std::uint64_t slot = ev.at >> kSlotShift;
     if (slot >= cur_slot_ && slot - cur_slot_ < kBuckets) {
       auto& b = buckets_[slot & kIndexMask];
@@ -158,6 +165,7 @@ class EventQueue {
     for (auto& w : occupied_) w = 0;
     overflow_.clear();
     size_ = 0;
+    max_size_ = 0;
     ring_count_ = 0;
     cur_slot_ = 0;
     head_ = 0;
@@ -272,6 +280,7 @@ class EventQueue {
   // ever non-zero for the cursor bucket (fully-consumed buckets clear).
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  std::size_t max_size_ = 0;
   std::size_t ring_count_ = 0;
 };
 

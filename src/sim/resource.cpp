@@ -11,15 +11,22 @@ Resource::Resource(Engine& engine, std::uint32_t servers, std::string name)
   std::make_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
 }
 
-Time Resource::reserve(Duration service) {
+Grant Resource::reserve_grant(Duration service) {
   std::pop_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
-  const Time start = std::max(engine_.now(), free_at_.back());
+  const Time now = engine_.now();
+  const Time start = std::max(now, free_at_.back());
   const Time completion = start + service;
   free_at_.back() = completion;
   std::push_heap(free_at_.begin(), free_at_.end(), std::greater<>{});
   ++requests_;
   busy_ += service;
-  return completion;
+  const Duration wait = start - now;
+  if (wait > 0) {
+    wait_ += wait;
+    ++waited_;
+    wait_hist_.add(wait / kNanosecond);
+  }
+  return {completion, wait};
 }
 
 Time Resource::peek(Duration service) const {
@@ -37,6 +44,9 @@ double Resource::utilization() const {
 void Resource::reset_stats() {
   requests_ = 0;
   busy_ = 0;
+  wait_ = 0;
+  waited_ = 0;
+  wait_hist_.reset();
 }
 
 }  // namespace rdmasem::sim

@@ -7,8 +7,22 @@
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace rdmasem::sim {
+
+// The outcome of one resource grant: when the caller resumes and how long
+// the request sat queued before a server slot opened. `wait` is the
+// request->slot-grant interval; service starts at grant and `at` is
+// grant + service (+ any fused use_then extra). Both are exact picosecond
+// values derived from the same reservation arithmetic the clock uses, so
+//   wait + service (+ extra) == at - request_time
+// holds identically — the reconciliation invariant the observability
+// layer's critical-path attribution builds on (docs/OBSERVABILITY.md).
+struct Grant {
+  Time at = 0;        // completion timestamp (== now() at resume)
+  Duration wait = 0;  // queueing delay: request -> service start
+};
 
 // Resource — a k-server FIFO service station, the workhorse of the cost
 // model. RNIC execution units, DMA engines, PCIe links, network links,
@@ -22,10 +36,16 @@ namespace rdmasem::sim {
 // server can be tracked with a free-time heap instead of explicit queues —
 // O(log k) per request, no events while waiting.
 //
-// Utilization statistics (busy time, request count) are tracked for the
-// bench harness.
+// Utilization statistics (busy time, request count) plus queueing-delay
+// attribution (total wait, waited-request count, a log2 wait histogram)
+// are tracked for the bench harness and the obs layer. The wait split is
+// pure accounting on numbers the reservation already computes, so it can
+// never perturb the timeline (the zero-cost contract).
 class Resource {
  public:
+  // attr_id() value meaning "no observability id assigned".
+  static constexpr std::uint16_t kNoAttrId = 0xffff;
+
   Resource(Engine& engine, std::uint32_t servers, std::string name = {});
 
   struct UseAwaiter {
@@ -34,20 +54,23 @@ class Resource {
     // Fixed post-service latency fused onto the same suspension (use_then):
     // pure delay, not server occupancy — busy time counts `service` only.
     Duration extra;
-    Time completion = 0;
+    Grant grant{};
     // The server slot is reserved here, before ready/suspend branches, so
     // FIFO grant order is identical on both paths. When the resource is
     // idle and the grant would be the next dispatch anyway, the engine
     // advances the clock inline and the coroutine never suspends.
     bool await_ready() {
-      completion = res.reserve(service) + extra;
-      return res.engine_.try_inline_advance(completion);
+      grant = res.reserve_grant(service);
+      grant.at += extra;
+      return res.engine_.try_inline_advance(grant.at);
     }
     void await_suspend(std::coroutine_handle<> h) {
-      res.engine_.resume_at(completion, h);
+      res.engine_.resume_at(grant.at, h);
     }
-    // Returns the completion timestamp (== now() at resume).
-    Time await_resume() const noexcept { return completion; }
+    // Returns the grant: completion timestamp (== now() at resume) plus
+    // the queueing delay the request paid. Callers that only need the
+    // delay side effect simply discard it.
+    Grant await_resume() const noexcept { return grant; }
   };
 
   // Occupies one server for `service` starting no earlier than now().
@@ -65,9 +88,10 @@ class Resource {
   }
 
   // Non-coroutine form: reserves a server slot and returns the completion
-  // time. Callers that drive their own event scheduling (the RNIC pipeline)
-  // use this directly.
-  Time reserve(Duration service);
+  // time plus the queueing delay. Callers that drive their own event
+  // scheduling (the RNIC pipeline) use this directly.
+  Grant reserve_grant(Duration service);
+  Time reserve(Duration service) { return reserve_grant(service).at; }
 
   // Completion time if a request of `service` were issued now, without
   // reserving. Used by admission heuristics.
@@ -76,10 +100,24 @@ class Resource {
   std::uint32_t servers() const { return servers_; }
   std::uint64_t requests() const { return requests_; }
   Duration busy_time() const { return busy_; }
+  // Queueing-delay attribution: total request->grant wait, how many
+  // requests waited at all, and the distribution of non-zero waits in
+  // nanoseconds (zero waits would drown the histogram; the split between
+  // waited_requests() and requests() carries that mass instead).
+  Duration wait_time() const { return wait_; }
+  std::uint64_t waited_requests() const { return waited_; }
+  const util::Log2Histogram& wait_hist() const { return wait_hist_; }
   // Fraction of [0, now] this resource spent busy (averaged over servers).
   double utilization() const;
   const std::string& name() const { return name_; }
   void reset_stats();
+
+  // Opaque per-resource id the observability layer assigns (the Tracer's
+  // interned name index) so per-WR attribution records stay 16 bits wide.
+  // sim knows nothing about what the id means — the layering stays
+  // util -> sim -> obs.
+  std::uint16_t attr_id() const { return attr_id_; }
+  void set_attr_id(std::uint16_t id) { attr_id_ = id; }
 
  private:
   Engine& engine_;
@@ -89,6 +127,10 @@ class Resource {
   std::vector<Time> free_at_;
   std::uint64_t requests_ = 0;
   Duration busy_ = 0;
+  Duration wait_ = 0;
+  std::uint64_t waited_ = 0;
+  util::Log2Histogram wait_hist_;
+  std::uint16_t attr_id_ = kNoAttrId;
 };
 
 }  // namespace rdmasem::sim

@@ -68,6 +68,12 @@ class Log2Histogram {
   }
   // Upper bound of the bucket that contains the q-quantile (q in [0,1]).
   std::uint64_t quantile_bound(double q) const;
+  // Zeroes every bucket. Only valid after recorders have quiesced (same
+  // contract as the readers above).
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> counts_[kBuckets] = {};

@@ -6,6 +6,7 @@
 #include "net/fabric.hpp"
 #include "obs/hub.hpp"
 #include "sim/engine.hpp"
+#include "sim/resource.hpp"
 #include "util/assert.hpp"
 #include "verbs/payload.hpp"
 #include "verbs/srq.hpp"
@@ -133,12 +134,13 @@ void QueuePair::post_send(WorkRequest&& wr) {
   }
   RDMASEM_CHECK_MSG(outstanding_ < cfg_.sq_depth, "send queue overflow");
   ++outstanding_;
+  wr.trace_seq = ++trace_seq_;
   obs::Hub& hub = ctx_.cluster().obs();
   hub.wr_posted.inc();
   if (hub.tracer.enabled())
     hub.tracer.instant(obs::Stage::kDoorbell, ctx_.engine().now(), wr.wr_id,
                        id_, ctx_.machine().id(),
-                       static_cast<std::uint8_t>(wr.opcode));
+                       static_cast<std::uint8_t>(wr.opcode), wr.trace_seq);
   if (state_ == QpState::kError) {
     ctx_.engine().spawn(flush_posted_wr(std::move(wr)));
     return;
@@ -152,12 +154,14 @@ void QueuePair::post_send_batch(const std::vector<WorkRequest>& wrs) {
 }
 
 void QueuePair::post_send_batch(std::vector<WorkRequest>&& wrs) {
+  for (auto& wr : wrs) wr.trace_seq = ++trace_seq_;
   obs::Hub& hub = ctx_.cluster().obs();
   hub.wr_posted.inc(wrs.size());
   if (hub.tracer.enabled() && !wrs.empty())
     hub.tracer.instant(obs::Stage::kDoorbell, ctx_.engine().now(),
                        wrs.front().wr_id, id_, ctx_.machine().id(),
-                       static_cast<std::uint8_t>(wrs.front().opcode));
+                       static_cast<std::uint8_t>(wrs.front().opcode),
+                       wrs.front().trace_seq);
   for (auto& wr : wrs) {
     if (per_wr_target(cfg_.transport)) {
       RDMASEM_CHECK_MSG(wr.ud_dest != nullptr, "UD/DC send needs ud_dest");
@@ -305,7 +309,7 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   if (hub.tracer.enabled())
     hub.tracer.instant(obs::Stage::kCqe, now, wr.wr_id, id_,
                        ctx_.machine().id(),
-                       static_cast<std::uint8_t>(wr.opcode));
+                       static_cast<std::uint8_t>(wr.opcode), wr.trace_seq);
   Completion c;
   c.wr_id = wr.wr_id;
   c.status = st;
@@ -424,7 +428,31 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   const std::uint32_t trace_pid = lm.id();
   const auto trace_op = static_cast<std::uint8_t>(wr.opcode);
   auto stamp = [&](obs::Stage st, sim::Time begin) {
-    tracer.span(st, begin, eng.now(), wr.wr_id, id_, trace_pid, trace_op);
+    tracer.span(st, begin, eng.now(), wr.wr_id, id_, trace_pid, trace_op,
+                wr.trace_seq);
+  };
+  // Critical-path attribution (Plane 1): every suspension between the
+  // doorbell and the CQE records exactly one AttrSpan, so the records
+  // form a contiguous partition of the WR's end-to-end window and the
+  // wait/service split reconciles with the traced latency exactly
+  // (obs::CriticalPath). Recording stops at the CQE — UC/UD complete
+  // before the wire stage, and their remote half is outside the window.
+  bool attr_on = traced;
+  auto attr_use = [&](const sim::Resource& res, sim::Time t0,
+                      const sim::Grant& g) {
+    if (attr_on)
+      tracer.attr(res.attr_id(), t0, t0 + g.wait, eng.now(), wr.wr_id, id_,
+                  wr.trace_seq, trace_pid, trace_op);
+  };
+  auto attr_lat = [&](sim::Time t0) {
+    if (attr_on)
+      tracer.attr(obs::Tracer::kResLatency, t0, t0, eng.now(), wr.wr_id, id_,
+                  wr.trace_seq, trace_pid, trace_op);
+  };
+  auto attr_wire = [&](sim::Time t0) {
+    if (attr_on)
+      tracer.attr(obs::Tracer::kResWire, t0, t0, eng.now(), wr.wr_id, id_,
+                  wr.trace_seq, trace_pid, trace_op);
   };
 
   // Transport-level opcode checks (§II-A): WRITE needs RC/UC/DC; READ
@@ -480,6 +508,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
     const sim::Time t0 = eng.now();
     co_await sim::delay(eng, P.pcie_dma_read_latency);
     if (traced) stamp(obs::Stage::kWqeFetch, t0);
+    attr_lat(t0);
   }
 
   // ---- 2. send-side execution unit ----------------------------------------
@@ -500,21 +529,25 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
     stall += lr.translate(sge.lkey, sge.addr, sge.length);
     if (i > 0) sge_extra += P.pcie_sge_fetch;
   }
+  if (stall > 0) hub.mcache_stall_ps.inc(stall);
   const sim::Time t_eu = eng.now();
-  co_await lport.eu.use(P.rnic_eu_write + stall + sge_extra);
+  const sim::Grant g_eu =
+      co_await lport.eu.use(P.rnic_eu_write + stall + sge_extra);
+  attr_use(lport.eu, t_eu, g_eu);
   if (traced) {
     stamp(obs::Stage::kExec, t_eu);
     // The translation-miss stall rides the tail of the EU occupancy:
     // render it as a nested child span so Perfetto shows the miss cost.
     if (stall > 0)
       tracer.span(obs::Stage::kTranslate, eng.now() - stall, eng.now(),
-                  wr.wr_id, id_, trace_pid, trace_op);
+                  wr.wr_id, id_, trace_pid, trace_op, wr.trace_seq);
   }
 
   // ---- 3. payload gather from host memory over PCIe -----------------------
   if (carries_payload && !inlined) {
     const sim::Time t0 = eng.now();
-    co_await lr.dma().use(P.pcie_time(total));
+    const sim::Grant g_dma = co_await lr.dma().use(P.pcie_time(total));
+    attr_use(lr.dma(), t0, g_dma);
     if (tune.fused_costs && wr.sg_list.size() == 1) {
       // Single-SGE fast path: the channel service and the NUMA penalty
       // form a fixed chain with no interleaving point — one suspension.
@@ -523,8 +556,11 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       const sim::Duration m = mem_cost(lm, mr->socket, wr.sg_list[0].addr,
                                        wr.sg_list[0].length,
                                        hw::DramModel::Op::kRead, same);
-      co_await lm.mem_channel(mr->socket)
-          .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket));
+      const sim::Time t_m = eng.now();
+      const sim::Grant g_m =
+          co_await lm.mem_channel(mr->socket)
+              .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket));
+      attr_use(lm.mem_channel(mr->socket), t_m, g_m);
     } else {
       sim::Duration numa_pen = 0;
       for (const auto& sge : wr.sg_list) {
@@ -532,11 +568,17 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         const bool same = (lps == mr->socket);
         const sim::Duration m = mem_cost(lm, mr->socket, sge.addr, sge.length,
                                          hw::DramModel::Op::kRead, same);
-        co_await lm.mem_channel(mr->socket).use(m);
+        const sim::Time t_m = eng.now();
+        const sim::Grant g_m = co_await lm.mem_channel(mr->socket).use(m);
+        attr_use(lm.mem_channel(mr->socket), t_m, g_m);
         numa_pen =
             std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
       }
-      if (numa_pen) co_await sim::delay(eng, numa_pen);
+      if (numa_pen) {
+        const sim::Time t_p = eng.now();
+        co_await sim::delay(eng, numa_pen);
+        attr_lat(t_p);
+      }
     }
     if (traced) stamp(obs::Stage::kLocalDma, t0);
   }
@@ -552,8 +594,12 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   // leaves the NIC; delivery is not guaranteed (§II-A). RC and DC
   // retransmit lost packets after a timeout.
   const bool unreliable = tp == Transport::kUC || tp == Transport::kUD;
-  if (unreliable)
+  if (unreliable) {
     complete(wr, Status::kSuccess, static_cast<std::uint32_t>(total));
+    // The WR's window closed at the CQE; the wire + remote half below is
+    // fire-and-forget and must not be attributed to it.
+    attr_on = false;
+  }
 
   // A concurrent WR may already have pushed the QP into ERROR (e.g. its
   // retries exhausted while this one sat in the pipeline): flush before
@@ -595,6 +641,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   const bool delivered =
       co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
                        wire_bytes, !unreliable, /*home=*/lm.id());
+  attr_wire(t_wire);
   if (traced) stamp(obs::Stage::kWire, t_wire);
   if (!delivered) {
     if (unreliable) co_return;  // dropped silently; data never lands
@@ -604,7 +651,8 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
 
   // ---- 5. remote receive processing ---------------------------------------
   const sim::Time t_rx = eng.now();
-  co_await rport.rx.use(P.rnic_rx_proc);
+  const sim::Grant g_rx = co_await rport.rx.use(P.rnic_rx_proc);
+  attr_use(rport.rx, t_rx, g_rx);
   if (traced) stamp(obs::Stage::kRemoteRx, t_rx);
   sim::Duration rstall = rr.qp_touch(peer->id_);
 
@@ -613,8 +661,12 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
   // responder's lane and lands home on the requester's.
   auto nak = [&](Status st) -> sim::TaskT<void> {
     if (unreliable) co_return;
-    if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                          kAckBytes, true, /*home=*/lm.id())) {
+    const sim::Time t0 = eng.now();
+    const bool ok = co_await deliver(rm.id(), peer->cfg_.port, lm.id(),
+                                     cfg_.port, kAckBytes, true,
+                                     /*home=*/lm.id());
+    attr_wire(t0);
+    if (!ok) {
       fail_wr(wr, Status::kRetryExceeded);
       co_return;
     }
@@ -629,27 +681,39 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      if (rstall > 0) hub.mcache_stall_ps.inc(rstall);
       const sim::Time t_rem = eng.now();
       // Inbound writes are handled by the receive pipeline; translation
       // misses stall it (this is the Fig. 6 random-write penalty).
-      if (rstall) co_await rport.rx.use(rstall);
+      if (rstall) {
+        const sim::Grant g = co_await rport.rx.use(rstall);
+        attr_use(rport.rx, t_rem, g);
+      }
       if (total > 0) {
-        co_await rr.dma().use(P.pcie_time(total));
+        const sim::Time t_d = eng.now();
+        const sim::Grant g_d = co_await rr.dma().use(P.pcie_time(total));
+        attr_use(rr.dma(), t_d, g_d);
         const bool same = (rps == rmr->socket);
         const sim::Duration m =
             mem_cost(rm, rmr->socket, wr.remote_addr, total,
                      hw::DramModel::Op::kWrite, same);
         const sim::Duration pen = rm.topo().dma_mem_penalty(rps, rmr->socket);
+        const sim::Time t_m = eng.now();
         if (tune.fused_costs) {
           // Channel service + NUMA penalty + PCIe completion latency is a
           // fixed chain — nothing can semantically interleave, so it is
           // one suspension on the fast path.
-          co_await rm.mem_channel(rmr->socket)
-              .use_then(m, pen + P.pcie_dma_write_latency);
+          const sim::Grant g_m =
+              co_await rm.mem_channel(rmr->socket)
+                  .use_then(m, pen + P.pcie_dma_write_latency);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
         } else {
-          co_await rm.mem_channel(rmr->socket).use(m);
+          const sim::Grant g_m = co_await rm.mem_channel(rmr->socket).use(m);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
+          const sim::Time t_p = eng.now();
           if (pen) co_await sim::delay(eng, pen);
           co_await sim::delay(eng, P.pcie_dma_write_latency);
+          attr_lat(t_p);
         }
         // The data actually moves: staged (or borrowed) payload lands in
         // the remote MR, here on its owner's lane.
@@ -657,10 +721,15 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       }
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       if (!unreliable) {
+        const sim::Time t_ack = eng.now();
         co_await sim::delay(eng, P.net_ack_proc);
+        attr_lat(t_ack);
         const sim::Time t_resp = eng.now();
-        if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                              kAckBytes, true, /*home=*/lm.id())) {
+        const bool acked =
+            co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                             kAckBytes, true, /*home=*/lm.id());
+        attr_wire(t_resp);
+        if (!acked) {
           // The data landed but the ACK never made it back: the requester
           // cannot distinguish this from a lost write (§ failure model).
           fail_wr(wr, Status::kRetryExceeded);
@@ -679,23 +748,33 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, total);
+      if (rstall > 0) hub.mcache_stall_ps.inc(rstall);
       const sim::Time t_rem = eng.now();
       // The responder EU serves the read: DMA-read payload, packetize.
-      co_await rport.eu.use(P.rnic_eu_read + rstall);
+      const sim::Grant g_reu = co_await rport.eu.use(P.rnic_eu_read + rstall);
+      attr_use(rport.eu, t_rem, g_reu);
       if (total > 0) {
-        co_await rr.dma().use(P.pcie_time(total));
+        const sim::Time t_d = eng.now();
+        const sim::Grant g_d = co_await rr.dma().use(P.pcie_time(total));
+        attr_use(rr.dma(), t_d, g_d);
         const bool same = (rps == rmr->socket);
         const sim::Duration m =
             mem_cost(rm, rmr->socket, wr.remote_addr, total,
                      hw::DramModel::Op::kRead, same);
         const sim::Duration pen = rm.topo().dma_mem_penalty(rps, rmr->socket);
+        const sim::Time t_m = eng.now();
         if (tune.fused_costs) {
-          co_await rm.mem_channel(rmr->socket)
-              .use_then(m, pen + P.pcie_dma_read_latency);
+          const sim::Grant g_m =
+              co_await rm.mem_channel(rmr->socket)
+                  .use_then(m, pen + P.pcie_dma_read_latency);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
         } else {
-          co_await rm.mem_channel(rmr->socket).use(m);
+          const sim::Grant g_m = co_await rm.mem_channel(rmr->socket).use(m);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
+          const sim::Time t_p = eng.now();
           if (pen) co_await sim::delay(eng, pen);
           co_await sim::delay(eng, P.pcie_dma_read_latency);
+          attr_lat(t_p);
         }
         // Snapshot the remote bytes into the frame while still on their
         // owner's lane; the response leg carries them home. READs always
@@ -709,25 +788,34 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the payload back.
       const sim::Time t_resp = eng.now();
-      if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                            total, true, /*home=*/lm.id())) {
+      const bool resp_ok =
+          co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                           total, true, /*home=*/lm.id());
+      attr_wire(t_resp);
+      if (!resp_ok) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
-      co_await lport.rx.use(P.rnic_rx_proc);
+      const sim::Time t_lrx = eng.now();
+      const sim::Grant g_lrx = co_await lport.rx.use(P.rnic_rx_proc);
+      attr_use(lport.rx, t_lrx, g_lrx);
       if (traced) stamp(obs::Stage::kResponse, t_resp);
       if (total > 0) {
         const sim::Time t_land = eng.now();
-        co_await lr.dma().use(P.pcie_time(total));
+        const sim::Grant g_ld = co_await lr.dma().use(P.pcie_time(total));
+        attr_use(lr.dma(), t_land, g_ld);
         if (tune.fused_costs && wr.sg_list.size() == 1) {
           const MemoryRegion* mr = ctx_.lookup(wr.sg_list[0].lkey);
           const bool same = (lps == mr->socket);
           const sim::Duration m =
               mem_cost(lm, mr->socket, wr.sg_list[0].addr,
                        wr.sg_list[0].length, hw::DramModel::Op::kWrite, same);
-          co_await lm.mem_channel(mr->socket)
-              .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket) +
-                               P.pcie_dma_write_latency);
+          const sim::Time t_m = eng.now();
+          const sim::Grant g_m =
+              co_await lm.mem_channel(mr->socket)
+                  .use_then(m, lm.topo().dma_mem_penalty(lps, mr->socket) +
+                                   P.pcie_dma_write_latency);
+          attr_use(lm.mem_channel(mr->socket), t_m, g_m);
         } else {
           sim::Duration numa_pen = 0;
           for (const auto& sge : wr.sg_list) {
@@ -736,10 +824,13 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
             const sim::Duration m = mem_cost(lm, mr->socket, sge.addr,
                                              sge.length,
                                              hw::DramModel::Op::kWrite, same);
-            co_await lm.mem_channel(mr->socket).use(m);
+            const sim::Time t_m = eng.now();
+            const sim::Grant g_m = co_await lm.mem_channel(mr->socket).use(m);
+            attr_use(lm.mem_channel(mr->socket), t_m, g_m);
             numa_pen =
                 std::max(numa_pen, lm.topo().dma_mem_penalty(lps, mr->socket));
           }
+          const sim::Time t_p = eng.now();
           if (tune.fused_costs) {
             // Two trailing pure delays; merge into one suspension.
             co_await sim::delay(eng, numa_pen + P.pcie_dma_write_latency);
@@ -747,6 +838,7 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
             if (numa_pen) co_await sim::delay(eng, numa_pen);
             co_await sim::delay(eng, P.pcie_dma_write_latency);
           }
+          attr_lat(t_p);
         }
         scatter_sges(ctx_, wr.sg_list.data(), wr.sg_list.size(),
                      payload.data(), total);
@@ -769,14 +861,19 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(wr.rkey, wr.remote_addr, 8);
+      if (rstall > 0) hub.mcache_stall_ps.inc(rstall);
       const sim::Time t_rem = eng.now();
       // The atomic unit serializes all atomics on this port: locked
       // PCIe read-modify-write against host memory.
-      co_await rport.atomic_unit.use(P.rnic_atomic_unit + rstall);
+      const sim::Grant g_au =
+          co_await rport.atomic_unit.use(P.rnic_atomic_unit + rstall);
+      attr_use(rport.atomic_unit, t_rem, g_au);
       const bool same = (rps == rmr->socket);
       const sim::Duration m = rm.dram(rmr->socket).access(
           wr.remote_addr, 8, hw::DramModel::Op::kRead, same);
-      co_await rm.mem_channel(rmr->socket).use(m);
+      const sim::Time t_m = eng.now();
+      const sim::Grant g_m = co_await rm.mem_channel(rmr->socket).use(m);
+      attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
       auto* slot = reinterpret_cast<std::uint64_t*>(rmr->at(wr.remote_addr));
       const std::uint64_t old = *slot;
       if (wr.opcode == Opcode::kCompSwap) {
@@ -787,16 +884,26 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
       if (traced) stamp(obs::Stage::kRemoteDram, t_rem);
       // Response carries the original value (8 bytes).
       const sim::Time t_resp = eng.now();
-      if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8,
-                            true, /*home=*/lm.id())) {
+      const bool resp_ok =
+          co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port, 8,
+                           true, /*home=*/lm.id());
+      attr_wire(t_resp);
+      if (!resp_ok) {
         fail_wr(wr, Status::kRetryExceeded);
         co_return;
       }
+      const sim::Time t_lrx = eng.now();
       if (tune.fused_costs) {
-        co_await lport.rx.use_then(P.rnic_rx_proc, P.pcie_dma_write_latency);
+        const sim::Grant g_lrx =
+            co_await lport.rx.use_then(P.rnic_rx_proc,
+                                       P.pcie_dma_write_latency);
+        attr_use(lport.rx, t_lrx, g_lrx);
       } else {
-        co_await lport.rx.use(P.rnic_rx_proc);
+        const sim::Grant g_lrx = co_await lport.rx.use(P.rnic_rx_proc);
+        attr_use(lport.rx, t_lrx, g_lrx);
+        const sim::Time t_p = eng.now();
         co_await sim::delay(eng, P.pcie_dma_write_latency);
+        attr_lat(t_p);
       }
       if (traced) stamp(obs::Stage::kResponse, t_resp);
       MemoryRegion* lmr = ctx_.lookup(wr.sg_list[0].lkey);
@@ -822,19 +929,31 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
             co_return;
           }
           ctx_.cluster().obs().rnr_naks.inc();
-          if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                                kAckBytes, true, /*home=*/lm.id())) {
+          const sim::Time t_nak = eng.now();
+          const bool nak_ok =
+              co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                               kAckBytes, true, /*home=*/lm.id());
+          attr_wire(t_nak);
+          if (!nak_ok) {
             fail_wr(wr, Status::kRetryExceeded);
             co_return;
           }
           // The RNR NAK landed us back home; pause and re-send from here.
+          const sim::Time t_timer = eng.now();
           co_await sim::delay(eng, P.rnr_timer);
-          if (!co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
-                                wire_bytes, true, /*home=*/lm.id())) {
+          attr_lat(t_timer);
+          const sim::Time t_rs = eng.now();
+          const bool resend_ok =
+              co_await deliver(lm.id(), cfg_.port, rm.id(), peer->cfg_.port,
+                               wire_bytes, true, /*home=*/lm.id());
+          attr_wire(t_rs);
+          if (!resend_ok) {
             fail_wr(wr, Status::kRetryExceeded);
             co_return;
           }
-          co_await rport.rx.use(P.rnic_rx_proc);
+          const sim::Time t_rrx = eng.now();
+          const sim::Grant g_rrx = co_await rport.rx.use(P.rnic_rx_proc);
+          attr_use(rport.rx, t_rrx, g_rrx);
         }
       }
       const RecvRequest rq = peer->consume_recv();
@@ -845,20 +964,31 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         co_return;
       }
       rstall += rr.translate(rq.sge.lkey, rq.sge.addr, total);
+      if (rstall > 0) hub.mcache_stall_ps.inc(rstall);
       const sim::Time t_rem = eng.now();
       // Channel semantics: RQ WQE consumption + CQE for the receiver.
-      co_await rport.eu.use(P.rnic_recv_extra + rstall);
+      const sim::Grant g_reu =
+          co_await rport.eu.use(P.rnic_recv_extra + rstall);
+      attr_use(rport.eu, t_rem, g_reu);
       if (total > 0) {
-        co_await rr.dma().use(P.pcie_time(total));
+        const sim::Time t_d = eng.now();
+        const sim::Grant g_d = co_await rr.dma().use(P.pcie_time(total));
+        attr_use(rr.dma(), t_d, g_d);
         const bool same = (rps == rmr->socket);
         const sim::Duration m = mem_cost(rm, rmr->socket, rq.sge.addr, total,
                                          hw::DramModel::Op::kWrite, same);
+        const sim::Time t_m = eng.now();
         if (tune.fused_costs) {
-          co_await rm.mem_channel(rmr->socket)
-              .use_then(m, P.pcie_dma_write_latency);
+          const sim::Grant g_m =
+              co_await rm.mem_channel(rmr->socket)
+                  .use_then(m, P.pcie_dma_write_latency);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
         } else {
-          co_await rm.mem_channel(rmr->socket).use(m);
+          const sim::Grant g_m = co_await rm.mem_channel(rmr->socket).use(m);
+          attr_use(rm.mem_channel(rmr->socket), t_m, g_m);
+          const sim::Time t_p = eng.now();
           co_await sim::delay(eng, P.pcie_dma_write_latency);
+          attr_lat(t_p);
         }
         // The RECV consume is the same scatter primitive as a READ
         // landing: one SGE, capped at the arriving message size.
@@ -877,10 +1007,15 @@ sim::Task QueuePair::run_wr(WorkRequest wr, bool bf) {
         peer->cfg_.cq->push(rc);
       }
       if (!unreliable) {
+        const sim::Time t_ack = eng.now();
         co_await sim::delay(eng, P.net_ack_proc);
+        attr_lat(t_ack);
         const sim::Time t_resp = eng.now();
-        if (!co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
-                              kAckBytes, true, /*home=*/lm.id())) {
+        const bool acked =
+            co_await deliver(rm.id(), peer->cfg_.port, lm.id(), cfg_.port,
+                             kAckBytes, true, /*home=*/lm.id());
+        attr_wire(t_resp);
+        if (!acked) {
           fail_wr(wr, Status::kRetryExceeded);
           co_return;
         }

@@ -150,6 +150,10 @@ class QueuePair {
   // is the one QP statistic that needs to be atomic.
   std::atomic<std::uint64_t> retransmits_{0};
   std::uint64_t flushed_wrs_ = 0;
+  // Post-order counter feeding WorkRequest::trace_seq — the tracer's
+  // per-WR identity (wr_id is app-owned and may repeat). Bumped whether
+  // or not tracing is on, so traced runs replay the untraced timeline.
+  std::uint64_t trace_seq_ = 0;
   std::deque<RecvRequest> recv_queue_;
   std::vector<Waiter> waiters_;
 };

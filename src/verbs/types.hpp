@@ -98,6 +98,11 @@ struct WorkRequest {
   // Stamped by the simulator when the WR becomes visible to the RNIC;
   // drives post-to-CQE latency attribution (obs). Callers leave it 0.
   sim::Time posted_at = 0;
+  // Post-order sequence on the posting QP, assigned by post_send. Gives
+  // the tracer a per-WR identity that stays unique when callers leave
+  // wr_id 0 on fire-and-forget WRs (wr_id is app-owned and need not be
+  // unique). Callers leave it 0.
+  std::uint64_t trace_seq = 0;
 
   std::size_t total_length() const {
     std::size_t n = 0;

@@ -122,10 +122,10 @@ TEST(Tracer, CapacityCapCountsDrops) {
 
 TEST(StageBreakdown, AddMergeAndRender) {
   obs::StageBreakdown a;
-  a.add({0, 1000, 1, 1, 0, obs::Stage::kExec, 0});
-  a.add({0, 0, 1, 1, 0, obs::Stage::kCqe, 0});  // instant: zero duration
+  a.add({0, 1000, 1, 1, 0, 0, obs::Stage::kExec, 0});
+  a.add({0, 0, 1, 1, 0, 0, obs::Stage::kCqe, 0});  // instant: zero duration
   obs::StageBreakdown b;
-  b.add({500, 2500, 2, 1, 0, obs::Stage::kExec, 0});
+  b.add({500, 2500, 2, 1, 0, 0, obs::Stage::kExec, 0});
   a.merge(b);
   EXPECT_EQ(a.spans, 3u);
   const auto exec = static_cast<std::size_t>(obs::Stage::kExec);
@@ -362,7 +362,7 @@ TEST(BenchReport, JsonShapeAndDeterminism) {
     row.errors = 0;
     r.add(row);
     obs::StageBreakdown b;
-    b.add({0, 2000, 1, 1, 0, obs::Stage::kWire, 0});
+    b.add({0, 2000, 1, 1, 0, 0, obs::Stage::kWire, 0});
     r.absorb(b);
     r.set_trace_file("trace_unit.json");
     return r.json();

@@ -198,7 +198,7 @@ TEST(ResourceEdge, ZeroServiceTimeCompletesAtNow) {
   sim::Resource r(eng, 1);
   sim::Time done = 1;
   eng.spawn([](sim::Resource& res, sim::Time& out) -> sim::Task {
-    out = co_await res.use(0);
+    out = (co_await res.use(0)).at;
   }(r, done));
   eng.run();
   EXPECT_EQ(done, 0u);
