@@ -33,6 +33,8 @@ execute_process(
           RDMASEM_SHUFFLE_ENTRIES=600
           RDMASEM_DLOG_RECORDS=200
           RDMASEM_TENANT_OPS=2000
+          RDMASEM_SYNC_OPS=48
+          RDMASEM_SYNC_KEYS=8
           RDMASEM_SELFBENCH_EVENTS=60000
           RDMASEM_SELFBENCH_ACTORS=512
           RDMASEM_SELFBENCH_TASKS=800

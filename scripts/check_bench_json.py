@@ -199,6 +199,59 @@ def check_engine_profile(path, ep):
                            f"{r['accounted_share']}")
 
 
+SYNC_ABORT_KEYS = {
+    "series": str,
+    "x": str,
+    "abort_rate": (int, float),
+    "commits": int,
+    "aborts": int,
+}
+
+SYNC_BUCKET_KEYS = {
+    "le_ns": int,
+    "count": int,
+}
+
+
+def check_sync(path, sync):
+    """Sync-layer section (bench/ext_sync_scale): per-point abort rates in
+    [0, 1] and a lock-wait log2 histogram whose bucket counts partition the
+    sample count with strictly increasing upper bounds."""
+    if not isinstance(sync, dict):
+        fail(path, "sync present but not an object")
+    rates = sync.get("abort_rates")
+    if not isinstance(rates, list) or not rates:
+        fail(path, "sync.abort_rates missing or empty")
+    for r in rates:
+        check_typed_dict(path, "sync abort row", r, SYNC_ABORT_KEYS)
+        if not 0.0 <= r["abort_rate"] <= 1.0:
+            fail(path, f"sync abort_rate out of [0,1]: {r['abort_rate']}")
+        denom = r["commits"] + r["aborts"]
+        if denom > 0:
+            want = r["aborts"] / denom
+            if abs(want - r["abort_rate"]) > 0.01:
+                fail(path, f"sync abort_rate {r['abort_rate']} inconsistent "
+                           f"with aborts/{denom}")
+    hist = sync.get("lock_wait_ns")
+    if not isinstance(hist, dict):
+        fail(path, "sync.lock_wait_ns missing")
+    check_typed_dict(path, "sync histogram", hist,
+                     {"count": int, "p50_bound_ns": int, "p99_bound_ns": int,
+                      "buckets": list})
+    total, prev_le = 0, -1
+    for b in hist["buckets"]:
+        check_typed_dict(path, "sync histogram bucket", b, SYNC_BUCKET_KEYS)
+        if b["le_ns"] <= prev_le:
+            fail(path, "sync histogram bucket bounds not increasing")
+        prev_le = b["le_ns"]
+        total += b["count"]
+    if total != hist["count"]:
+        fail(path, f"sync histogram buckets sum to {total}, "
+                   f"count is {hist['count']}")
+    if hist["count"] > 0 and hist["p99_bound_ns"] < hist["p50_bound_ns"]:
+        fail(path, "sync histogram p99 bound below p50 bound")
+
+
 def check_report(path):
     with open(path, encoding="utf-8") as f:
         report = json.load(f)
@@ -271,6 +324,11 @@ def check_report(path):
     if ep is not None:
         check_engine_profile(path, ep)
         extras.append(f"{len(ep['groups'])} profile group(s)")
+    sync = report.get("sync")
+    if sync is not None:
+        check_sync(path, sync)
+        extras.append(f"{len(sync['abort_rates'])} sync points, "
+                      f"{sync['lock_wait_ns']['count']} lock waits")
 
     suffix = (", " + ", ".join(extras)) if extras else ""
     print(f"ok: {path} ({len(points)} points, {len(stages)} stages{suffix})")

@@ -1,0 +1,533 @@
+#include "apps/txkv/txkv.hpp"
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
+#include "remem/atomics.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/sync.hpp"
+#include "util/assert.hpp"
+#include "wl/zipf.hpp"
+
+namespace rdmasem::apps::txkv {
+
+const char* to_string(LockMode m) {
+  switch (m) {
+    case LockMode::kSpin: return "spin";
+    case LockMode::kSpinBackoff: return "spin+backoff";
+    case LockMode::kMcs: return "mcs";
+    case LockMode::kLease: return "lease";
+  }
+  return "?";
+}
+
+std::uint64_t TxKv::payload_word(std::uint64_t value, std::uint32_t i) {
+  if (i == 0) return value;
+  std::uint64_t x = value ^ (0x9e3779b97f4a7c15ull * i);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct TxKv::Worker {
+  std::uint32_t id = 0;
+  std::uint32_t machine = 0;
+  hw::SocketId socket = 0;
+  verbs::Context* ctx = nullptr;
+  verbs::QueuePair* qp = nullptr;
+  verbs::QueuePair* server_qp = nullptr;
+  std::unique_ptr<sync::RemoteVersionedCell> cell;
+  std::unique_ptr<remem::RemoteLockClient> locks;  // spin modes
+  std::unique_ptr<sync::McsLock> mcs;
+  std::unique_ptr<sync::LeaseLock> lease;
+  // Staging ring for the unfenced commit path: fire-and-forget WRs need
+  // bytes that outlive the post, so slots rotate instead of reusing one.
+  verbs::Buffer staging;
+  verbs::MemoryRegion* staging_mr = nullptr;
+  std::uint32_t slot = 0;
+  std::unique_ptr<wl::ZipfGenerator> zipf;
+  sim::Rng rng;
+  std::uint64_t commits = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t integrity_failures = 0;
+  bool dead = false;
+  // Mid-op state recovery needs: what was locked / being committed.
+  bool lock_held = false;
+  bool mid_commit = false;
+  std::uint64_t cur_key = 0;
+  std::uint64_t cur_base_version = 0;
+  std::uint64_t cur_new_value = 0;
+};
+
+TxKv::~TxKv() = default;
+
+std::uint64_t TxKv::lock_stride() const {
+  if (cfg_.lock == LockMode::kMcs)
+    return sync::McsLock::Layout{cfg_.mcs_max_clients}.bytes();
+  return 16;  // spin word / lease word pair
+}
+
+std::uint64_t TxKv::lock_addr(std::uint64_t k) const {
+  return server_mr_->addr + k * lock_stride();
+}
+
+std::uint64_t TxKv::cell_addr(std::uint64_t k) const {
+  return server_mr_->addr + cfg_.num_keys * lock_stride() +
+         k * cell_layout_.bytes();
+}
+
+const std::byte* TxKv::cell_mem(std::uint64_t k) const {
+  return server_mem_.data() + cfg_.num_keys * lock_stride() +
+         k * cell_layout_.bytes();
+}
+
+TxKv::TxKv(std::vector<verbs::Context*> ctxs, const Config& cfg)
+    : ctxs_(std::move(ctxs)), cfg_(cfg),
+      cell_layout_{cfg.payload_words} {
+  RDMASEM_CHECK_MSG(ctxs_.size() >= 2, "txkv needs a server and a worker host");
+  RDMASEM_CHECK_MSG(cfg_.lock != LockMode::kMcs ||
+                        cfg_.workers <= cfg_.mcs_max_clients,
+                    "more workers than MCS qnodes");
+  const auto& p = ctxs_[0]->params();
+  auto* server_ctx = ctxs_.at(cfg_.server_machine);
+
+  // Server image: [per-key lock area][per-key versioned cells].
+  server_mem_ = verbs::Buffer(cfg_.num_keys *
+                              (lock_stride() + cell_layout_.bytes()));
+  server_mr_ = server_ctx->register_buffer(server_mem_, p.rnic_socket);
+  std::memset(server_mem_.data(), 0, server_mem_.size());
+  std::vector<std::uint64_t> init(cfg_.payload_words);
+  for (std::uint32_t i = 0; i < cfg_.payload_words; ++i)
+    init[i] = payload_word(kInitialValue, i);
+  for (std::uint64_t k = 0; k < cfg_.num_keys; ++k)
+    sync::cell_format(server_mem_.data() + cfg_.num_keys * lock_stride() +
+                          k * cell_layout_.bytes(),
+                      cell_layout_, kInitialVersion, init.data());
+
+  history_ = std::make_unique<sync::HistoryRecorder>(cfg_.workers);
+
+  const auto hosts = static_cast<std::uint32_t>(ctxs_.size()) - 1;
+  for (std::uint32_t i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id = i;
+    // Workers live off the server machine, spread round-robin.
+    w->machine = 1 + (cfg_.server_machine + i) % hosts;
+    if (w->machine == cfg_.server_machine)
+      w->machine = (w->machine + 1) % static_cast<std::uint32_t>(ctxs_.size());
+    w->socket = (i / hosts) % p.sockets_per_machine;
+    w->ctx = ctxs_.at(w->machine);
+    verbs::QpConfig a{.port = w->socket,
+                      .core_socket = w->socket,
+                      .cq = w->ctx->create_cq()};
+    a.retry_cnt = cfg_.retry_cnt;
+    verbs::QpConfig b{.port = p.rnic_socket,
+                      .core_socket = p.rnic_socket,
+                      .cq = server_ctx->create_cq()};
+    w->qp = w->ctx->create_qp(a);
+    w->server_qp = server_ctx->create_qp(b);
+    verbs::Context::connect(*w->qp, *w->server_qp);
+
+    w->cell = std::make_unique<sync::RemoteVersionedCell>(
+        *w->qp, cell_addr(0), server_mr_->key, cell_layout_, cfg_.validation,
+        cfg_.variant == sync::Variant::kTornRead ? sync::Variant::kTornRead
+                                                 : sync::Variant::kCorrect);
+    switch (cfg_.lock) {
+      case LockMode::kSpin:
+        w->locks = std::make_unique<remem::RemoteLockClient>(*w->qp);
+        break;
+      case LockMode::kSpinBackoff:
+        w->locks = std::make_unique<remem::RemoteLockClient>(
+            *w->qp, remem::BackoffPolicy::exponential());
+        break;
+      case LockMode::kMcs:
+        w->mcs = std::make_unique<sync::McsLock>(
+            *w->qp, lock_addr(0), server_mr_->key,
+            sync::McsLock::Layout{cfg_.mcs_max_clients}, i + 1,
+            remem::BackoffPolicy::exponential());
+        break;
+      case LockMode::kLease:
+        w->lease = std::make_unique<sync::LeaseLock>(
+            *w->qp, lock_addr(0), server_mr_->key, cfg_.lease,
+            cfg_.variant == sync::Variant::kStaleLease
+                ? sync::Variant::kStaleLease
+                : sync::Variant::kCorrect);
+        break;
+    }
+    w->staging = verbs::Buffer(4 * cell_layout_.bytes());
+    w->staging_mr = w->ctx->register_buffer(
+        w->staging, w->ctx->machine().port_socket(a.port));
+    w->zipf = std::make_unique<wl::ZipfGenerator>(
+        cfg_.num_keys, cfg_.zipf_theta, cfg_.seed ^ (0xabcd0000ull + i));
+    w->rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + i);
+    workers_.push_back(std::move(w));
+  }
+}
+
+bool TxKv::payload_consistent(const std::vector<std::uint64_t>& payload) {
+  for (std::uint32_t i = 1; i < payload.size(); ++i)
+    if (payload[i] != payload_word(payload[0], i)) return false;
+  return true;
+}
+
+sim::TaskT<bool> TxKv::acquire_lock(Worker* w, std::uint64_t key) {
+  obs::Hub& hub = w->ctx->cluster().obs();
+  switch (cfg_.lock) {
+    case LockMode::kSpin:
+    case LockMode::kSpinBackoff: {
+      const auto o = co_await w->locks->lock(lock_addr(key), server_mr_->key);
+      if (!o.ok()) co_return false;
+      hub.lock_acquires.inc();
+      co_return true;
+    }
+    case LockMode::kMcs: {
+      w->mcs->retarget(lock_addr(key));
+      const auto o = co_await w->mcs->acquire();
+      co_return o.ok();
+    }
+    case LockMode::kLease: {
+      w->lease->retarget(lock_addr(key));
+      const auto o = co_await w->lease->acquire();
+      co_return o.ok();
+    }
+  }
+  co_return false;
+}
+
+sim::TaskT<bool> TxKv::release_lock(Worker* w, std::uint64_t key) {
+  switch (cfg_.lock) {
+    case LockMode::kSpin:
+    case LockMode::kSpinBackoff: {
+      const auto st = co_await w->locks->unlock(lock_addr(key),
+                                                server_mr_->key);
+      co_return st == verbs::Status::kSuccess;
+    }
+    case LockMode::kMcs: {
+      const auto st = co_await w->mcs->release();
+      co_return st == verbs::Status::kSuccess;
+    }
+    case LockMode::kLease: {
+      const auto st = co_await w->lease->release();
+      co_return st == verbs::Status::kSuccess;
+    }
+  }
+  co_return false;
+}
+
+sim::TaskT<bool> TxKv::recover(Worker* w) {
+  if (!cfg_.recover_on_failure) {
+    w->dead = true;
+    co_return false;
+  }
+  sim::Engine& eng = w->ctx->engine();
+  for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    ++w->recoveries;
+    // Back off past the fault window, then rebuild the connection.
+    co_await sim::delay(eng, sim::us(50) * attempt);
+    w->qp->reset();
+    w->server_qp->reset();
+    verbs::Context::connect(*w->qp, *w->server_qp);
+    if (w->mid_commit) {
+      // The failure struck with the commit in flight and the lock held:
+      // re-land the WHOLE cell (awaited seqlock write — idempotent, we
+      // still own the lock) so no torn state survives the fault.
+      w->cell->retarget(cell_addr(w->cur_key));
+      std::vector<std::uint64_t> payload(cfg_.payload_words);
+      for (std::uint32_t i = 0; i < cfg_.payload_words; ++i)
+        payload[i] = payload_word(w->cur_new_value, i);
+      const auto st =
+          co_await w->cell->write(w->cur_base_version, payload.data());
+      if (st != verbs::Status::kSuccess) continue;
+    }
+    if (w->lock_held) {
+      if (!co_await release_lock(w, w->cur_key)) continue;
+      w->lock_held = false;
+    }
+    co_return true;
+  }
+  w->dead = true;
+  co_return false;
+}
+
+sim::TaskT<bool> TxKv::commit(Worker* w, std::uint64_t key,
+                              std::uint64_t base_version,
+                              std::uint64_t new_value) {
+  std::vector<std::uint64_t> payload(cfg_.payload_words);
+  for (std::uint32_t i = 0; i < cfg_.payload_words; ++i)
+    payload[i] = payload_word(new_value, i);
+
+  if (cfg_.variant != sync::Variant::kUnfencedRelease) {
+    // Correct ordering: every seqlock step is awaited (the CQEs fence the
+    // protocol), and only then does the release go out.
+    const auto st = co_await w->cell->write(base_version, payload.data());
+    if (st != verbs::Status::kSuccess) co_return false;
+    co_return co_await release_lock(w, key);
+  }
+
+  // BROKEN (kUnfencedRelease): the data writes are posted fire-and-forget
+  // and the release follows immediately. Loss recovery is per-WR, so a
+  // lost data write's retransmit can land after the release — and after
+  // the next holder's writes (the lost update the battery must catch).
+  const std::uint32_t W = cfg_.payload_words;
+  const std::size_t cell_bytes = cell_layout_.bytes();
+  const std::size_t soff = (w->slot++ % 4) * cell_bytes + 0;
+  auto* stage = w->staging.as<std::uint64_t>(soff);
+  stage[0] = base_version + 1;
+  std::memcpy(stage + 1, payload.data(), 8ul * W);
+  stage[1 + W] = base_version + 2;
+  stage[2 + W] = sync::cell_checksum(base_version + 2, payload.data(), W);
+  // The even head needs its own staged word — the ring slot has room
+  // because staging slots are cell-sized and the cell has a cksum word we
+  // can follow (slot size = bytes() = 8*(W+3), words used: W+4). Stash it
+  // in the NEXT slot's first word instead to stay in bounds.
+  const std::size_t head_off = ((w->slot + 1) % 4) * cell_bytes;
+  *w->staging.as<std::uint64_t>(head_off) = base_version + 2;
+
+  const std::uint64_t sbase = w->staging_mr->addr + soff;
+  const std::uint64_t raddr = cell_addr(key);
+  auto fire = [this, w](std::uint64_t laddr, std::uint64_t raddr_,
+                        std::uint32_t len) -> sim::TaskT<void> {
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sg_list = {{laddr, len, w->staging_mr->key}};
+    wr.remote_addr = raddr_;
+    wr.rkey = server_mr_->key;
+    wr.signaled = false;
+    co_await w->qp->post(std::move(wr));
+  };
+  const std::uint32_t half = W > 1 ? W / 2 : W;
+  co_await fire(sbase, raddr, 8);  // head -> odd
+  co_await fire(sbase + 8, raddr + cell_layout_.off_payload(), 8 * half);
+  if (half < W)
+    co_await fire(sbase + 8 + 8ul * half,
+                  raddr + cell_layout_.off_payload() + 8ul * half,
+                  8 * (W - half));
+  co_await fire(sbase + 8ul * (1 + W), raddr + cell_layout_.off_tail(), 16);
+  co_await fire(w->staging_mr->addr + head_off, raddr, 8);  // head -> even
+  co_return co_await release_lock(w, key);
+}
+
+sim::TaskT<bool> TxKv::do_get(Worker* w, std::uint64_t key) {
+  obs::Hub& hub = w->ctx->cluster().obs();
+  sim::Engine& eng = w->ctx->engine();
+  const sim::Time invoke = eng.now();
+  w->cell->retarget(cell_addr(key));
+  const auto o = co_await w->cell->read();
+  if (!o.ok()) co_return co_await recover(w);
+  const auto& s = o.value();
+  if (s.valid) {
+    ++w->gets;
+    if (!payload_consistent(s.payload)) ++w->integrity_failures;
+  }
+  if (cfg_.record_history) {
+    sync::Op op;
+    op.kind = sync::OpKind::kGet;
+    op.worker = w->id;
+    op.key = key;
+    op.value = s.payload.empty() ? 0 : s.payload[0];
+    op.version = s.version;
+    op.ok = s.valid;
+    op.invoke = invoke;
+    op.response = eng.now();
+    history_->record(w->id, op);
+  }
+  (void)hub;
+  co_return true;
+}
+
+sim::TaskT<bool> TxKv::do_txn(Worker* w, std::uint64_t key) {
+  obs::Hub& hub = w->ctx->cluster().obs();
+  sim::Engine& eng = w->ctx->engine();
+  const sim::Time invoke = eng.now();
+
+  auto record = [&](bool ok, std::uint64_t read_version,
+                    std::uint64_t new_value) {
+    if (!cfg_.record_history) return;
+    sync::Op op;
+    op.kind = sync::OpKind::kTxn;
+    op.worker = w->id;
+    op.key = key;
+    op.value = new_value;
+    op.version = ok ? read_version + 2 : 0;
+    op.read_version = read_version;
+    op.ok = ok;
+    op.invoke = invoke;
+    op.response = eng.now();
+    history_->record(w->id, op);
+  };
+
+  for (std::uint32_t attempt = 0; attempt < cfg_.txn_retry_budget; ++attempt) {
+    // 1. Optimistic pre-read (warms the value; the authoritative read
+    // happens under the lock).
+    w->cell->retarget(cell_addr(key));
+    {
+      const auto o = co_await w->cell->read();
+      if (!o.ok()) {
+        if (!co_await recover(w)) co_return false;
+        continue;
+      }
+      if (!o.value().valid) {
+        ++w->aborts;
+        hub.txkv_aborts.inc();
+        continue;
+      }
+      if (!payload_consistent(o.value().payload)) ++w->integrity_failures;
+    }
+
+    // 2. Lock the key.
+    const sim::Time t0 = eng.now();
+    if (!co_await acquire_lock(w, key)) {
+      if (!co_await recover(w)) co_return false;
+      continue;
+    }
+    lock_wait_ns_.add((eng.now() - t0) / sim::kNanosecond);
+    w->lock_held = true;
+    w->cur_key = key;
+
+    // 3. Authoritative re-read under the lock.
+    w->cell->retarget(cell_addr(key));
+    const auto o = co_await w->cell->read();
+    if (!o.ok()) {
+      if (!co_await recover(w)) co_return false;
+      continue;
+    }
+    const auto& cur = o.value();
+    if (!cur.valid) {
+      co_await release_lock(w, key);
+      w->lock_held = false;
+      ++w->aborts;
+      hub.txkv_aborts.inc();
+      continue;
+    }
+    if (!payload_consistent(cur.payload)) ++w->integrity_failures;
+
+    // The "work" done on the snapshot before committing — this is the
+    // window a lease term has to outlive (hold_delay past the term forces
+    // expiry drills).
+    if (cfg_.hold_delay) co_await sim::delay(eng, cfg_.hold_delay);
+
+    // 4. Lease holders must re-validate their write license now that the
+    // hold (and the lock wait) spent wall time.
+    if (cfg_.lock == LockMode::kLease) {
+      const auto f = co_await w->lease->fence();
+      if (!f.ok()) {
+        if (!co_await recover(w)) co_return false;
+        continue;
+      }
+      if (!f.value()) {
+        // Stale: the term is (nearly) over — do NOT write. release() is a
+        // CAS that loses harmlessly if the word moved on.
+        co_await release_lock(w, key);
+        w->lock_held = false;
+        ++w->aborts;
+        hub.txkv_aborts.inc();
+        continue;
+      }
+    }
+
+    // 5. Commit + release, ordering per variant.
+    const std::uint64_t base = cur.version;
+    const std::uint64_t new_value = cur.payload[0] + 1;
+    w->mid_commit = true;
+    w->cur_base_version = base;
+    w->cur_new_value = new_value;
+    if (!co_await commit(w, key, base, new_value)) {
+      if (!co_await recover(w)) co_return false;
+      // recover() re-landed the commit and released the lock.
+    }
+    w->mid_commit = false;
+    w->lock_held = false;
+    ++w->commits;
+    hub.txkv_commits.inc();
+    record(true, base, new_value);
+    co_return true;
+  }
+
+  ++w->aborts;
+  hub.txkv_aborts.inc();
+  record(false, 0, 0);
+  co_return true;
+}
+
+sim::Task TxKv::run_worker(Worker* w, sim::CountdownLatch& done) {
+  for (std::uint64_t i = 0; i < cfg_.ops_per_worker && !w->dead; ++i) {
+    const std::uint64_t key = w->zipf->next();
+    const bool get =
+        (static_cast<double>(w->rng.next() >> 11) * 0x1p-53) <
+        cfg_.get_fraction;
+    if (get) {
+      if (!co_await do_get(w, key)) break;
+    } else {
+      if (!co_await do_txn(w, key)) break;
+    }
+  }
+  done.count_down();
+}
+
+Result TxKv::run() {
+  auto& eng = ctxs_[0]->engine();
+  sim::CountdownLatch done(eng, cfg_.workers);
+  const sim::Time start = eng.now();
+  for (auto& w : workers_)
+    eng.spawn_on(w->machine + 1, run_worker(w.get(), done));
+  eng.run();
+  RDMASEM_CHECK_MSG(done.remaining() == 0, "txkv workers did not finish");
+
+  Result r;
+  r.elapsed = eng.now() - start;
+  for (auto& w : workers_) {
+    r.commits += w->commits;
+    r.gets += w->gets;
+    r.aborts += w->aborts;
+    r.recoveries += w->recoveries;
+    r.dead_workers += w->dead ? 1 : 0;
+    snapshot_integrity_failures_ += w->integrity_failures;
+    w->integrity_failures = 0;
+  }
+  r.mops = static_cast<double>(r.commits + r.gets) / sim::to_us(r.elapsed);
+  r.abort_rate = (r.commits + r.aborts) == 0
+                     ? 0.0
+                     : static_cast<double>(r.aborts) /
+                           static_cast<double>(r.commits + r.aborts);
+  return r;
+}
+
+std::uint64_t TxKv::key_version(std::uint64_t k) const {
+  std::uint64_t v = 0;
+  std::memcpy(&v, cell_mem(k), 8);
+  return v;
+}
+
+std::uint64_t TxKv::key_value(std::uint64_t k) const {
+  std::uint64_t v = 0;
+  std::memcpy(&v, cell_mem(k) + cell_layout_.off_payload(), 8);
+  return v;
+}
+
+bool TxKv::cell_quiescent(std::uint64_t k) const {
+  const auto* words = reinterpret_cast<const std::uint64_t*>(cell_mem(k));
+  const std::uint64_t head = words[0];
+  const std::uint64_t tail = words[1 + cfg_.payload_words];
+  if (head != tail || (head & 1) != 0) return false;
+  return words[2 + cfg_.payload_words] ==
+         sync::cell_checksum(head, words + 1, cfg_.payload_words);
+}
+
+bool TxKv::locks_free(sim::Time now) const {
+  for (std::uint64_t k = 0; k < cfg_.num_keys; ++k) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, server_mem_.data() + k * lock_stride(), 8);
+    if (cfg_.lock == LockMode::kLease) {
+      const auto expiry_us = static_cast<std::uint32_t>(w);
+      if (expiry_us != 0 && now / sim::kMicrosecond < expiry_us) return false;
+    } else {
+      if (w != 0) return false;  // spin word held / MCS tail non-nil
+    }
+  }
+  return true;
+}
+
+}  // namespace rdmasem::apps::txkv

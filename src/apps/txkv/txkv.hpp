@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "sync/sync.hpp"
+#include "util/stats.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/context.hpp"
+
+namespace rdmasem::apps::txkv {
+
+// TxKv — a disaggregated transactional key-value store, the flagship app
+// of the sync layer (docs/SYNC.md): every key lives in the memory of one
+// server machine as a seqlock-versioned cell plus a lock area, and remote
+// workers run a read-validate-write commit protocol against it with zero
+// server CPU involvement:
+//
+//   GET  : one optimistic READ, validated client-side (sync::Validation)
+//   TXN  : optimistic READ -> lock -> re-read under the lock (validate)
+//          -> seqlock write of the increment -> release
+//
+// The lock step is pluggable (LockMode); the write/release ordering and
+// the read validation carry the sync::Variant knob, so every deliberately
+// broken sibling of the protocol runs through the same app and the same
+// history — the linearizability/serializability battery then has to catch
+// it from the outside.
+//
+// Value semantics are increments: payload word 0 is the counter value and
+// words 1..W derive from it (payload_word), so any snapshot is internally
+// checkable and sync::audit_increments can verify serializability at any
+// scale from the recorded history plus the final server state.
+
+enum class LockMode : std::uint8_t {
+  kSpin,         // CAS spinlock word per key (paper §III-E baseline)
+  kSpinBackoff,  // + Anderson exponential backoff
+  kMcs,          // MCS queue lock per key (FIFO handoff)
+  kLease,        // time-bounded lease with epoch fencing (crash-tolerant)
+};
+
+const char* to_string(LockMode m);
+
+struct Config {
+  std::uint32_t workers = 8;
+  std::uint64_t ops_per_worker = 64;
+  std::uint64_t num_keys = 16;
+  double zipf_theta = 0.99;    // hot-key skew of the key picks
+  double get_fraction = 0.5;   // remaining ops are increment txns
+  std::uint32_t payload_words = 4;
+  LockMode lock = LockMode::kSpin;
+  sync::Variant variant = sync::Variant::kCorrect;
+  sync::Validation validation = sync::Validation::kChecksum;
+  std::uint32_t server_machine = 0;
+  std::uint64_t seed = 42;
+  // A txn re-tries (re-read + re-lock) this many times before it gives up
+  // and records an aborted op.
+  std::uint32_t txn_retry_budget = 64;
+  // Artificial hold time between acquiring the lock and writing — drives
+  // lease-expiry drills (set it past the lease term) and contention.
+  sim::Duration hold_delay = 0;
+  // Fault story: with recovery on, a worker whose op fails (retry
+  // exhaustion under faults) resets + reconnects its QP, re-lands a
+  // consistent cell if it held the lock mid-commit, releases, and goes
+  // on. Off, a failed worker stops (crash drills: its lease expires and
+  // the survivors take over).
+  bool recover_on_failure = false;
+  std::uint32_t retry_cnt = verbs::kInfiniteRetry;
+  sync::LeaseConfig lease;
+  std::uint32_t mcs_max_clients = 64;
+  bool record_history = true;
+};
+
+struct Result {
+  double mops = 0;  // committed txns + validated gets per microsecond
+  sim::Duration elapsed = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t aborts = 0;     // abandoned txns (budget exhausted) and
+                                // attempt-level aborts (validation, fence)
+  std::uint64_t recoveries = 0;
+  std::uint64_t dead_workers = 0;
+  double abort_rate = 0;        // aborts / (commits + aborts)
+};
+
+class TxKv {
+ public:
+  static constexpr std::uint64_t kInitialVersion = 2;
+  static constexpr std::uint64_t kInitialValue = 0;
+
+  // Payload word i of a cell holding counter `value` (word 0 is the value
+  // itself) — snapshots are self-checkable against this derivation.
+  static std::uint64_t payload_word(std::uint64_t value, std::uint32_t i);
+
+  // ctxs: one per machine; ctxs[cfg.server_machine] hosts every cell.
+  TxKv(std::vector<verbs::Context*> ctxs, const Config& cfg);
+  ~TxKv();
+
+  Result run();
+
+  const Config& config() const { return cfg_; }
+  const sync::HistoryRecorder& history() const { return *history_; }
+
+  // Post-run server-state probes (host-visible memory, engine drained).
+  std::uint64_t key_version(std::uint64_t k) const;
+  std::uint64_t key_value(std::uint64_t k) const;
+  // head == tail, even, checksum intact.
+  bool cell_quiescent(std::uint64_t k) const;
+  // Every lock free: spin words 0, MCS tails nil, leases released or
+  // expired by `now`.
+  bool locks_free(sim::Time now) const;
+  // Snapshots whose derived payload words contradicted word 0 — torn
+  // values that slipped past (or around) validation.
+  std::uint64_t snapshot_integrity_failures() const {
+    return snapshot_integrity_failures_;
+  }
+  // Virtual-ns wait from lock request to grant, across all txn attempts.
+  const util::Log2Histogram& lock_wait_ns() const { return lock_wait_ns_; }
+
+ private:
+  struct Worker;
+
+  std::uint64_t lock_stride() const;
+  std::uint64_t lock_addr(std::uint64_t k) const;
+  std::uint64_t cell_addr(std::uint64_t k) const;
+  const std::byte* cell_mem(std::uint64_t k) const;
+
+  sim::Task run_worker(Worker* w, sim::CountdownLatch& done);
+  sim::TaskT<bool> do_get(Worker* w, std::uint64_t key);
+  sim::TaskT<bool> do_txn(Worker* w, std::uint64_t key);
+  sim::TaskT<bool> commit(Worker* w, std::uint64_t key,
+                          std::uint64_t base_version, std::uint64_t new_value);
+  sim::TaskT<bool> acquire_lock(Worker* w, std::uint64_t key);
+  sim::TaskT<bool> release_lock(Worker* w, std::uint64_t key);
+  // Reset + reconnect after a transport failure; re-lands a consistent
+  // cell and releases when the failure struck mid-commit. False = the
+  // worker stays dead.
+  sim::TaskT<bool> recover(Worker* w);
+  bool payload_consistent(const std::vector<std::uint64_t>& payload);
+
+  std::vector<verbs::Context*> ctxs_;
+  Config cfg_;
+  sync::CellLayout cell_layout_;
+  verbs::Buffer server_mem_;
+  verbs::MemoryRegion* server_mr_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<sync::HistoryRecorder> history_;
+  util::Log2Histogram lock_wait_ns_;
+  std::uint64_t snapshot_integrity_failures_ = 0;  // summed post-run
+};
+
+}  // namespace rdmasem::apps::txkv

@@ -77,6 +77,7 @@ std::string BenchReport::json() const {
   out += "  \"resource_waits\": " + raw(resource_waits_json_) + ",\n";
   out += "  \"critical_path\": " + raw(critical_path_json_) + ",\n";
   out += "  \"engine_profile\": " + raw(engine_profile_json_) + ",\n";
+  out += "  \"sync\": " + raw(sync_json_) + ",\n";
   out += "  \"metrics\": " +
          (metrics_json_.empty() ? std::string("null") : metrics_json_) + "\n";
   out += "}\n";

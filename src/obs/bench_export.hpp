@@ -55,6 +55,9 @@ class BenchReport {
   void set_engine_profile_json(std::string j) {
     engine_profile_json_ = std::move(j);
   }
+  // Sync-layer section (bench/ext_sync_scale): per-point abort rates and
+  // the merged lock-wait histogram. Raw JSON object, embedded verbatim.
+  void set_sync_json(std::string j) { sync_json_ = std::move(j); }
 
   std::string json() const;
   // Writes `<dir>/BENCH_<name>.json`; returns the path ("" on failure).
@@ -72,6 +75,7 @@ class BenchReport {
   std::string resource_waits_json_;
   std::string critical_path_json_;
   std::string engine_profile_json_;
+  std::string sync_json_;
 };
 
 }  // namespace rdmasem::obs

@@ -30,6 +30,14 @@ Hub::Hub()
       proxy_direct(metrics.counter("remem.numa.direct")),
       cas_attempts(metrics.counter("remem.atomics.cas_attempts")),
       cas_failures(metrics.counter("remem.atomics.cas_failures")),
+      opt_reads(metrics.counter("sync.opt.reads")),
+      opt_retries(metrics.counter("sync.opt.retries")),
+      lock_acquires(metrics.counter("sync.lock.acquires")),
+      lock_handoffs(metrics.counter("sync.lock.handoffs")),
+      lease_epoch_bumps(metrics.counter("sync.lease.epoch_bumps")),
+      lease_fence_aborts(metrics.counter("sync.lease.fence_aborts")),
+      txkv_commits(metrics.counter("txkv.commits")),
+      txkv_aborts(metrics.counter("txkv.aborts")),
       mcache_stall_ps(metrics.counter("rnic.mcache.stall_ps")),
       wr_latency_ns(metrics.histogram("verbs.wr.latency_ns")),
       broker_wait_ns(metrics.histogram("svc.broker.wait_ns")) {

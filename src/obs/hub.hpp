@@ -65,6 +65,24 @@ struct Hub {
   Counter& proxy_direct;
   Counter& cas_attempts;
   Counter& cas_failures;         // lost CAS races = atomics contention
+  // sync: one-sided synchronization layer (docs/SYNC.md)
+  //   opt_reads / opt_retries — optimistic cell READs and validation
+  //                             retries (mid-commit snapshots caught)
+  //   lock_acquires / lock_handoffs — lock grants, and MCS direct
+  //                                   handoffs received while queued
+  //   lease_epoch_bumps / lease_fence_aborts — lease acquisitions (each
+  //       bumps the epoch) and write bursts denied by the expiry-margin
+  //       check or the guard-epoch probe
+  Counter& opt_reads;
+  Counter& opt_retries;
+  Counter& lock_acquires;
+  Counter& lock_handoffs;
+  Counter& lease_epoch_bumps;
+  Counter& lease_fence_aborts;
+  // apps/txkv: read-validate-write commits and aborts (lock budget or
+  // validation failures)
+  Counter& txkv_commits;
+  Counter& txkv_aborts;
   // rnic: total metadata-cache miss stall picoseconds charged to WRs
   // (requester + responder side). The per-resource wait tables cover
   // server queueing; mcache stalls are latency, not occupancy, so they

@@ -1,0 +1,175 @@
+#include "sync/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <unordered_set>
+
+namespace rdmasem::sync {
+
+namespace {
+
+std::string op_line(const Op& op) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s w%u k%llu v=%llu ver=%llu [%llu,%llu]",
+                to_string(op.kind), op.worker,
+                static_cast<unsigned long long>(op.key),
+                static_cast<unsigned long long>(op.value),
+                static_cast<unsigned long long>(op.version),
+                static_cast<unsigned long long>(op.invoke),
+                static_cast<unsigned long long>(op.response));
+  return buf;
+}
+
+// Depth-first Wing & Gong: pick any op whose invocation precedes every
+// remaining response (i.e. nothing else finished strictly before it
+// started), apply register semantics, recurse. Memoized on
+// (remaining mask, register value).
+struct LinSearch {
+  const std::vector<Op>& ops;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+
+  bool search(std::uint64_t mask, std::uint64_t value) {
+    if (mask == 0) return true;
+    if (!seen.insert({mask, value}).second) return false;
+    sim::Time min_resp = ~static_cast<sim::Time>(0);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      if (mask & (1ull << i)) min_resp = std::min(min_resp, ops[i].response);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!(mask & (1ull << i))) continue;
+      const Op& op = ops[i];
+      if (op.invoke > min_resp) continue;  // something finished before it began
+      if (op.kind == OpKind::kGet) {
+        if (op.value != value) continue;
+        if (search(mask & ~(1ull << i), value)) return true;
+      } else {
+        if (search(mask & ~(1ull << i), op.value)) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+LinResult check_linearizable_register(const std::vector<Op>& key_ops,
+                                      std::uint64_t initial_value) {
+  LinResult r;
+  std::vector<Op> ops;
+  for (const Op& op : key_ops)
+    if (op.ok) ops.push_back(op);  // aborted/invalid ops took no effect
+  r.ops = ops.size();
+  if (ops.size() > 64) {
+    r.diag = "history too large for the mask-memoized search (>64 ops)";
+    return r;
+  }
+  // Phantom screen: a get must return the initial value or some put's
+  // value. A torn snapshot fails here with a named witness.
+  std::unordered_set<std::uint64_t> writable{initial_value};
+  for (const Op& op : ops)
+    if (op.kind != OpKind::kGet) writable.insert(op.value);
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kGet && writable.find(op.value) == writable.end()) {
+      r.diag = "phantom value (no put ever wrote it): " + op_line(op);
+      return r;
+    }
+  }
+  LinSearch s{ops, {}};
+  const std::uint64_t full =
+      ops.size() == 64 ? ~0ull : ((1ull << ops.size()) - 1);
+  if (!s.search(full, initial_value)) {
+    r.diag = "no linearization exists for this history";
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+std::string TxnAudit::render() const {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "txn audit: commits=%llu gets=%llu aborts=%llu violations=%llu\n",
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(gets),
+                static_cast<unsigned long long>(aborts),
+                static_cast<unsigned long long>(violations));
+  std::string out = head;
+  for (const auto& i : issues) out += "  " + i + "\n";
+  return out;
+}
+
+TxnAudit audit_increments(const std::vector<Op>& key_ops,
+                          std::uint64_t initial_version,
+                          std::uint64_t initial_value,
+                          std::uint64_t final_version,
+                          std::uint64_t final_value) {
+  TxnAudit a;
+  auto flag = [&a](std::string msg) {
+    ++a.violations;
+    if (a.issues.size() < 16) a.issues.push_back(std::move(msg));
+  };
+
+  std::vector<const Op*> commits;
+  for (const Op& op : key_ops) {
+    if (op.kind == OpKind::kTxn) {
+      if (!op.ok) {
+        ++a.aborts;
+        continue;
+      }
+      ++a.commits;
+      commits.push_back(&op);
+      if (op.version != op.read_version + 2)
+        flag("txn version stride != 2: " + op_line(op));
+    } else if (op.kind == OpKind::kGet && op.ok) {
+      ++a.gets;
+    }
+  }
+
+  // Committed read-versions must be unique (two txns reading the same
+  // version == a lost update) and dense from the initial version.
+  std::set<std::uint64_t> read_versions;
+  for (const Op* op : commits) {
+    if (!read_versions.insert(op->read_version).second)
+      flag("duplicate read version (lost update): " + op_line(*op));
+    if (op->read_version < initial_version ||
+        ((op->read_version - initial_version) & 1) != 0)
+      flag("read version outside the seqlock lattice: " + op_line(*op));
+    // Value semantics: commit k (by version order) writes initial+k+1.
+    const std::uint64_t k = (op->read_version - initial_version) / 2;
+    if (op->value != initial_value + k + 1)
+      flag("commit value != initial + commit index: " + op_line(*op));
+  }
+  if (!read_versions.empty()) {
+    const std::uint64_t expect_top =
+        initial_version + 2 * (a.commits - 1);
+    if (*read_versions.rbegin() != expect_top ||
+        *read_versions.begin() != initial_version)
+      flag("committed read versions are not dense from the initial version");
+  }
+
+  // Final cell state must reflect exactly the committed increments.
+  if (final_version != initial_version + 2 * a.commits)
+    flag("final version " + std::to_string(final_version) + " != initial + 2*" +
+         std::to_string(a.commits));
+  if (final_value != initial_value + a.commits)
+    flag("final value " + std::to_string(final_value) + " != initial + " +
+         std::to_string(a.commits) + " (lost update)");
+
+  // Every validated get must observe a state some commit produced.
+  for (const Op& op : key_ops) {
+    if (op.kind != OpKind::kGet || !op.ok) continue;
+    if (op.version < initial_version ||
+        ((op.version - initial_version) & 1) != 0 ||
+        op.version > initial_version + 2 * a.commits) {
+      flag("get observed a version no commit produced: " + op_line(op));
+      continue;
+    }
+    const std::uint64_t k = (op.version - initial_version) / 2;
+    if (op.value != initial_value + k)
+      flag("get (version,value) pair never existed (torn read): " +
+           op_line(op));
+  }
+  return a;
+}
+
+}  // namespace rdmasem::sync

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/history.hpp"
+
+namespace rdmasem::sync {
+
+// The two correctness oracles the test battery runs over recorded
+// histories (docs/SYNC.md "checker design"):
+//
+//  * check_linearizable_register — a small Wing & Gong search (memoized on
+//    the remaining-set bitmask + register value) deciding whether one
+//    key's completed get/put history is linearizable as an atomic
+//    register. Histories are bounded to 64 ops per key so the mask fits a
+//    word; the battery sizes its workloads accordingly. A get returning a
+//    value no put ever wrote ("phantom", the torn-read signature) is
+//    rejected before the search even starts, with a diagnostic naming it.
+//
+//  * audit_increments — serializability of read-validate-write increment
+//    transactions on one key, checked by invariants that scale to any
+//    history size: committed read-versions are unique and dense (versions
+//    advance by 2, the seqlock stride), every committed value equals
+//    initial + its commit index, the final cell state equals initial
+//    advanced by exactly the commit count (a lost update breaks density
+//    AND the final count), and every validated get observes a
+//    (version, value) pair some commit actually produced.
+
+struct LinResult {
+  bool ok = false;
+  std::size_t ops = 0;
+  std::string diag;  // first violation found ("" when ok)
+};
+
+LinResult check_linearizable_register(const std::vector<Op>& key_ops,
+                                      std::uint64_t initial_value);
+
+struct TxnAudit {
+  std::uint64_t commits = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> issues;  // capped at 16, one line each
+
+  bool ok() const { return violations == 0; }
+  std::string render() const;
+};
+
+// `final_version` / `final_value` are the cell's quiescent post-run state
+// (read from server memory after the engine drains).
+TxnAudit audit_increments(const std::vector<Op>& key_ops,
+                          std::uint64_t initial_version,
+                          std::uint64_t initial_value,
+                          std::uint64_t final_version,
+                          std::uint64_t final_value);
+
+}  // namespace rdmasem::sync

@@ -1,0 +1,72 @@
+#include "sync/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rdmasem::sync {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kGet: return "get";
+    case OpKind::kPut: return "put";
+    case OpKind::kTxn: return "txn";
+  }
+  return "?";
+}
+
+std::size_t HistoryRecorder::total_ops() const {
+  std::size_t n = 0;
+  for (const auto& log : logs_) n += log.size();
+  return n;
+}
+
+std::vector<Op> HistoryRecorder::merged() const {
+  struct Tagged {
+    Op op;
+    std::uint32_t worker;
+    std::uint32_t seq;
+  };
+  std::vector<Tagged> all;
+  all.reserve(total_ops());
+  for (std::uint32_t w = 0; w < logs_.size(); ++w)
+    for (std::uint32_t i = 0; i < logs_[w].size(); ++i)
+      all.push_back({logs_[w][i], w, i});
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.op.invoke != b.op.invoke) return a.op.invoke < b.op.invoke;
+    if (a.op.response != b.op.response) return a.op.response < b.op.response;
+    if (a.worker != b.worker) return a.worker < b.worker;
+    return a.seq < b.seq;
+  });
+  std::vector<Op> out;
+  out.reserve(all.size());
+  for (auto& t : all) out.push_back(t.op);
+  return out;
+}
+
+std::string HistoryRecorder::render() const {
+  std::string out;
+  char line[192];
+  for (const Op& op : merged()) {
+    std::snprintf(line, sizeof line,
+                  "%s w%u k%llu v=%llu ver=%llu rver=%llu %s [%llu,%llu]\n",
+                  to_string(op.kind), op.worker,
+                  static_cast<unsigned long long>(op.key),
+                  static_cast<unsigned long long>(op.value),
+                  static_cast<unsigned long long>(op.version),
+                  static_cast<unsigned long long>(op.read_version),
+                  op.ok ? "ok" : "abort",
+                  static_cast<unsigned long long>(op.invoke),
+                  static_cast<unsigned long long>(op.response));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<Op> ops_for_key(const std::vector<Op>& merged, std::uint64_t key) {
+  std::vector<Op> out;
+  for (const Op& op : merged)
+    if (op.key == key) out.push_back(op);
+  return out;
+}
+
+}  // namespace rdmasem::sync

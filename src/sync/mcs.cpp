@@ -1,0 +1,178 @@
+#include "sync/mcs.hpp"
+
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::sync {
+
+// Scratch map (one cache line): [0] atomic result, [1] qnode staging
+// (next, locked), [3] single-word write staging, [4] READ landing.
+McsLock::McsLock(verbs::QueuePair& qp, std::uint64_t base_addr,
+                 std::uint32_t rkey, Layout layout, std::uint32_t client_id,
+                 remem::BackoffPolicy poll_backoff)
+    : qp_(qp), base_addr_(base_addr), rkey_(rkey), layout_(layout),
+      id_(client_id), poll_backoff_(poll_backoff), scratch_(64) {
+  RDMASEM_CHECK_MSG(client_id >= 1 && client_id <= layout.max_clients,
+                    "MCS client id out of layout range");
+  scratch_mr_ = qp_.context().register_buffer(
+      scratch_, qp_.context().machine().port_socket(qp_.config().port));
+}
+
+void McsLock::retarget(std::uint64_t base_addr) {
+  RDMASEM_CHECK_MSG(!held_, "MCS retarget while held");
+  base_addr_ = base_addr;
+}
+
+sim::TaskT<remem::Outcome<std::uint64_t>> McsLock::read_u64(
+    std::uint64_t raddr) {
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kRead;
+  wr.sg_list = {{scratch_mr_->addr + 32, 8, scratch_mr_->key}};
+  wr.remote_addr = raddr;
+  wr.rkey = rkey_;
+  const auto c = co_await qp_.execute(std::move(wr));
+  if (!c.ok()) co_return c.status;
+  co_return *scratch_.as<std::uint64_t>(32);
+}
+
+sim::TaskT<verbs::Status> McsLock::write_u64(std::uint64_t raddr,
+                                             std::uint64_t v,
+                                             std::size_t slot) {
+  *scratch_.as<std::uint64_t>(slot) = v;
+  verbs::WorkRequest wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.sg_list = {{scratch_mr_->addr + slot, 8, scratch_mr_->key}};
+  wr.remote_addr = raddr;
+  wr.rkey = rkey_;
+  const auto c = co_await qp_.execute(std::move(wr));
+  co_return c.status;
+}
+
+sim::TaskT<remem::Outcome<std::uint32_t>> McsLock::acquire() {
+  RDMASEM_CHECK_MSG(!held_, "MCS acquire while held");
+  obs::Hub& hub = qp_.context().cluster().obs();
+  const std::uint64_t my_qnode = base_addr_ + layout_.qnode_off(id_);
+
+  // 1. Reset my qnode: next = kNil, locked = 1. Awaited — it must be
+  // consistent before anyone can find me through the tail.
+  {
+    auto* stage = scratch_.as<std::uint64_t>(8);
+    stage[0] = kNil;
+    stage[1] = 1;
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sg_list = {{scratch_mr_->addr + 8, 16, scratch_mr_->key}};
+    wr.remote_addr = my_qnode;
+    wr.rkey = rkey_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    if (!c.ok()) co_return c.status;
+  }
+
+  // 2. SWAP(tail, my id) emulated as a CAS-retry loop. The completion's
+  // atomic_old seeds the next compare — which is exactly why the ok()
+  // check must come first: a flushed CAS carries kPoisonedAtomicOld, not
+  // a usable tail value (stale-compare audit, tests/remem_atomics_test).
+  std::uint64_t expected = kNil;
+  std::uint32_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    hub.cas_attempts.inc();
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kCompSwap;
+    wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
+    wr.remote_addr = base_addr_;
+    wr.rkey = rkey_;
+    wr.compare = expected;
+    wr.swap_or_add = id_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    if (!c.ok()) co_return c.status;
+    RDMASEM_CHECK_MSG(c.atomic_old != verbs::kPoisonedAtomicOld,
+                      "poisoned atomic_old on a successful completion");
+    if (c.atomic_old == expected) break;  // swapped in
+    hub.cas_failures.inc();
+    expected = c.atomic_old;  // lost the race: retry against the new tail
+  }
+  const std::uint64_t prev = expected;
+
+  if (prev == kNil) {
+    held_ = true;
+    ++acquisitions_;
+    hub.lock_acquires.inc();
+    co_return attempts;
+  }
+
+  // 3. Link into the predecessor, then spin-READ my own locked flag until
+  // the handoff write lands.
+  ++queued_acquisitions_;
+  const auto st = co_await write_u64(
+      base_addr_ + layout_.qnode_off(prev), id_, 40);
+  if (st != verbs::Status::kSuccess) co_return st;
+  std::uint32_t polls = 0;
+  for (;;) {
+    const auto locked = co_await read_u64(my_qnode + 8);
+    if (!locked.ok()) co_return locked.status();
+    if (locked.value() == 0) break;
+    ++polls;
+    const auto d = poll_backoff_.delay_for(polls);
+    if (d) co_await sim::delay(qp_.context().engine(), d);
+  }
+  held_ = true;
+  ++acquisitions_;
+  hub.lock_acquires.inc();
+  hub.lock_handoffs.inc();
+  co_return attempts;
+}
+
+sim::TaskT<verbs::Status> McsLock::release() {
+  RDMASEM_CHECK_MSG(held_, "MCS release while not held");
+  obs::Hub& hub = qp_.context().cluster().obs();
+  const std::uint64_t my_qnode = base_addr_ + layout_.qnode_off(id_);
+
+  const auto next = co_await read_u64(my_qnode);
+  if (!next.ok()) co_return next.status();
+  std::uint64_t successor = next.value();
+
+  if (successor == kNil) {
+    // Nobody visibly queued: try to swing the tail back to free.
+    hub.cas_attempts.inc();
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kCompSwap;
+    wr.sg_list = {{scratch_mr_->addr, 8, scratch_mr_->key}};
+    wr.remote_addr = base_addr_;
+    wr.rkey = rkey_;
+    wr.compare = id_;
+    wr.swap_or_add = kNil;
+    const auto c = co_await qp_.execute(std::move(wr));
+    if (!c.ok()) co_return c.status;
+    if (c.atomic_old == id_) {
+      held_ = false;
+      co_return verbs::Status::kSuccess;
+    }
+    hub.cas_failures.inc();
+    // A successor swapped the tail but has not linked yet: poll my next
+    // pointer until its enqueue write lands.
+    std::uint32_t polls = 0;
+    for (;;) {
+      const auto n = co_await read_u64(my_qnode);
+      if (!n.ok()) co_return n.status();
+      if (n.value() != kNil) {
+        successor = n.value();
+        break;
+      }
+      ++polls;
+      const auto d = poll_backoff_.delay_for(polls);
+      if (d) co_await sim::delay(qp_.context().engine(), d);
+    }
+  }
+
+  // Direct handoff: clear the successor's locked flag.
+  const auto st = co_await write_u64(
+      base_addr_ + layout_.qnode_off(successor) + 8, 0, 40);
+  if (st != verbs::Status::kSuccess) co_return st;
+  held_ = false;
+  co_return verbs::Status::kSuccess;
+}
+
+}  // namespace rdmasem::sync

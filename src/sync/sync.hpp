@@ -1,0 +1,16 @@
+#pragma once
+
+// One-sided synchronization over the verbs layer (docs/SYNC.md): the
+// paper's baseline spinlock/sequencer plus the SIGMOD'23-guideline
+// primitives — optimistic versioned reads, an MCS queue lock, leases with
+// epoch fencing — each shipping with a deliberately-broken sibling behind
+// sync::Variant, and the history/checker machinery that proves the
+// correct ones and catches every broken one.
+
+#include "sync/checker.hpp"
+#include "sync/history.hpp"
+#include "sync/lease.hpp"
+#include "sync/mcs.hpp"
+#include "sync/spin.hpp"
+#include "sync/variant.hpp"
+#include "sync/versioned.hpp"

@@ -1,0 +1,147 @@
+#include "sync/versioned.hpp"
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
+#include "util/assert.hpp"
+
+namespace rdmasem::sync {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t cell_checksum(std::uint64_t version, const std::uint64_t* payload,
+                            std::uint32_t words) {
+  std::uint64_t h = mix64(version ^ 0x73796e632e766572ull);  // "sync.ver"
+  for (std::uint32_t i = 0; i < words; ++i) h = mix64(h ^ payload[i]);
+  return h;
+}
+
+void cell_format(std::byte* mem, const CellLayout& layout,
+                 std::uint64_t version, const std::uint64_t* payload) {
+  RDMASEM_CHECK_MSG((version & 1) == 0, "cell version must be even");
+  auto* w = reinterpret_cast<std::uint64_t*>(mem);
+  w[0] = version;
+  for (std::uint32_t i = 0; i < layout.payload_words; ++i) w[1 + i] = payload[i];
+  w[1 + layout.payload_words] = version;
+  w[2 + layout.payload_words] =
+      cell_checksum(version, payload, layout.payload_words);
+}
+
+RemoteVersionedCell::RemoteVersionedCell(verbs::QueuePair& qp,
+                                         std::uint64_t remote_addr,
+                                         std::uint32_t rkey, CellLayout layout,
+                                         Validation validation, Variant variant)
+    : qp_(qp), remote_addr_(remote_addr), rkey_(rkey), layout_(layout),
+      validation_(validation), variant_(variant),
+      scratch_(2 * layout.bytes()) {
+  RDMASEM_CHECK_MSG(layout_.payload_words >= 1, "empty cell payload");
+  scratch_mr_ = qp_.context().register_buffer(
+      scratch_, qp_.context().machine().port_socket(qp_.config().port));
+}
+
+bool RemoteVersionedCell::validate(const std::uint64_t* words) const {
+  const std::uint64_t head = words[0];
+  const std::uint64_t tail = words[1 + layout_.payload_words];
+  if (head != tail || (head & 1) != 0) return false;
+  if (validation_ == Validation::kChecksum &&
+      words[2 + layout_.payload_words] !=
+          cell_checksum(head, words + 1, layout_.payload_words))
+    return false;
+  return true;
+}
+
+sim::TaskT<remem::Outcome<RemoteVersionedCell::Snapshot>>
+RemoteVersionedCell::read(std::uint32_t max_attempts) {
+  obs::Hub& hub = qp_.context().cluster().obs();
+  const auto cell_bytes = static_cast<std::uint32_t>(layout_.bytes());
+  Snapshot snap;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++reads_;
+    hub.opt_reads.inc();
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kRead;
+    wr.sg_list = {{scratch_mr_->addr, cell_bytes, scratch_mr_->key}};
+    wr.remote_addr = remote_addr_;
+    wr.rkey = rkey_;
+    const auto c = co_await qp_.execute(std::move(wr));
+    if (!c.ok()) co_return c.status;
+    const auto* words = scratch_.as<std::uint64_t>(0);
+    snap.attempts = attempt;
+    if (variant_ == Variant::kTornRead) {
+      // BROKEN: no recheck. Whatever the READ caught — including a
+      // mid-commit snapshot whose halves came from different writes — is
+      // handed to the caller as a valid value.
+      snap.version = words[0] & ~1ull;
+      snap.valid = true;
+      snap.payload.assign(words + 1, words + 1 + layout_.payload_words);
+      co_return snap;
+    }
+    if (validate(words)) {
+      snap.version = words[0];
+      snap.valid = true;
+      snap.payload.assign(words + 1, words + 1 + layout_.payload_words);
+      co_return snap;
+    }
+    ++retries_;
+    hub.opt_retries.inc();
+  }
+  snap.valid = false;
+  co_return snap;
+}
+
+sim::TaskT<verbs::Status> RemoteVersionedCell::write(
+    std::uint64_t base_version, const std::uint64_t* payload) {
+  RDMASEM_CHECK_MSG((base_version & 1) == 0, "write from an odd version");
+  const std::uint32_t W = layout_.payload_words;
+  const std::size_t stage_off = layout_.bytes();
+  auto* stage = scratch_.as<std::uint64_t>(stage_off);
+  stage[0] = base_version + 1;  // odd: write in progress
+  std::memcpy(stage + 1, payload, 8ul * W);
+  stage[1 + W] = base_version + 2;
+  stage[2 + W] = cell_checksum(base_version + 2, payload, W);
+  const std::uint64_t sbase = scratch_mr_->addr + stage_off;
+
+  auto put = [this](std::uint64_t laddr, std::uint64_t raddr,
+                    std::uint32_t len) {
+    verbs::WorkRequest wr;
+    wr.opcode = verbs::Opcode::kWrite;
+    wr.sg_list = {{laddr, len, scratch_mr_->key}};
+    wr.remote_addr = raddr;
+    wr.rkey = rkey_;
+    return wr;
+  };
+
+  // Each step is awaited: the CQE of step N is the only fence the model
+  // offers that step N landed before step N+1 starts.
+  auto c = co_await qp_.execute(put(sbase, remote_addr_, 8));  // head -> odd
+  if (!c.ok()) co_return c.status;
+  const std::uint32_t half = W > 1 ? W / 2 : W;
+  c = co_await qp_.execute(put(sbase + 8, remote_addr_ + layout_.off_payload(),
+                               8 * half));
+  if (!c.ok()) co_return c.status;
+  if (half < W) {
+    c = co_await qp_.execute(put(sbase + 8 + 8ul * half,
+                                 remote_addr_ + layout_.off_payload() +
+                                     8ul * half,
+                                 8 * (W - half)));
+    if (!c.ok()) co_return c.status;
+  }
+  c = co_await qp_.execute(
+      put(sbase + 8ul * (1 + W), remote_addr_ + layout_.off_tail(), 16));
+  if (!c.ok()) co_return c.status;
+  stage[0] = base_version + 2;  // head -> new even version: commit point
+  c = co_await qp_.execute(put(sbase, remote_addr_, 8));
+  co_return c.status;
+}
+
+}  // namespace rdmasem::sync

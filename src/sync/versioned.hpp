@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "remem/outcome.hpp"
+#include "sim/task.hpp"
+#include "sync/variant.hpp"
+#include "verbs/buffer.hpp"
+#include "verbs/qp.hpp"
+
+namespace rdmasem::sync {
+
+// Versioned cell — the optimistic-read primitive (SIGMOD'23 "optimistic
+// reads need a recheck"). A cell in remote memory is read with ONE RDMA
+// READ and validated client-side; writers follow a seqlock-style protocol
+// so any mid-commit snapshot is detectably inconsistent.
+//
+// Layout (all u64 words, little-endian host order):
+//
+//   [ v_head | payload[0..W) | v_tail | checksum ]
+//
+// Invariants the correct writer maintains:
+//   * v_head == v_tail and even  <=>  the cell is quiescent;
+//   * v_head is bumped to odd BEFORE any payload byte moves and back to
+//     the new even version only after payload + v_tail + checksum landed;
+//   * checksum == cell_checksum(version, payload).
+//
+// A single READ response lands as one memcpy in this model (no intra-WR
+// tearing), so the only way a reader sees a torn payload is by catching a
+// multi-WR write mid-flight — exactly what the validation detects and the
+// kTornRead variant ignores.
+
+struct CellLayout {
+  std::uint32_t payload_words = 4;
+
+  std::size_t bytes() const { return 8 * (payload_words + 3ul); }
+  std::size_t off_head() const { return 0; }
+  std::size_t off_payload() const { return 8; }
+  std::size_t off_tail() const { return 8 + 8ul * payload_words; }
+  std::size_t off_cksum() const { return off_tail() + 8; }
+};
+
+// Mixes version and payload into a checksum word (splitmix64 fold). Not
+// cryptographic — it only needs to make torn payloads detectable.
+std::uint64_t cell_checksum(std::uint64_t version, const std::uint64_t* payload,
+                            std::uint32_t words);
+
+// Formats a quiescent cell (version `version`, consistent checksum) into
+// host-visible server memory (MemoryRegion::at of the cell base).
+void cell_format(std::byte* mem, const CellLayout& layout,
+                 std::uint64_t version, const std::uint64_t* payload);
+
+// Validation mode for the correct read variant.
+enum class Validation : std::uint8_t {
+  kVersionPair,  // v_head == v_tail, even
+  kChecksum,     // version pair AND checksum recomputation
+};
+
+// Client handle: one per (worker, cell-range). Owns a private scratch MR
+// sized for one cell landing plus the write staging area.
+class RemoteVersionedCell {
+ public:
+  struct Snapshot {
+    std::uint64_t version = 0;
+    bool valid = false;     // validation passed (always true under kTornRead)
+    std::uint32_t attempts = 0;
+    std::vector<std::uint64_t> payload;
+  };
+
+  RemoteVersionedCell(verbs::QueuePair& qp, std::uint64_t remote_addr,
+                      std::uint32_t rkey, CellLayout layout,
+                      Validation validation = Validation::kChecksum,
+                      Variant variant = Variant::kCorrect);
+
+  // One-sided optimistic read: READ the whole cell, validate, retry while
+  // the snapshot is mid-commit (up to max_attempts). Fails only on
+  // transport errors; validation exhaustion returns valid == false.
+  // The kTornRead variant performs a single READ and returns whatever it
+  // caught, claiming valid.
+  sim::TaskT<remem::Outcome<Snapshot>> read(std::uint32_t max_attempts = 256);
+
+  // Seqlock write: requires exclusive write ownership (a lock, a lease, or
+  // a single-writer protocol) and the cell's current version. Lands the
+  // payload in two halves so the tear window is real, then commits
+  // [v_tail|checksum] and finally v_head = base_version + 2. Every WR is
+  // awaited: the writer's CQEs are the fence that orders the protocol.
+  sim::TaskT<verbs::Status> write(std::uint64_t base_version,
+                                  const std::uint64_t* payload);
+
+  // Repoints the handle at another cell of the same layout (the scratch
+  // MR is layout-sized, not address-bound). Lets one handle serve a whole
+  // key space — a worker fleet would otherwise register workers*keys MRs.
+  void retarget(std::uint64_t remote_addr) { remote_addr_ = remote_addr; }
+
+  const CellLayout& layout() const { return layout_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  bool validate(const std::uint64_t* words) const;
+
+  verbs::QueuePair& qp_;
+  std::uint64_t remote_addr_;
+  std::uint32_t rkey_;
+  CellLayout layout_;
+  Validation validation_;
+  Variant variant_;
+  verbs::Buffer scratch_;
+  verbs::MemoryRegion* scratch_mr_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace rdmasem::sync

@@ -317,7 +317,14 @@ void QueuePair::complete(const WorkRequest& wr, Status st, std::uint32_t bytes,
   c.byte_len = bytes;
   c.qp_id = id_;
   c.completed_at = ctx_.engine().now();
-  c.atomic_old = atomic_old;
+  // Stale-compare audit: a failed atomic never fetched the remote word,
+  // so its completion must not carry a plausible-looking value (the old
+  // default 0 reads as "lock free" to CAS-retry loops that skip the ok()
+  // check). Poison it instead.
+  const bool is_atomic =
+      wr.opcode == Opcode::kCompSwap || wr.opcode == Opcode::kFetchAdd;
+  c.atomic_old =
+      (is_atomic && st != Status::kSuccess) ? kPoisonedAtomicOld : atomic_old;
 
   if (Waiter* w = find_waiter(wr.wr_id); w != nullptr) {
     w->result = c;

@@ -51,6 +51,16 @@ const char* to_string(QpState s);
 // pre-fault simulator: RC never gives up on a lossy-but-alive fabric.
 inline constexpr std::uint32_t kInfiniteRetry = 7;
 
+// Completion::atomic_old on a FAILED atomic WR (flushed, retry-exhausted,
+// NAKed): the remote word was never fetched, so instead of leaving the old
+// default 0 — a value CAS-retry loops routinely treat as "lock free" /
+// "list empty" — failed atomic completions carry this poison. Any loop
+// that consumes atomic_old without checking Completion::ok() first now
+// compares against a value no live protocol word ever holds and spins
+// visibly instead of silently acquiring (docs/SYNC.md, stale-compare
+// audit).
+inline constexpr std::uint64_t kPoisonedAtomicOld = ~0ull;
+
 // Transport types (§II-A). All support channel semantics; WRITE needs
 // RC or UC; READ and atomics need RC or DC. UC/UD complete locally once
 // the packet leaves the NIC — delivery is not guaranteed (loss
@@ -126,7 +136,9 @@ struct Completion {
   std::uint64_t qp_id = 0;
   sim::Time completed_at = 0;
   // For atomics: the value read from remote memory before the operation
-  // (also DMA-written into sg_list[0]).
+  // (also DMA-written into sg_list[0]). On a failed atomic completion this
+  // is kPoisonedAtomicOld, never a stale or default value — check ok()
+  // before consuming it.
   std::uint64_t atomic_old = 0;
 
   bool ok() const { return status == Status::kSuccess; }

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "remem/atomics.hpp"
 #include "remem/rpc.hpp"
 #include "testbed.hpp"
 
 namespace v = rdmasem::verbs;
 namespace sim = rdmasem::sim;
+namespace fl = rdmasem::fault;
 namespace remem = rdmasem::remem;
 using rdmasem::test::Testbed;
 
@@ -105,6 +107,102 @@ TEST(RemoteSequencer, TicketsAreUniqueAndDense) {
   std::sort(tickets.begin(), tickets.end());
   for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(tickets[i], i);
   EXPECT_EQ(*rig.lockmem.as<std::uint64_t>(), 100u);
+}
+
+// Regression for the stale-compare-after-flush hole: a CAS/FAA completion
+// that FAILS (retry exhaustion, flush on error) must carry
+// kPoisonedAtomicOld in atomic_old — never a stale or zero value that a
+// lock loop could mistake for "the word was free, I won". Pre-fix, the
+// flushed completion left atomic_old at its default and a caller reading
+// it without checking ok() acquired a lock it never touched.
+TEST(RemoteAtomicsFault, FlushedCasCarriesThePoisonOldNotAStaleZero) {
+  Testbed tb;
+  auto qpc = tb.paper_qp();
+  qpc.retry_cnt = 2;  // bounded: the fault surfaces instead of healing
+  auto conn = tb.connect(1, 0, qpc, tb.paper_qp());
+  fl::FaultPlan plan;
+  plan.link_down(0, sim::ms(2), /*machine=*/1, conn.local->config().port);
+  tb.cluster.inject(plan);
+
+  v::Buffer lockmem(64);
+  *lockmem.as<std::uint64_t>() = 0;
+  auto* mr = tb.ctx[0]->register_buffer(lockmem, 1);
+  v::Buffer scratch(64);
+  auto* smr = tb.ctx[1]->register_buffer(scratch, 1);
+  *scratch.as<std::uint64_t>() = 0;  // the stale value the bug leaked
+
+  v::Completion flushed{};
+  bool reacquired = false;
+  std::uint64_t reacquired_old = 1;
+  auto task = [&]() -> sim::Task {
+    auto cas = [&]() {
+      v::WorkRequest wr;
+      wr.opcode = v::Opcode::kCompSwap;
+      wr.sg_list = {{smr->addr, 8, smr->key}};
+      wr.remote_addr = mr->addr;
+      wr.rkey = mr->key;
+      wr.compare = 0;
+      wr.swap_or_add = 1;
+      return wr;
+    };
+    flushed = co_await conn.local->execute(cas());
+    // Past the outage: reset + reconnect, the same CAS must win honestly.
+    co_await sim::delay(tb.eng, sim::ms(3));
+    conn.local->reset();
+    conn.remote->reset();
+    v::Context::connect(*conn.local, *conn.remote);
+    const auto c = co_await conn.local->execute(cas());
+    reacquired = c.ok();
+    reacquired_old = c.atomic_old;
+  };
+  tb.eng.spawn_on(2, task());
+  tb.eng.run();
+
+  EXPECT_FALSE(flushed.ok());
+  EXPECT_EQ(flushed.atomic_old, v::kPoisonedAtomicOld);
+  EXPECT_NE(flushed.atomic_old, 0u);  // the false-acquisition signature
+  EXPECT_EQ(*lockmem.as<std::uint64_t>(), 1u);  // only the honest CAS landed
+  EXPECT_TRUE(reacquired);
+  EXPECT_EQ(reacquired_old, 0u);
+}
+
+// End to end: a RemoteSpinlock whose CAS flushes while ANOTHER client
+// holds the word must report the failure — never a phantom acquisition —
+// and after reset + reconnect it acquires for real once the word frees.
+TEST(RemoteAtomicsFault, NoFalseAcquisitionAcrossResetAndReconnect) {
+  Testbed tb;
+  auto qpc = tb.paper_qp();
+  qpc.retry_cnt = 2;
+  auto conn = tb.connect(1, 0, qpc, tb.paper_qp());
+  fl::FaultPlan plan;
+  plan.link_down(0, sim::ms(2), /*machine=*/1, conn.local->config().port);
+  tb.cluster.inject(plan);
+
+  v::Buffer lockmem(64);
+  *lockmem.as<std::uint64_t>() = 1;  // held by someone else throughout
+  auto* mr = tb.ctx[0]->register_buffer(lockmem, 1);
+  remem::RemoteSpinlock lock(*conn.local, mr->addr, mr->key);
+
+  bool faulted_ok = true;
+  std::uint64_t acquired_after = 0;
+  auto task = [&]() -> sim::Task {
+    const auto o = co_await lock.lock();
+    faulted_ok = o.ok();  // must be false: flushed, not granted
+    co_await sim::delay(tb.eng, sim::ms(3));
+    *lockmem.as<std::uint64_t>() = 0;  // the holder releases
+    conn.local->reset();
+    conn.remote->reset();
+    v::Context::connect(*conn.local, *conn.remote);
+    const auto o2 = co_await lock.lock();
+    if (o2.ok()) acquired_after = lock.acquisitions();
+    co_await lock.unlock();
+  };
+  tb.eng.spawn_on(2, task());
+  tb.eng.run();
+
+  EXPECT_FALSE(faulted_ok);
+  EXPECT_EQ(acquired_after, 1u);  // exactly one honest acquisition
+  EXPECT_EQ(*lockmem.as<std::uint64_t>(), 0u);
 }
 
 TEST(LocalSpinlock, MutualExclusionAndMeltdownShape) {
