@@ -30,12 +30,17 @@
 //               write loop via the operator new hook below — the gate
 //               requires exactly zero.
 //   e2e_shuffle — fig15-style small all-to-all shuffle timed end to end.
-//   parallel  — a 16-machine all-to-all shuffle run serially and again at
-//               RDMASEM_SHARDS=2/4. The shard4/serial wall-clock ratio is
-//               the perf-gate criterion for the conservative-epoch
-//               parallel engine (enforced only on hosts with >= 4 cores;
-//               the parallel_cpus row records the host's core count so
-//               the gate can tell).
+//   parallel  — a 16-machine all-to-all shuffle over a two-tier
+//               leaf/spine fabric (4 leaves x 4 machines), run serially
+//               and again at RDMASEM_SHARDS=2/4. The shard4/serial
+//               wall-clock ratio is the perf-gate criterion for the
+//               conservative-epoch parallel engine (enforced only on
+//               hosts with >= 4 cores; the parallel_cpus row records the
+//               host's core count so the gate can tell). The leaf
+//               topology exercises the per-(src,dst)-shard lookahead
+//               matrix: leaf-aligned placement makes cross-shard traffic
+//               pay the spine hop, widening epochs ~2.5x over the flat
+//               global minimum.
 //
 // Rows land in BENCH_selfbench_engine.json (rdmasem-bench-v1 schema; the
 // `mops` field carries millions of events per second, or the raw ratio for
@@ -279,7 +284,11 @@ double coro_mevents_per_sec(std::uint64_t tasks, std::uint64_t hops) {
 
 // One 16-machine all-to-all shuffle at the given shard count, timed end to
 // end. RDMASEM_SHARDS is read at Cluster construction, so it is pinned
-// around the Rig and restored after.
+// around the Rig and restored after. The fabric is a two-tier leaf/spine
+// (4 leaves x 4 machines): the leaf-aware shard placement aligns shards
+// with leaves, so every cross-shard pair pays the spine hop and the
+// per-pair lookahead matrix widens epochs well past the flat-fabric
+// minimum — the regime the conservative-epoch engine is built for.
 double parallel_shuffle_mev(std::uint32_t shards) {
   const char* old = std::getenv("RDMASEM_SHARDS");
   const std::string saved = old ? old : "";
@@ -289,6 +298,7 @@ double parallel_shuffle_mev(std::uint32_t shards) {
   {
     hw::ModelParams p = hw::ModelParams::connectx3_cluster();
     p.machines = 16;
+    p.net_machines_per_leaf = 4;
     wl::Rig rig(p);
     apps::shuffle::Config cfg;
     cfg.machines = 16;

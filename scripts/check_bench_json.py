@@ -90,7 +90,13 @@ EP_ROW_KEYS = {
     "dispatch_ns": int,
     "wall_ns": int,
     "max_queue_depth": int,
+    "lookahead_ps": int,
     "accounted_share": (int, float),
+    # Derived rates (PR 9): barrier frequency, work per crossing, and the
+    # effective conservative-epoch width in virtual picoseconds.
+    "epochs_per_sec": (int, float),
+    "events_per_epoch": (int, float),
+    "effective_lookahead_ps": (int, float),
 }
 
 
@@ -197,6 +203,26 @@ def check_engine_profile(path, ep):
             if not 0.0 <= r["accounted_share"] <= 1.0:
                 fail(path, f"accounted_share out of [0,1]: "
                            f"{r['accounted_share']}")
+            # Derived fields must be non-negative and consistent with the
+            # raw counters they derive from (exact to rounding).
+            for key in ("epochs_per_sec", "events_per_epoch",
+                        "effective_lookahead_ps"):
+                if r[key] < 0:
+                    fail(path, f"{key} negative: {r[key]}")
+            if r["epochs"] > 0:
+                want = r["events"] / r["epochs"]
+                if abs(r["events_per_epoch"] - want) > max(1e-2, want * 1e-3):
+                    fail(path, f"events_per_epoch {r['events_per_epoch']} "
+                               f"inconsistent with events/epochs {want:.3f}")
+                want = r["lookahead_ps"] / r["epochs"]
+                if abs(r["effective_lookahead_ps"] - want) > \
+                        max(1e-2, want * 1e-3):
+                    fail(path, f"effective_lookahead_ps "
+                               f"{r['effective_lookahead_ps']} inconsistent "
+                               f"with lookahead_ps/epochs {want:.3f}")
+            elif r["events_per_epoch"] or r["effective_lookahead_ps"] or \
+                    r["epochs_per_sec"]:
+                fail(path, "derived epoch rates nonzero with zero epochs")
 
 
 SYNC_ABORT_KEYS = {

@@ -103,6 +103,9 @@ def report_engine_profile(name, ep, min_accounted):
             worst = min(worst, acct)
             out.append([
                 str(r["shard"]), str(r["epochs"]), str(r["events"]),
+                f"{r.get('events_per_epoch', 0):.1f}",
+                f"{r.get('epochs_per_sec', 0):.0f}",
+                f"{r.get('effective_lookahead_ps', 0) / 1e3:.1f}",
                 ms(r["dispatch_ns"]), ms(r["barrier_park_ns"]),
                 ms(r["merge_ns"]), ms(wall),
                 f"{r['dispatch_ns'] / wall:.3f}" if wall else "0",
@@ -112,7 +115,8 @@ def report_engine_profile(name, ep, min_accounted):
                 str(r["inline_grants"]), str(r["max_queue_depth"]),
             ])
         print(fmt_table(
-            ["shard", "epochs", "events", "dispatch_ms", "park_ms",
+            ["shard", "epochs", "events", "ev/epoch", "epoch/s",
+             "eff_la_ns", "dispatch_ms", "park_ms",
              "merge_ms", "wall_ms", "disp_share", "park_share",
              "merge_share", "accounted", "merged_ev", "inline", "max_qd"],
             out))

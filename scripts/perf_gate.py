@@ -188,10 +188,16 @@ def main():
     }
     normalized = {k: v / legacy for k, v in workloads.items()}
 
-    # Parallel-engine self-ratio: present iff the report carries the
-    # parallel sweep (older reports predate it).
+    # Parallel-engine self-ratio. The sweep is REQUIRED (since PR 9): a
+    # report without it can silently skip the scaling floor, so its
+    # absence is a gate failure, not a skip. The floor itself is only
+    # waived on hosts with < 4 hardware threads, which physically cannot
+    # exhibit a 4-shard speedup.
     par_speedup = points.get(("speedup", "par4"))
     par_cpus = points.get(("parallel_cpus", "host"))
+    if par_speedup is None and not args.update_baseline:
+        die("report lacks the speedup/par4 point (parallel sweep) — "
+            "the 4-shard scaling floor cannot be skipped")
     # Verbs-datapath self-ratio and allocation count, same presence rule.
     dp_speedup = points.get(("speedup", "datapath"))
     dp_allocs = points.get(("datapath_allocs", "steady"))

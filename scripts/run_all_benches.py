@@ -19,6 +19,11 @@ It prints as a single line, e.g.
 
   trajectory: 22 benches ok, 0 failed, 214 points, 131 rows, 418.2s wall
 
+The trajectory also carries a "shard_scaling" row: the representative
+shuffle bench re-run at RDMASEM_SHARDS=1/2/4/8, recording per-shard wall
+seconds and asserting the report JSON is byte-identical at every shard
+count (the determinism contract). Skip it with --no-shard-scaling.
+
 Shrink knobs: the benches honour the same env as scripts/bench_smoke.cmake
 (RDMASEM_SHUFFLE_ENTRIES etc.), and RDMASEM_SHARDS applies to every child,
 so `RDMASEM_SHARDS=4 scripts/run_all_benches.py build` runs the battery on
@@ -40,6 +45,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_bench_json  # noqa: E402  (sibling module, stdlib-only)
 
 PREFIXES = ("fig", "ext_", "table")
+
+SCALING_BENCH = "fig15_shuffle"
+SCALING_SHARDS = (1, 2, 4, 8)
 
 
 def discover(bench_dir, with_selfbench):
@@ -74,6 +82,55 @@ def run_one(bench_dir, out_dir, name, timeout):
     return name, report, None, sec
 
 
+def shard_scaling(bench_dir, out_dir, timeout):
+    """Run the representative shuffle bench at each shard count.
+
+    Returns the trajectory row: per-shard wall seconds plus the
+    byte-identity verdict — the report JSON must not depend on the shard
+    count, so each run's report is compared byte-for-byte against the
+    serial one. Wall seconds are machine-dependent and informational;
+    byte identity is the pass/fail signal.
+    """
+    binary = os.path.join(bench_dir, SCALING_BENCH)
+    if not (os.path.isfile(binary) and os.access(binary, os.X_OK)):
+        return {"bench": SCALING_BENCH, "status": "missing-binary",
+                "byte_identical": False}
+    row = {"bench": SCALING_BENCH, "status": "ok",
+           "shards": list(SCALING_SHARDS), "wall_seconds": {},
+           "byte_identical": True}
+    baseline = None
+    for shards in SCALING_SHARDS:
+        sub = os.path.join(out_dir, f"shards{shards}")
+        os.makedirs(sub, exist_ok=True)
+        env = dict(os.environ, RDMASEM_BENCH_OUT=sub,
+                   RDMASEM_SHARDS=str(shards))
+        t0 = time.monotonic()
+        try:
+            proc = subprocess.run([binary], env=env, timeout=timeout,
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+        except subprocess.TimeoutExpired:
+            row["status"] = f"shards={shards} timed out after {timeout}s"
+            return row
+        row["wall_seconds"][str(shards)] = round(time.monotonic() - t0, 1)
+        if proc.returncode != 0:
+            row["status"] = f"shards={shards} exit {proc.returncode}"
+            return row
+        report = os.path.join(sub, f"BENCH_{SCALING_BENCH}.json")
+        try:
+            with open(report, "rb") as f:
+                blob = f.read()
+        except OSError as e:
+            row["status"] = f"shards={shards}: {e}"
+            return row
+        if baseline is None:
+            baseline = blob
+        elif blob != baseline:
+            row["byte_identical"] = False
+            row["status"] = f"shards={shards} report differs from serial"
+    return row
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("builddir", nargs="?", default="build",
@@ -87,6 +144,9 @@ def main():
     ap.add_argument("--selfbench", action="store_true",
                     help="include selfbench_engine (wall-clock bench; noisy "
                          "when run concurrently with the battery)")
+    ap.add_argument("--no-shard-scaling", action="store_true",
+                    help="skip the shards=1/2/4/8 scaling + byte-identity "
+                         "re-runs of " + SCALING_BENCH)
     args = ap.parse_args()
 
     bench_dir = os.path.join(args.builddir, "bench")
@@ -136,6 +196,17 @@ def main():
         points += len(benches[name].get("points", []))
         rows += len(benches[name]["table"].get("rows", []))
 
+    scaling = None
+    if not args.no_shard_scaling:
+        scaling = shard_scaling(bench_dir, out_dir, args.timeout)
+        walls = " ".join(f"s{k}={v}s"
+                         for k, v in scaling.get("wall_seconds", {}).items())
+        ident = "byte-identical" if scaling["byte_identical"] else "DIVERGED"
+        print(f"run_all_benches: shard_scaling {SCALING_BENCH}: "
+              f"{scaling['status']} ({ident}) {walls}".rstrip())
+        if scaling["status"] != "ok" or not scaling["byte_identical"]:
+            failed.append(f"shard_scaling:{SCALING_BENCH}")
+
     trajectory = {
         "benches_ok": len(benches),
         "benches_failed": len(failed),
@@ -145,6 +216,7 @@ def main():
         "wall_seconds": round(wall, 1),
         "jobs": args.jobs,
         "shards_env": os.environ.get("RDMASEM_SHARDS", ""),
+        "shard_scaling": scaling,
     }
     all_path = os.path.join(out_dir, "BENCH_ALL.json")
     with open(all_path, "w", encoding="utf-8") as f:

@@ -38,13 +38,40 @@ Cluster::Cluster(sim::Engine& engine, hw::ModelParams params)
       faults_(params.machines, params.rnic_ports),
       injector_(engine, faults_),
       fabric_(engine, p_, params.machines, params.rnic_ports) {
-  // Lane topology: lane 0 is the driver, lane m+1 is machine m. The
-  // lookahead (= conservative-epoch width) is the minimum latency any
-  // cross-machine message pays on the wire, so no event can ever cross
-  // shards inside an epoch.
+  // Lane topology: lane 0 is the driver, lane m+1 is machine m. Each
+  // lane's affinity group is its machine's leaf switch (the driver rides
+  // with machine 0's leaf), and the group latency matrix is the minimum
+  // hop_latency over the machine pairs of the two leaves — so the
+  // engine's per-(src,dst)-shard lookahead matrix (= the conservative
+  // epoch widths) is derived from the same function the fabric charges
+  // per message, and no event can ever cross shards inside an epoch.
+  // With the default flat fabric this collapses to one group at
+  // net_propagation + net_switch_hop, the classic global lookahead.
   const std::uint32_t lanes = params.machines + 1;
-  engine_.configure_lanes(lanes, shard_count(params.machines));
-  engine_.set_lookahead(p_.net_propagation + p_.net_switch_hop);
+  sim::LaneTopology topo;
+  std::uint32_t groups = 1;
+  for (MachineId m = 0; m < params.machines; ++m)
+    groups = std::max(groups, p_.leaf_of(m) + 1);
+  topo.groups = groups;
+  topo.lane_group.assign(lanes, 0);
+  for (MachineId m = 0; m < params.machines; ++m)
+    topo.lane_group[m + 1] = p_.leaf_of(m);
+  const sim::Duration base = p_.net_propagation + p_.net_switch_hop;
+  constexpr sim::Duration kUnset = ~sim::Duration{0};
+  topo.group_latency.assign(static_cast<std::size_t>(groups) * groups, kUnset);
+  for (MachineId a = 0; a < params.machines; ++a)
+    for (MachineId b = 0; b < params.machines; ++b) {
+      auto& lat =
+          topo.group_latency[static_cast<std::size_t>(p_.leaf_of(a)) * groups +
+                             p_.leaf_of(b)];
+      lat = std::min(lat, p_.hop_latency(a, b));
+    }
+  // No machines (bare-driver clusters): the single entry falls back to
+  // the flat-fabric latency so the engine still has a nonzero lookahead.
+  for (auto& lat : topo.group_latency)
+    if (lat == kUnset) lat = base;
+  engine_.configure_lanes(lanes, shard_count(params.machines),
+                          std::move(topo));
   faults_.set_lanes(lanes);
   obs_.tracer.set_lanes(lanes);
   machines_.reserve(params.machines);

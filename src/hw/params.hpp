@@ -138,6 +138,17 @@ struct ModelParams {
   // Payloads at or above this size move through host memory as streaming
   // DMA (bandwidth model); smaller ones through the row-buffer model.
   std::size_t dma_stream_threshold = 1024;
+  // ---- Fabric topology. 0 machines-per-leaf keeps the paper's flat
+  // single-switch fabric (every pair one crossbar away); > 0 arranges
+  // machines into leaf groups of that size under a spine, and cross-leaf
+  // messages pay net_spine_hop extra (leaf -> spine -> leaf: one more
+  // crossbar plus two cable segments). Besides modeling racked clusters,
+  // leaves widen the parallel engine's conservative epochs: the
+  // per-(src,dst)-shard lookahead matrix (docs/PERF.md) is derived from
+  // these per-pair latencies, so leaf-aligned shards synchronize at the
+  // cross-leaf latency instead of the global minimum.
+  std::uint32_t net_machines_per_leaf = 0;
+  Duration net_spine_hop = ns(300);
 
   // ---- Host memory / NUMA (Table II anchors) ------------------------------
   Duration mem_local_latency = ns(92);
@@ -183,6 +194,21 @@ struct ModelParams {
   }
   Duration wire_time(std::size_t payload) const {
     return ser_time(payload + net_header_bytes, link_gbps);
+  }
+  // Leaf switch of a machine under the two-tier topology (leaf 0 for the
+  // flat single-switch default).
+  std::uint32_t leaf_of(std::uint32_t machine) const {
+    return net_machines_per_leaf == 0 ? 0 : machine / net_machines_per_leaf;
+  }
+  // One-way propagation + switching latency between two machines' NICs
+  // (the serialization-free part of a message's flight time). This is the
+  // per-pair quantity both the fabric's transit hop and the engine's
+  // lookahead matrix are built from — keeping them one function is what
+  // makes the conservative-epoch bound airtight.
+  Duration hop_latency(std::uint32_t src, std::uint32_t dst) const {
+    Duration d = net_propagation + net_switch_hop;
+    if (leaf_of(src) != leaf_of(dst)) d += net_spine_hop;
+    return d;
   }
   Duration pcie_time(std::size_t bytes) const {
     return ser_time(bytes, pcie_gbps);

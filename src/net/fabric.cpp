@@ -25,17 +25,19 @@ sim::TaskT<void> Fabric::transit(MachineId src, PortId sport, MachineId dst,
     co_await sim::delay(engine_, p_.net_switch_hop);
     co_return;
   }
-  sim::Duration hop = p_.net_propagation + p_.net_switch_hop;
+  sim::Duration hop = p_.hop_latency(src, dst);
   // Congestion / rerouting faults show up as extra propagation latency;
   // read on the sender's lane, before the hop.
   if (faults_ != nullptr && faults_->current().active())
     hop += faults_->current().extra_latency(src, sport, dst, dport);
   co_await tx_link(src, sport).use(wire);
-  // Propagation + switch carries execution from the sender's lane to the
-  // receiver's. hop >= net_propagation + net_switch_hop = the engine
-  // lookahead, which is what makes the cross-shard landing legal. On a
-  // bare engine (no cluster lanes) the destination lane collapses to the
-  // current one and this is a plain delay.
+  // Propagation + switching carries execution from the sender's lane to
+  // the receiver's. hop >= hop_latency(src, dst) >= the engine's per-pair
+  // lookahead for the two lanes, which is what makes the cross-shard
+  // landing legal (the lookahead matrix is derived from the same
+  // hop_latency function). On a bare engine (no cluster lanes) the
+  // destination lane collapses to the current one and this is a plain
+  // delay.
   const std::uint32_t dst_lane = dst + 1 < engine_.lanes() ? dst + 1 : 0;
   co_await sim::hop(engine_, dst_lane, hop);
   co_await rx_link(dst, dport).use(wire);

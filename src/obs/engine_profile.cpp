@@ -17,6 +17,28 @@ double accounted_share(const sim::ShardProfile& r) {
   return std::min(1.0, named / static_cast<double>(r.wall_ns));
 }
 
+// Derived rates: how often the shard crossed an epoch barrier, how much
+// work each crossing bought, and how wide the conservative epochs really
+// were (virtual ps per epoch — the topology-aware lookahead matrix shows
+// up here as effective widths above the global minimum). Serial rows
+// report effective_lookahead_ps = 0: their single "epoch" is unbounded.
+double epochs_per_sec(const sim::ShardProfile& r) {
+  if (r.wall_ns == 0) return 0.0;
+  return static_cast<double>(r.epochs) /
+         (static_cast<double>(r.wall_ns) / 1e9);
+}
+
+double events_per_epoch(const sim::ShardProfile& r) {
+  if (r.epochs == 0) return 0.0;
+  return static_cast<double>(r.events) / static_cast<double>(r.epochs);
+}
+
+double effective_lookahead_ps(const sim::ShardProfile& r) {
+  if (r.epochs == 0) return 0.0;
+  return static_cast<double>(r.lookahead_ps) /
+         static_cast<double>(r.epochs);
+}
+
 }  // namespace
 
 void EngineProfileAccum::absorb(const sim::EngineProfile& p) {
@@ -36,6 +58,7 @@ void EngineProfileAccum::absorb(const sim::EngineProfile& p) {
     r.dispatch_ns += s.dispatch_ns;
     r.wall_ns += s.wall_ns;
     r.max_queue_depth = std::max(r.max_queue_depth, s.max_queue_depth);
+    r.lookahead_ps += s.lookahead_ps;
   }
 }
 
@@ -43,15 +66,18 @@ std::string EngineProfileAccum::render() const {
   if (groups_.empty()) return {};
   std::string out;
   for (const auto& [shards, g] : groups_) {
-    util::Table t({"shard", "epochs", "events", "inline", "merged",
-                   "dispatch_ms", "park_ms", "merge_ms", "wall_ms",
-                   "accounted", "max_qdepth"});
+    util::Table t({"shard", "epochs", "events", "ev/epoch", "eff_la_ns",
+                   "inline", "merged", "dispatch_ms", "park_ms", "merge_ms",
+                   "wall_ms", "accounted", "max_qdepth"});
     t.set_title("engine profile: shards=" + std::to_string(shards) +
                 " (" + std::to_string(g.runs) + " runs)");
     for (std::size_t i = 0; i < g.rows.size(); ++i) {
       const sim::ShardProfile& r = g.rows[i];
       t.add_row({std::to_string(i), std::to_string(r.epochs),
-                 std::to_string(r.events), std::to_string(r.inline_grants),
+                 std::to_string(r.events),
+                 util::fmt(events_per_epoch(r), 1),
+                 util::fmt(effective_lookahead_ps(r) / 1e3, 1),
+                 std::to_string(r.inline_grants),
                  std::to_string(r.merged_events),
                  util::fmt(static_cast<double>(r.dispatch_ns) / 1e6, 2),
                  util::fmt(static_cast<double>(r.barrier_park_ns) / 1e6, 2),
@@ -90,7 +116,12 @@ std::string EngineProfileAccum::json() const {
       out += ", \"dispatch_ns\": " + std::to_string(r.dispatch_ns);
       out += ", \"wall_ns\": " + std::to_string(r.wall_ns);
       out += ", \"max_queue_depth\": " + std::to_string(r.max_queue_depth);
+      out += ", \"lookahead_ps\": " + std::to_string(r.lookahead_ps);
       out += ", \"accounted_share\": " + json_num(accounted_share(r), 6);
+      out += ", \"epochs_per_sec\": " + json_num(epochs_per_sec(r), 3);
+      out += ", \"events_per_epoch\": " + json_num(events_per_epoch(r), 3);
+      out += ", \"effective_lookahead_ps\": " +
+             json_num(effective_lookahead_ps(r), 3);
       out += "}";
     }
     out += first_r ? "]}" : "\n  ]}";

@@ -20,12 +20,32 @@ std::uint64_t mix_seed(std::uint64_t s, std::uint32_t lane) {
 
 constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
 
-// Spin-then-yield wait: parallel runs spin briefly (epochs are short) but
-// must not burn a core-bound container — CI and laptops run shards > cores.
+// One pipeline-friendly pause between condition polls.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Bounded exponential spin-then-yield: poll-relax for a short burst, back
+// off exponentially up to a cap, then fall through to yield(). Barriers
+// are usually released within the spin window on dedicated cores, while
+// core-bound containers (CI, laptops running shards > cores) reach the
+// yield quickly instead of burning the only core the releaser needs.
 template <typename Cond>
 void spin_until(Cond&& cond) {
-  for (int i = 0; !cond(); ++i) {
-    if (i >= 128) std::this_thread::yield();
+  std::uint32_t backoff = 1;
+  for (std::uint32_t i = 0; !cond(); ++i) {
+    if (i < 64) {
+      cpu_relax();
+    } else if (backoff < 1024) {
+      for (std::uint32_t b = 0; b < backoff; ++b) cpu_relax();
+      backoff <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
   }
 }
 
@@ -45,10 +65,17 @@ std::uint32_t current_lane() noexcept { return detail::t_exec.lane; }
 Engine::Engine() : base_seed_(kDefaultSeed) {
   shards_.push_back(std::make_unique<Shard>());
   shards_[0]->outbox.resize(1);
+  shards_[0]->epoch_ends.assign(1, 0);
   lane_seq_.assign(1, 0);
   lane_rng_.emplace_back(base_seed_);
   lane_shard_.assign(1, 0);
+  lane_group_.assign(1, 0);
+  group_lat_.assign(1, 0);
+  shard_lat_.assign(1, 0);
+  shard_reach_.assign(1, 0);
   prof_ = util::env_bool("RDMASEM_PROF", false);
+  epoch_legacy_ = util::env_bool("RDMASEM_EPOCH_LEGACY", false);
+  inline_wakeups_ = util::env_bool("RDMASEM_INLINE_WAKEUPS", true);
 }
 
 Engine::~Engine() {
@@ -67,7 +94,8 @@ Engine::~Engine() {
   }
 }
 
-void Engine::configure_lanes(std::uint32_t lanes, std::uint32_t shards) {
+void Engine::configure_lanes(std::uint32_t lanes, std::uint32_t shards,
+                             LaneTopology topo) {
   RDMASEM_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
                     "configure_lanes: lane count out of range");
   if (shards == 0) shards = 1;
@@ -82,18 +110,144 @@ void Engine::configure_lanes(std::uint32_t lanes, std::uint32_t shards) {
   lane_rng_.reserve(lanes);
   for (std::uint32_t l = 0; l < lanes; ++l)
     lane_rng_.emplace_back(l == 0 ? base_seed_ : mix_seed(base_seed_, l));
-  // Lane 0 (driver) runs on shard 0; machine lanes split into contiguous
-  // equal-size groups, so fabric neighbours tend to share a shard.
+  // Install the lane topology. Empty = uniform: one group whose latency
+  // is whatever set_lookahead() chose (callable before or after this).
+  if (topo.lane_group.empty()) {
+    ngroups_ = 1;
+    lane_group_.assign(lanes, 0);
+    group_lat_.assign(1, lookahead_);
+  } else {
+    RDMASEM_CHECK_MSG(topo.lane_group.size() == lanes,
+                      "configure_lanes: lane_group size mismatch");
+    RDMASEM_CHECK_MSG(topo.group_latency.size() ==
+                          static_cast<std::size_t>(topo.groups) * topo.groups,
+                      "configure_lanes: group_latency size mismatch");
+    ngroups_ = topo.groups;
+    lane_group_ = std::move(topo.lane_group);
+    group_lat_ = std::move(topo.group_latency);
+    for (std::uint32_t g : lane_group_)
+      RDMASEM_CHECK_MSG(g < ngroups_, "configure_lanes: group out of range");
+    lookahead_ = group_lat_[0];
+    for (const Duration d : group_lat_) lookahead_ = std::min(lookahead_, d);
+  }
+  // Lane placement. Lane 0 (driver) always runs on shard 0. Uniform
+  // topology: machine lanes split into contiguous equal-size ranges, so
+  // fabric neighbours tend to share a shard. Non-uniform: the same walk,
+  // but a shard also closes early at an affinity-group boundary once it
+  // holds its fair share — whole groups land on one shard where balance
+  // allows, so cross-shard lane pairs sit in different groups and the
+  // pairwise lookahead matrix is maximized.
   lane_shard_.assign(lanes, 0);
-  for (std::uint32_t l = 1; l < lanes; ++l)
-    lane_shard_[l] = static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(l - 1) * shards) / (lanes - 1));
+  if (lanes > 1) {
+    if (ngroups_ <= 1) {
+      for (std::uint32_t l = 1; l < lanes; ++l)
+        lane_shard_[l] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(l - 1) * shards) / (lanes - 1));
+    } else {
+      // Lane 0 counts toward shard 0's fill, so the driver's group mates
+      // ride with it and the fair-share math sees every lane. The
+      // `remaining - filled` guard keeps at least one lane available for
+      // every shard still to open.
+      std::uint32_t s = 0;
+      std::uint32_t filled = 1;  // lane 0
+      std::uint32_t remaining = lanes;
+      std::uint32_t shards_left = shards;
+      for (std::uint32_t l = 1; l < lanes; ++l) {
+        const bool boundary = lane_group_[l] != lane_group_[l - 1];
+        const std::uint32_t fair =
+            (remaining + shards_left - 1) / shards_left;  // ceil
+        if (s + 1 < shards && filled > 0 &&
+            remaining - filled >= shards_left - 1 &&
+            (filled >= fair ||
+             (boundary && static_cast<std::uint64_t>(filled) * shards_left >=
+                              remaining))) {
+          ++s;
+          --shards_left;
+          remaining -= filled;
+          filled = 0;
+        }
+        lane_shard_[l] = s;
+        ++filled;
+      }
+    }
+  }
   while (shards_.size() < shards) shards_.push_back(std::make_unique<Shard>());
   shards_.resize(shards);
   for (auto& sh : shards_) {
     sh->now = unified_now_;
     sh->outbox.clear();
     sh->outbox.resize(shards);
+    sh->epoch_ends.assign(shards, 0);
+  }
+  rebuild_shard_lookahead();
+}
+
+void Engine::set_lookahead(Duration d) {
+  lookahead_ = d;
+  ngroups_ = 1;
+  lane_group_.assign(lanes_, 0);
+  group_lat_.assign(1, d);
+  rebuild_shard_lookahead();
+}
+
+void Engine::rebuild_shard_lookahead() {
+  // shard_lat_[s][d] = min group latency over (group on s) x (group on d).
+  // Pairs involving a shard with no lanes (possible when shards == lanes)
+  // fall back to the global minimum — maximally conservative, and never
+  // exercised: an empty shard neither sends nor receives events.
+  const std::size_t n = nshards_;
+  std::vector<std::uint64_t> groups_on(n, 0);  // bitmask; ngroups_ <= 64
+  const bool small = ngroups_ <= 64;
+  for (std::uint32_t l = 0; l < lanes_ && small; ++l)
+    groups_on[lane_shard_[l]] |= std::uint64_t{1} << lane_group_[l];
+  shard_lat_.assign(n * n, lookahead_);
+  if (small && ngroups_ > 1) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        if (groups_on[s] == 0 || groups_on[d] == 0) continue;
+        Duration lat = ~Duration{0};
+        for (std::uint32_t g = 0; g < ngroups_; ++g) {
+          if (!(groups_on[s] >> g & 1)) continue;
+        for (std::uint32_t h = 0; h < ngroups_; ++h) {
+            if (!(groups_on[d] >> h & 1)) continue;
+            lat = std::min(lat, group_lat_[static_cast<std::size_t>(g) *
+                                               ngroups_ +
+                                           h]);
+          }
+        }
+        shard_lat_[s * n + d] = lat;
+      }
+    }
+  }
+  // shard_reach_[u][d] = cheapest latency of any send CHAIN u -> ... -> d
+  // with at least one hop (for u == d: the min round trip through another
+  // shard). The epoch horizon must use this, not the direct edge: a shard
+  // whose queue is momentarily empty can be REACTIVATED by a neighbour's
+  // send during the very epoch being bounded, and its relayed reply still
+  // has to land outside the destination's horizon. Min-plus closure over
+  // the direct matrix (Floyd–Warshall, then one mandatory final edge)
+  // prices every such chain. n <= shards, so the cubic pass is trivial.
+  std::vector<Duration> clo(shard_lat_);  // >=1-hop chain cost so far
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t d = 0; d < n; ++d) {
+        const Duration via = clo[u * n + k] + clo[k * n + d];
+        if (via >= clo[u * n + k] && via < clo[u * n + d])
+          clo[u * n + d] = via;
+      }
+  shard_reach_ = clo;
+  // A chain u -> d never undercuts the direct edge (triangle closure),
+  // but the DIAGONAL must be the round trip, not the closure's 2-cycle
+  // minimum through possibly-cheaper self loops: recompute it explicitly.
+  for (std::size_t d = 0; d < n; ++d) {
+    Duration rt = ~Duration{0};
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == d) continue;
+      const Duration out = shard_reach_[d * n + s];
+      const Duration back = shard_lat_[s * n + d];
+      if (out + back >= out) rt = std::min(rt, out + back);
+    }
+    shard_reach_[d * n + d] = n > 1 ? rt : 0;
   }
 }
 
@@ -261,22 +415,21 @@ void Engine::merge_outboxes() {
       // Safe to write another shard's profile row here: workers are
       // parked at the barrier whenever the main thread merges.
       shards_[d]->prof.merged_events += box.size();
-      for (Event& ev : box) shards_[d]->queue.push(std::move(ev));
-      box.clear();
+      shards_[d]->queue.push_all(box);
     }
   }
 }
 
-void Engine::run_shard_epoch(std::uint32_t shard_idx) {
+void Engine::run_shard_epoch(std::uint32_t shard_idx, Time end) {
   Shard& sh = *shards_[shard_idx];
   ProfClock::time_point w0;
   if (prof_) w0 = ProfClock::now();
   const detail::ExecContext saved = detail::t_exec;
-  // Inline grants are bounded by the epoch: past epoch_end_ another shard
-  // may still produce an earlier cross-shard event, so the wakeup must go
+  // Inline grants are bounded by the epoch: past `end` another shard may
+  // still produce an earlier cross-shard event, so the wakeup must go
   // through the queue and the next barrier.
-  detail::t_exec = {this, shard_idx, 0, inline_wakeups_ ? epoch_end_ : 0};
-  while (!sh.queue.empty() && sh.queue.next_time() < epoch_end_) {
+  detail::t_exec = {this, shard_idx, 0, inline_wakeups_ ? end : 0};
+  while (!sh.queue.empty() && sh.queue.next_time() < end) {
     Event ev = sh.queue.pop();
     sh.now = ev.at;
     ++sh.processed;
@@ -315,7 +468,7 @@ void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
     }
     seen = gen_.load(std::memory_order_acquire);
     if (stop_) break;
-    run_shard_epoch(shard_idx);
+    run_shard_epoch(shard_idx, epoch_end_);
     arrived_.fetch_add(1, std::memory_order_acq_rel);
   }
   if (prof) sh.prof.wall_ns += ns_since(wall0);
@@ -324,8 +477,156 @@ void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
 bool Engine::run_parallel(Time deadline) {
   RDMASEM_CHECK_MSG(lookahead_ > 0,
                     "parallel run requires set_lookahead() > 0");
+  return epoch_legacy_ ? run_parallel_legacy(deadline)
+                       : run_parallel_epochs(deadline);
+}
+
+// --- new protocol: SPMD sense-reversing epochs -------------------------------
+//
+// Every thread (the main thread acts as shard 0's worker) runs the same
+// loop: pull own inboxes, publish own next event time, barrier, compute
+// the identical per-shard horizons from the published times, run own
+// epoch, barrier. Two barrier crossings per epoch — the same count as the
+// legacy protocol — but the merge and the horizon computation run on all
+// threads concurrently instead of serializing on the main thread, and the
+// per-destination CMB bound
+//   end(d) = min over all s of (next(s) + shard_reach(s, d))
+// (shard_reach = min >=1-hop chain cost, diagonal = min round trip) is
+// never narrower than the legacy global epoch (t + min lookahead) and
+// much wider on non-uniform topologies, cutting barrier frequency — the
+// dominant cost in the pre-PR-9 shard-4 profile (docs/PERF.md).
+
+void Engine::barrier_wait(std::uint64_t& phase, ShardProfile* prof) {
+  const std::uint64_t p = phase;
+  phase = p + 1;
+  if (barrier_.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      nshards_) {
+    // Last arriver: reset the count for the next crossing, then flip the
+    // sense. The release on `phase`, paired with the spinners' acquire,
+    // publishes every pre-barrier write (the fetch_add chain already
+    // ordered the arrivers among themselves).
+    barrier_.arrived.store(0, std::memory_order_relaxed);
+    barrier_.phase.store(p + 1, std::memory_order_release);
+    return;
+  }
+  if (prof != nullptr) {
+    const ProfClock::time_point p0 = ProfClock::now();
+    spin_until(
+        [&] { return barrier_.phase.load(std::memory_order_acquire) != p; });
+    prof->barrier_park_ns += ns_since(p0);
+  } else {
+    spin_until(
+        [&] { return barrier_.phase.load(std::memory_order_acquire) != p; });
+  }
+}
+
+void Engine::drain_inboxes(std::uint32_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    if (s == shard_idx) continue;
+    auto& box = shards_[s]->outbox[shard_idx];
+    if (box.empty()) continue;
+    sh.prof.merged_events += box.size();
+    sh.queue.push_all(box);
+  }
+}
+
+void Engine::epoch_loop(std::uint32_t shard_idx, Time deadline,
+                        std::uint64_t base_phase) {
+  Shard& sh = *shards_[shard_idx];
+  const bool prof = prof_;
+  ShardProfile* const bp = prof ? &sh.prof : nullptr;
+  ProfClock::time_point wall0;
+  if (prof) wall0 = ProfClock::now();
+  std::uint64_t phase = base_phase;
+  for (;;) {
+    // 1. Pull this shard's inboxes. Every producer is past its epoch
+    //    (previous crossing of barrier B), so the rows are stable.
+    if (prof) {
+      const ProfClock::time_point m0 = ProfClock::now();
+      drain_inboxes(shard_idx);
+      sh.prof.merge_ns += ns_since(m0);
+    } else {
+      drain_inboxes(shard_idx);
+    }
+    // 2. Publish the post-merge next event time (relaxed: the barrier's
+    //    acq/rel pair publishes it).
+    sh.next_time.store(
+        sh.queue.empty() ? kNoDeadline : sh.queue.next_time(),
+        std::memory_order_relaxed);
+    barrier_wait(phase, bp);  // barrier A: all next-times published
+    // 3. Redundantly compute the horizons — every thread reads the same
+    //    published times and lands on identical values, so nothing needs
+    //    to be written back to shared state.
+    Time t = kNoDeadline;
+    for (std::uint32_t s = 0; s < nshards_; ++s)
+      t = std::min(t,
+                   shards_[s]->next_time.load(std::memory_order_relaxed));
+    if (t == kNoDeadline || (deadline != kNoDeadline && t > deadline))
+      break;  // unanimous: all threads break on the same round
+    // The horizon uses shard_reach_, not the direct edge, and the source
+    // loop INCLUDES d itself: a chain of sends starting from any queued
+    // event — even one of d's own, bouncing off a momentarily-empty
+    // neighbour — can land back at d, and costs at least
+    // next(source) + reach(source, d). With the direct-edge formula a
+    // shard whose peers all drained would run unbounded, send, and then
+    // receive the replies in its own virtual past.
+    for (std::uint32_t d = 0; d < nshards_; ++d) {
+      Time end = kNoDeadline;
+      for (std::uint32_t s = 0; s < nshards_; ++s) {
+        const Time nt = shards_[s]->next_time.load(std::memory_order_relaxed);
+        if (nt == kNoDeadline) continue;
+        const Duration lat =
+            shard_reach_[static_cast<std::size_t>(s) * nshards_ + d];
+        const Time bound = nt + lat < nt ? kNoDeadline : nt + lat;  // saturate
+        end = std::min(end, bound);
+      }
+      if (deadline != kNoDeadline) end = std::min(end, deadline + 1);
+      sh.epoch_ends[d] = end;
+    }
+    const Time own_end = sh.epoch_ends[shard_idx];
+    if (own_end != kNoDeadline) sh.prof.lookahead_ps += own_end - t;
+    // 4. Run this shard's epoch; cross-shard pushes land in own outbox
+    //    rows, checked against epoch_ends (identical on every thread).
+    run_shard_epoch(shard_idx, own_end);
+    barrier_wait(phase, bp);  // barrier B: all outbox rows stable
+  }
+  if (prof) sh.prof.wall_ns += ns_since(wall0);
+}
+
+bool Engine::run_parallel_epochs(Time deadline) {
+  parallel_running_ = true;
+  for (auto& sh : shards_) {
+    sh->epoch_ends.assign(nshards_, 0);
+    sh->next_time.store(0, std::memory_order_relaxed);
+  }
+  // The base phase is captured before any thread starts so every
+  // participant enters the first barrier with the same sense.
+  const std::uint64_t base_phase =
+      barrier_.phase.load(std::memory_order_relaxed);
+  std::vector<std::thread> workers;
+  workers.reserve(nshards_ - 1);
+  for (std::uint32_t s = 1; s < nshards_; ++s)
+    workers.emplace_back(&Engine::epoch_loop, this, s, deadline, base_phase);
+  epoch_loop(0, deadline, base_phase);
+  for (auto& w : workers) w.join();
+  parallel_running_ = false;
+  if (prof_) ++prof_runs_;
+
+  Time mx = unified_now_;
+  for (const auto& sh : shards_) mx = std::max(mx, sh->now);
+  unified_now_ = mx;
+  for (const auto& sh : shards_)
+    if (!sh->queue.empty()) return true;
+  return false;
+}
+
+// --- legacy protocol (RDMASEM_EPOCH_LEGACY=1) --------------------------------
+
+bool Engine::run_parallel_legacy(Time deadline) {
   stop_ = false;
   parallel_running_ = true;
+  for (auto& sh : shards_) sh->epoch_ends.assign(nshards_, 0);
   std::vector<std::thread> workers;
   workers.reserve(nshards_ - 1);
   const std::uint64_t base_gen = gen_.load(std::memory_order_relaxed);
@@ -354,9 +655,15 @@ bool Engine::run_parallel(Time deadline) {
     if (end < t) end = kNoDeadline;  // saturate
     if (deadline != kNoDeadline) end = std::min(end, deadline + 1);
     epoch_end_ = end;
+    // The global epoch is the bound for every (src, dst) pair; published
+    // to the workers' private epoch_ends copies through gen_'s release.
+    for (auto& sh : shards_) {
+      std::fill(sh->epoch_ends.begin(), sh->epoch_ends.end(), end);
+      if (end != kNoDeadline) sh->prof.lookahead_ps += end - t;
+    }
     arrived_.store(0, std::memory_order_relaxed);
     gen_.fetch_add(1, std::memory_order_release);
-    run_shard_epoch(0);
+    run_shard_epoch(0, epoch_end_);
     arrived_.fetch_add(1, std::memory_order_acq_rel);
     if (prof) {
       const ProfClock::time_point p0 = ProfClock::now();

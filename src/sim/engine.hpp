@@ -60,12 +60,20 @@ struct ShardProfile {
   std::uint64_t inline_grants = 0;   // suspensions elided by the fast path
   std::uint64_t merged_events = 0;   // cross-shard events merged INTO this
                                      // shard's queue at epoch barriers
-  std::uint64_t merge_ns = 0;        // outbox-merge wall time (shard 0 only:
-                                     // the main thread does every merge)
+  std::uint64_t merge_ns = 0;        // inbox-merge wall time (each worker
+                                     // pulls its own inboxes at epoch entry;
+                                     // under RDMASEM_EPOCH_LEGACY the main
+                                     // thread merges and shard 0 carries it)
   std::uint64_t barrier_park_ns = 0;  // parked at the epoch barrier
   std::uint64_t dispatch_ns = 0;      // inside the event-dispatch loop
   std::uint64_t wall_ns = 0;          // whole-run wall time for this shard
   std::uint64_t max_queue_depth = 0;  // event-queue high-water mark
+  std::uint64_t lookahead_ps = 0;  // summed epoch widths granted to this
+                                   // shard (virtual ps past the global
+                                   // floor); /epochs = effective lookahead.
+                                   // Virtual-time derived, so deterministic
+                                   // — but 0 for serial runs (one unbounded
+                                   // "epoch" has no width).
 };
 
 struct EngineProfile {
@@ -73,6 +81,23 @@ struct EngineProfile {
   std::uint32_t shards = 1;
   std::uint64_t runs = 0;  // profiled run()/run_until() invocations
   std::vector<ShardProfile> shard;
+};
+
+// Lane topology for the per-(src,dst) lookahead matrix. Each lane belongs
+// to an affinity GROUP (for a cluster: the leaf switch of its machine;
+// the driver lane rides with machine 0), and group_latency[g * groups + h]
+// is the minimum virtual latency any cross-lane signal from a lane of
+// group g to a lane of group h can carry. The matrix may be asymmetric.
+// An empty lane_group/group_latency means "uniform": one group whose
+// latency is set_lookahead().
+//
+// Everything derived from this is a pure function of LANES, never of
+// shard placement, so results stay byte-identical at every shard count;
+// placement only decides how wide the epochs get.
+struct LaneTopology {
+  std::vector<std::uint32_t> lane_group;  // size == lanes; empty -> all 0
+  std::vector<Duration> group_latency;    // groups x groups, row-major
+  std::uint32_t groups = 1;
 };
 
 // Discrete-event simulation engine: a virtual clock plus calendar queues
@@ -87,13 +112,24 @@ struct EngineProfile {
 //
 // With configure_lanes(lanes, shards > 1) the engine partitions lanes
 // across worker shards, each with its own EventQueue, and run()/run_until()
-// execute shards on OS threads synchronized in conservative epochs of
-// width set_lookahead() (the minimum cross-shard fabric latency). Events
-// crossing shards inside an epoch go through per-(src,dst) mailboxes and
-// are merged at the epoch barrier; because merge order is absorbed by the
-// (at, key) priority order, parallel execution is byte-identical to
-// serial (docs/PERF.md has the full argument; tests/determinism_test.cpp
+// execute shards on OS threads synchronized in conservative epochs. Epoch
+// widths come from a per-(src,dst)-shard LOOKAHEAD MATRIX derived from the
+// lane topology (LaneTopology): each shard's horizon is the CMB bound
+//   end(s) = min over ALL s' of (next(s') + reach(s' -> s)),
+// where reach is the min-plus closure of the matrix (cheapest >= 1-hop
+// send chain; for s' == s, the min round trip through another shard).
+// The closure makes the bound safe against multi-epoch reactivation
+// chains through currently-empty shards. It is never narrower than the
+// classic global-minimum epoch, and much wider
+// when the topology is non-uniform (e.g. leaf/spine fabrics with shards
+// aligned to leaves). Events crossing shards inside an epoch go through
+// per-(src,dst) mailboxes; each worker pulls its own inboxes at epoch
+// entry under a sense-reversing barrier. Because merge order is absorbed
+// by the (at, key) priority order, parallel execution is byte-identical
+// to serial (docs/PERF.md has the full argument; tests/determinism_test.cpp
 // and tests/parallel_determinism_test.cpp are the oracle).
+// RDMASEM_EPOCH_LEGACY=1 selects the original global-epoch protocol
+// (main-thread merges, gen/arrived spin barrier) for differential testing.
 //
 // The default is one lane on one shard — the classic single-threaded
 // engine, with no threads and no barriers on the hot path.
@@ -124,18 +160,53 @@ class Engine {
 
   // Partitions `lanes` logical lanes (driver + machines) across `shards`
   // worker shards. Must be called before any event is scheduled; lane 0
-  // always maps to shard 0 (the main thread).
-  void configure_lanes(std::uint32_t lanes, std::uint32_t shards);
+  // always maps to shard 0 (the main thread). With a non-uniform `topo`,
+  // placement is communication-affinity aware: whole affinity groups go
+  // onto one shard where balance allows, maximizing the pairwise lookahead
+  // matrix (cross-shard pairs then sit in different groups and pay the
+  // larger cross-group latency).
+  void configure_lanes(std::uint32_t lanes, std::uint32_t shards,
+                       LaneTopology topo = {});
   std::uint32_t lanes() const { return lanes_; }
   std::uint32_t shards() const { return nshards_; }
   std::uint32_t shard_of(std::uint32_t lane) const {
     return lane_shard_[lane];
   }
-  // Conservative-epoch width for parallel runs: the minimum cross-shard
-  // event latency (minimum fabric link latency). Any cross-shard event
-  // scheduled less than this far ahead aborts the run (RDMASEM_CHECK).
-  void set_lookahead(Duration d) { lookahead_ = d; }
+  // Uniform-topology setter (bare-engine tests): one affinity group whose
+  // cross-lane latency is `d`. Clusters install a full LaneTopology via
+  // configure_lanes instead.
+  void set_lookahead(Duration d);
+  // Global minimum cross-lane latency (the narrowest epoch any shard pair
+  // can force). Kept as the floor assertion for parallel runs; routing
+  // decisions should use the per-pair overloads below.
   Duration lookahead() const { return lookahead_; }
+  // Minimum latency a signal from `from_lane` to `to_lane` must carry —
+  // what home-lane sync primitives and settle() route with. A pure
+  // function of the two lanes' groups, independent of shard placement.
+  Duration lookahead(std::uint32_t from_lane, std::uint32_t to_lane) const {
+    return group_lat_[static_cast<std::size_t>(lane_group_[from_lane]) *
+                          ngroups_ +
+                      lane_group_[to_lane]];
+  }
+  // The per-(src,dst)-shard lookahead matrix entry: min lookahead over
+  // lane pairs actually placed on the two shards. Cross-shard events from
+  // src arriving sooner than this after src's epoch floor abort the run.
+  Duration shard_lookahead(std::uint32_t src, std::uint32_t dst) const {
+    return shard_lat_[static_cast<std::size_t>(src) * nshards_ + dst];
+  }
+  // Min cost of a send CHAIN src -> ... -> dst with at least one hop
+  // (src == dst: the min round trip through another shard). The epoch
+  // horizon is computed from this, not the direct edge — see
+  // rebuild_shard_lookahead for why reactivation of empty shards demands
+  // the closure.
+  Duration shard_reach(std::uint32_t src, std::uint32_t dst) const {
+    return shard_reach_[static_cast<std::size_t>(src) * nshards_ + dst];
+  }
+  // Epoch-protocol selector: true = the original global-epoch protocol
+  // (gen/arrived spin barrier, main-thread merges). The constructor seeds
+  // it from RDMASEM_EPOCH_LEGACY; flip only while the engine is idle.
+  void set_epoch_legacy(bool on) { epoch_legacy_ = on; }
+  bool epoch_legacy() const { return epoch_legacy_; }
 
   // --- scheduling ----------------------------------------------------------
 
@@ -268,18 +339,33 @@ class Engine {
   void seed(std::uint64_t s);
 
  private:
+  // Each Shard is separately heap-allocated and cache-line aligned, and
+  // its members are grouped by sharing pattern so the owner's dispatch-hot
+  // state never shares a line with anything another thread touches.
   struct alignas(64) Shard {
+    // --- owner-hot: touched on every dispatch by the owning thread.
     EventQueue queue;
     Time now = 0;
     std::uint64_t processed = 0;
-    // Cross-shard events produced during the current epoch, merged into
-    // the destination queues at the barrier by the main thread.
-    std::vector<std::vector<Event>> outbox;
     DetachedRegistry detached;
-    // Host-time profiling accumulator (Plane 2). Written only by the
-    // thread that owns the shard, except merge_ns/merged_events which the
-    // main thread writes while the workers are parked at the barrier.
-    ShardProfile prof;
+    // --- epoch bookkeeping. outbox rows are written by the owner during
+    // its epoch and drained by the DESTINATION worker while the owner is
+    // parked at the barrier (legacy protocol: by the main thread).
+    // epoch_ends is the owner's private copy of the per-destination
+    // conservative bound: epoch_ends[d] is the earliest timestamp a
+    // cross-shard event pushed to shard d may carry this epoch (every
+    // thread computes identical values from the published next-times;
+    // under the legacy protocol the main thread writes them all).
+    std::vector<std::vector<Event>> outbox;
+    std::vector<Time> epoch_ends;
+    // --- barrier publication slot: this shard's post-merge next event
+    // time, written by the owner before the epoch barrier and read by
+    // every thread after it. Own line: it is the only cross-thread word.
+    alignas(64) std::atomic<Time> next_time{0};
+    // --- host-time profiling accumulator (Plane 2), own line. Written by
+    // the owning thread, except merge_ns/merged_events/lookahead_ps which
+    // the LEGACY protocol's main thread writes while workers are parked.
+    alignas(64) ShardProfile prof;
     // processed-count anchor of the current profiling window.
     std::uint64_t prof_events_base = 0;
   };
@@ -326,10 +412,12 @@ class Engine {
           detail::t_exec.eng == this ? detail::t_exec.shard : 0;
       if (dst != src) {
         // Conservative-epoch safety: a cross-shard event may not land
-        // inside the current epoch (the destination may already have run
-        // past it). The fabric guarantees this by construction — every
-        // cross-machine path pays at least the lookahead latency.
-        RDMASEM_CHECK_MSG(ev.at >= epoch_end_,
+        // inside the destination's current epoch (it may already have run
+        // past it). epoch_ends[dst] is the pushing shard's own copy of the
+        // per-destination bound — the fabric and the home-lane sync
+        // routing guarantee it by construction, because every cross-lane
+        // path pays at least the per-pair lookahead latency.
+        RDMASEM_CHECK_MSG(ev.at >= shards_[src]->epoch_ends[dst],
                           "cross-shard event inside the lookahead window");
         shards_[src]->outbox[dst].push_back(std::move(ev));
         return;
@@ -339,12 +427,27 @@ class Engine {
   }
 
   void dispatch(Shard& sh, std::uint32_t shard_idx, Event& ev);
-  // Runs one shard's events with at < epoch_end_.
-  void run_shard_epoch(std::uint32_t shard_idx);
-  void worker_main(std::uint32_t shard_idx, std::uint64_t base_gen);
+  // Runs one shard's events with at < end (the shard's epoch horizon).
+  void run_shard_epoch(std::uint32_t shard_idx, Time end);
   // The conservative-epoch driver; `deadline` = kNoDeadline for run().
-  // Returns true if events remain past the deadline.
+  // Returns true if events remain past the deadline. Dispatches to the
+  // sense-reversing SPMD protocol or, under RDMASEM_EPOCH_LEGACY, the
+  // original global-epoch one.
   bool run_parallel(Time deadline);
+  bool run_parallel_epochs(Time deadline);
+  bool run_parallel_legacy(Time deadline);
+  // One thread's whole run under the SPMD protocol (the main thread runs
+  // it for shard 0).
+  void epoch_loop(std::uint32_t shard_idx, Time deadline,
+                  std::uint64_t base_phase);
+  // Pulls every outbox row destined to `shard_idx` into its queue. The
+  // caller must own the shard and every producer must be parked.
+  void drain_inboxes(std::uint32_t shard_idx);
+  // Sense-reversing barrier arrival (see barrier_ below).
+  void barrier_wait(std::uint64_t& phase, ShardProfile* prof);
+  // Recomputes shard_lat_ from lane placement and group latencies.
+  void rebuild_shard_lookahead();
+  void worker_main(std::uint32_t shard_idx, std::uint64_t base_gen);
   void merge_outboxes();
 
   static constexpr Time kNoDeadline = ~Time{0};
@@ -359,15 +462,37 @@ class Engine {
   Time unified_now_ = 0;
   std::uint64_t base_seed_;
 
-  // Parallel-run state. epoch_end_ / stop_ are written by the main thread
-  // only while the workers are parked at the barrier (publication happens
-  // through gen_'s release/acquire pair).
-  std::atomic<std::uint64_t> gen_{0};
-  std::atomic<std::uint32_t> arrived_{0};
-  Time epoch_end_ = 0;
+  // Lane topology: lane -> affinity group, the groups x groups latency
+  // matrix, and the placement-derived shards x shards lookahead matrix.
+  std::vector<std::uint32_t> lane_group_;
+  std::vector<Duration> group_lat_;
+  std::uint32_t ngroups_ = 1;
+  std::vector<Duration> shard_lat_;
+  std::vector<Duration> shard_reach_;
+
+  // SPMD-protocol barrier: one reusable sense-reversing barrier. Arrivals
+  // accumulate in `arrived`; the last arriver resets the count and bumps
+  // `phase` (the sense), releasing the spinners. The two words live on
+  // separate cache lines so spinning on the sense never contends with
+  // arrivals (satellite: the legacy gen_/arrived_/stop_ words below get
+  // the same padding).
+  struct alignas(64) EpochBarrier {
+    std::atomic<std::uint32_t> arrived{0};
+    alignas(64) std::atomic<std::uint64_t> phase{0};
+  };
+  EpochBarrier barrier_;
+
+  // Legacy-protocol state (RDMASEM_EPOCH_LEGACY). epoch_end_ / stop_ are
+  // written by the main thread only while the workers are parked at the
+  // barrier (publication happens through gen_'s release/acquire pair).
+  // Each spun-on atomic gets its own cache line.
+  alignas(64) std::atomic<std::uint64_t> gen_{0};
+  alignas(64) std::atomic<std::uint32_t> arrived_{0};
+  alignas(64) Time epoch_end_ = 0;
   bool stop_ = false;
   bool parallel_running_ = false;
   bool inline_wakeups_ = true;
+  bool epoch_legacy_ = false;
   // Plane-2 profiling (RDMASEM_PROF). Written only while the engine is
   // not running; worker threads read it after being spawned.
   bool prof_ = false;
@@ -403,8 +528,9 @@ inline DelayAwaiter yield(Engine& e) { return {e, 0}; }
 
 // Awaitable returned by hop(): suspends the coroutine and resumes it `d`
 // later ON `lane` — the only way execution migrates between lanes. Under
-// RDMASEM_SHARDS > 1, `d` must be >= the engine lookahead when the target
-// lane lives on another shard (the fabric's link latency always is).
+// RDMASEM_SHARDS > 1, `d` must be >= the per-pair lookahead
+// (engine.lookahead(current_lane(), lane)) when the target lane lives on
+// another shard — the fabric's per-pair link latency always is.
 // Same-shard hops may be granted inline like delays (see
 // Engine::try_inline_hop); cross-shard hops always go through the queue.
 struct HopAwaiter {
@@ -425,7 +551,9 @@ inline HopAwaiter hop(Engine& e, std::uint32_t lane, Duration d) {
 }
 
 // Conditional hop: no-op when the caller is already on `lane`, otherwise
-// a hop of one lookahead (the minimum legal cross-shard migration).
+// a hop of one (caller -> lane) lookahead — the minimum legal cross-shard
+// migration for that specific pair; a uniform global minimum here would
+// break the conservative bound on non-uniform topologies.
 // Per-machine objects (front-ends, proxy routers, executors) put this at
 // the top of their public coroutines so their state is only ever touched
 // from the owner machine's lane, whatever lane the caller was resumed on.
@@ -434,7 +562,8 @@ struct SettleAwaiter {
   std::uint32_t lane;
   bool await_ready() const noexcept { return current_lane() == lane; }
   void await_suspend(std::coroutine_handle<> h) const {
-    engine.resume_on(lane, engine.now() + engine.lookahead(), h);
+    engine.resume_on(lane,
+                     engine.now() + engine.lookahead(current_lane(), lane), h);
   }
   void await_resume() const noexcept {}
 };

@@ -134,6 +134,15 @@ class EventQueue {
     std::push_heap(overflow_.begin(), overflow_.end(), event_after);
   }
 
+  // Bulk insert for epoch-barrier inbox merges: pushes every event and
+  // clears the source vector (the producer keeps the capacity for its
+  // next epoch). Arbitrary arrival order is fine — see the determinism
+  // note above.
+  void push_all(std::vector<Event>& evs) {
+    for (Event& ev : evs) push(std::move(ev));
+    evs.clear();
+  }
+
   // Removes and returns the (at, seq)-minimum event. Requires !empty().
   Event pop() {
     RDMASEM_CHECK_MSG(size_ > 0, "pop on empty event queue");

@@ -14,8 +14,9 @@ namespace rdmasem::sim {
 // they are virtual-clock rendezvous points. Each has a HOME lane (the
 // lane it was created on) that owns all of its bookkeeping. Signals and
 // wait registrations arriving from another lane are routed to the home
-// lane as an engine event one lookahead later — the same minimum latency
-// any cross-machine signal pays on the fabric — which (a) keeps every
+// lane as an engine event one (origin -> home) lookahead later — the same
+// per-pair minimum latency any signal between those machines pays on the
+// fabric (Engine::lookahead(from, to)) — which (a) keeps every
 // cross-shard event outside the conservative epoch and (b) makes the
 // order in which racing signals land a pure function of virtual time and
 // origin-lane keys, i.e. identical for every shard count. Same-lane use
@@ -35,7 +36,9 @@ class OneShotEvent {
 
   void set() {
     if (current_lane() != home_) {
-      engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+      engine_.schedule_on(home_,
+                          engine_.now() +
+                              engine_.lookahead(current_lane(), home_),
                           [this] { set_local(); });
       return;
     }
@@ -62,7 +65,7 @@ class OneShotEvent {
     waiters_.clear();
   }
   void wake(const LaneWaiter& w) {
-    const Duration d = w.lane == home_ ? 0 : engine_.lookahead();
+    const Duration d = w.lane == home_ ? 0 : engine_.lookahead(home_, w.lane);
     engine_.resume_on(w.lane, engine_.now() + d, w.handle);
   }
   void suspend(std::coroutine_handle<> h) {
@@ -71,7 +74,8 @@ class OneShotEvent {
       waiters_.push_back({h, lane});
       return;
     }
-    engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+    engine_.schedule_on(home_,
+                        engine_.now() + engine_.lookahead(lane, home_),
                         [this, h, lane] {
                           if (set_)
                             wake({h, lane});
@@ -98,7 +102,9 @@ class CountdownLatch {
 
   void count_down() {
     if (current_lane() != home_) {
-      engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+      engine_.schedule_on(home_,
+                          engine_.now() +
+                              engine_.lookahead(current_lane(), home_),
                           [this] { dec_local(); });
       return;
     }
@@ -131,7 +137,7 @@ class CountdownLatch {
     }
   }
   void wake(const LaneWaiter& w) {
-    const Duration d = w.lane == home_ ? 0 : engine_.lookahead();
+    const Duration d = w.lane == home_ ? 0 : engine_.lookahead(home_, w.lane);
     engine_.resume_on(w.lane, engine_.now() + d, w.handle);
   }
   void suspend(std::coroutine_handle<> h) {
@@ -140,7 +146,8 @@ class CountdownLatch {
       waiters_.push_back({h, lane});
       return;
     }
-    engine_.schedule_on(home_, engine_.now() + engine_.lookahead(),
+    engine_.schedule_on(home_,
+                        engine_.now() + engine_.lookahead(lane, home_),
                         [this, h, lane] {
                           if (remaining_.load(std::memory_order_relaxed) == 0)
                             wake({h, lane});

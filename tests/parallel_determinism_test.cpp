@@ -27,6 +27,7 @@
 
 namespace v = rdmasem::verbs;
 namespace sim = rdmasem::sim;
+namespace hw = rdmasem::hw;
 namespace fl = rdmasem::fault;
 namespace cl = rdmasem::cluster;
 namespace wl = rdmasem::wl;
@@ -41,26 +42,41 @@ namespace {
 
 constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
 
-// Pins RDMASEM_SHARDS for the lifetime of one run (clusters read it at
-// construction time) and restores the previous value after.
-class ShardEnv {
+// Pins one env var for the lifetime of one run (clusters read
+// RDMASEM_SHARDS / RDMASEM_EPOCH_LEGACY at Engine construction) and
+// restores the previous value after.
+class EnvPin {
  public:
-  explicit ShardEnv(std::uint32_t shards) {
-    const char* old = std::getenv("RDMASEM_SHARDS");
+  EnvPin(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
     if (old != nullptr) saved_ = old;
     had_ = old != nullptr;
-    setenv("RDMASEM_SHARDS", std::to_string(shards).c_str(), 1);
+    setenv(name, value.c_str(), 1);
   }
-  ~ShardEnv() {
+  ~EnvPin() {
     if (had_)
-      setenv("RDMASEM_SHARDS", saved_.c_str(), 1);
+      setenv(name_, saved_.c_str(), 1);
     else
-      unsetenv("RDMASEM_SHARDS");
+      unsetenv(name_);
   }
 
  private:
+  const char* name_;
   std::string saved_;
   bool had_ = false;
+};
+
+class ShardEnv : public EnvPin {
+ public:
+  explicit ShardEnv(std::uint32_t shards)
+      : EnvPin("RDMASEM_SHARDS", std::to_string(shards)) {}
+};
+
+// Selects the original global-epoch protocol for the scope (differential
+// oracle: both protocols must produce the same bytes).
+class LegacyEnv : public EnvPin {
+ public:
+  explicit LegacyEnv(bool on) : EnvPin("RDMASEM_EPOCH_LEGACY", on ? "1" : "0") {}
 };
 
 std::string shuffle_run(std::uint32_t shards, sh::Direction dir,
@@ -397,6 +413,90 @@ TEST(ParallelDeterminism, LegacyDatapathMatchesFastPathAtEveryShardCount) {
   const std::string fast = chaos_run(1);
   for (const std::uint32_t s : kShardCounts)
     EXPECT_EQ(chaos_run(s, /*legacy_datapath=*/true), fast) << "shards=" << s;
+}
+
+TEST(ParallelDeterminism, LegacyEpochProtocolMatchesNewAtEveryShardCount) {
+  // Differential oracle for the epoch protocols: the original global-epoch
+  // protocol (RDMASEM_EPOCH_LEGACY=1) and the SPMD per-pair-lookahead one
+  // must produce byte-identical runs at every shard count — the protocol
+  // decides only HOW workers synchronize, never what the timeline is.
+  const std::string serial =
+      shuffle_run(1, sh::Direction::kPush, sh::BatchMode::kSgl);
+  for (const std::uint32_t s : kShardCounts) {
+    LegacyEnv legacy(true);
+    EXPECT_EQ(shuffle_run(s, sh::Direction::kPush, sh::BatchMode::kSgl),
+              serial)
+        << "legacy shards=" << s;
+  }
+}
+
+TEST(ParallelDeterminism, LegacyEpochProtocolMatchesNewOnServiceTier) {
+  const std::string serial = broker_run(1);
+  for (const std::uint32_t s : kShardCounts) {
+    LegacyEnv legacy(true);
+    EXPECT_EQ(broker_run(s), serial) << "legacy shards=" << s;
+  }
+}
+
+namespace {
+
+// An 8-machine cluster on a two-tier leaf/spine fabric (2 machines per
+// leaf): the lane topology Cluster derives feeds the per-pair lookahead
+// matrix, and leaf-aligned shard placement makes every cross-shard hop
+// pay the spine. The digest must be byte-identical across shard counts
+// under BOTH epoch protocols.
+std::string leaf_shuffle_run(std::uint32_t shards, bool legacy) {
+  ShardEnv env(shards);
+  LegacyEnv lenv(legacy);
+  hw::ModelParams p = hw::ModelParams::connectx3_cluster();
+  p.machines = 8;
+  p.net_machines_per_leaf = 2;
+  Testbed tb(p);
+  sh::Config cfg;
+  cfg.executors = 8;
+  cfg.entries_per_executor = 256;
+  cfg.entry_size = 64;
+  cfg.batch = sh::BatchMode::kSgl;
+  cfg.batch_size = 8;
+  cfg.machines = tb.cluster.size();
+  cfg.seed = 99;
+  sh::Shuffle shuffle(tb.contexts(), cfg);
+  const auto r = shuffle.run();
+  return std::to_string(r.checksum) + "|" +
+         std::to_string(shuffle.sent_checksum()) + "|" +
+         std::to_string(r.elapsed) + "|" + std::to_string(tb.eng.now()) + "|" +
+         std::to_string(tb.eng.events_processed()) + "|" +
+         cl::StatsReport::capture(tb.cluster).render();
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, LeafTopologyMatchesSerialAtEveryShardCount) {
+  const std::string serial = leaf_shuffle_run(1, false);
+  for (const std::uint32_t s : kShardCounts)
+    for (const bool legacy : {false, true})
+      EXPECT_EQ(leaf_shuffle_run(s, legacy), serial)
+          << "shards=" << s << " legacy=" << legacy;
+}
+
+TEST(ParallelDeterminism, LeafTopologyWidensCrossShardLookahead) {
+  // With shards aligned to leaves, every cross-shard matrix entry must be
+  // the spine latency, strictly wider than the flat-fabric floor — the
+  // whole point of the per-pair matrix.
+  ShardEnv env(4);
+  hw::ModelParams p = hw::ModelParams::connectx3_cluster();
+  p.machines = 8;
+  p.net_machines_per_leaf = 2;
+  Testbed tb(p);
+  const sim::Duration flat = p.net_propagation + p.net_switch_hop;
+  ASSERT_EQ(tb.eng.shards(), 4u);
+  EXPECT_EQ(tb.eng.lookahead(), flat);
+  for (std::uint32_t s = 0; s < 4; ++s)
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(tb.eng.shard_lookahead(s, d), flat + p.net_spine_hop)
+          << "src=" << s << " dst=" << d;
+    }
 }
 
 TEST(ParallelDeterminism, ShardCountBeyondMachinesClamps) {
