@@ -300,6 +300,12 @@ double parallel_shuffle_mev(std::uint32_t shards) {
     p.machines = 16;
     p.net_machines_per_leaf = 4;
     wl::Rig rig(p);
+    // Force the Plane-2 engine profile on for the parallel sweep even
+    // when RDMASEM_PROF is unset: perf_gate.py budgets the shard-4
+    // barrier-park share from this report's engine-profile groups, so
+    // they must always be present. Both sides of the gated serial/shard-4
+    // ratio run profiled, so the timer overhead cancels out of it.
+    rig.eng.set_profiling(true);
     apps::shuffle::Config cfg;
     cfg.machines = 16;
     cfg.executors = 16;

@@ -97,6 +97,14 @@ EP_ROW_KEYS = {
     "epochs_per_sec": (int, float),
     "events_per_epoch": (int, float),
     "effective_lookahead_ps": (int, float),
+    # Demand-driven horizon counters (PR 10): terms dropped for quiescent
+    # pairs, rounds fused past the static bound, budget-forced re-splits,
+    # and the total virtual widening bought. Host-race-dependent values;
+    # only presence/type/sanity is checked.
+    "quiescent_terms": int,
+    "fused_epochs": int,
+    "resplit_epochs": int,
+    "horizon_widening_ps": int,
 }
 
 
@@ -223,6 +231,13 @@ def check_engine_profile(path, ep):
             elif r["events_per_epoch"] or r["effective_lookahead_ps"] or \
                     r["epochs_per_sec"]:
                 fail(path, "derived epoch rates nonzero with zero epochs")
+            for key in ("quiescent_terms", "fused_epochs",
+                        "resplit_epochs", "horizon_widening_ps"):
+                if r[key] < 0:
+                    fail(path, f"{key} negative: {r[key]}")
+            if r["horizon_widening_ps"] and not r["fused_epochs"]:
+                fail(path, "horizon_widening_ps nonzero with zero "
+                           "fused_epochs")
 
 
 SYNC_ABORT_KEYS = {

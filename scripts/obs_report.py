@@ -93,6 +93,7 @@ def report_engine_profile(name, ep, min_accounted):
     if ep.get("schema") != ENGINE_SCHEMA:
         die(f"{name}: engine profile schema is not {ENGINE_SCHEMA!r}")
     worst = 1.0
+    starved = []
     for g in ep.get("groups", []):
         print(f"\n== {name}: engine profile, shards={g['shards']} "
               f"({g['runs']} run(s)) ==")
@@ -101,11 +102,18 @@ def report_engine_profile(name, ep, min_accounted):
             wall = r["wall_ns"]
             acct = r["accounted_share"]
             worst = min(worst, acct)
+            epe = r.get("events_per_epoch", 0)
+            if g["shards"] > 1 and r["epochs"] > 0 and epe < 10:
+                starved.append((g["shards"], r["shard"], epe))
             out.append([
                 str(r["shard"]), str(r["epochs"]), str(r["events"]),
-                f"{r.get('events_per_epoch', 0):.1f}",
+                f"{epe:.1f}",
                 f"{r.get('epochs_per_sec', 0):.0f}",
                 f"{r.get('effective_lookahead_ps', 0) / 1e3:.1f}",
+                str(r.get("fused_epochs", 0)),
+                str(r.get("resplit_epochs", 0)),
+                str(r.get("quiescent_terms", 0)),
+                f"{r.get('horizon_widening_ps', 0) / 1e3:.1f}",
                 ms(r["dispatch_ns"]), ms(r["barrier_park_ns"]),
                 ms(r["merge_ns"]), ms(wall),
                 f"{r['dispatch_ns'] / wall:.3f}" if wall else "0",
@@ -116,10 +124,18 @@ def report_engine_profile(name, ep, min_accounted):
             ])
         print(fmt_table(
             ["shard", "epochs", "events", "ev/epoch", "epoch/s",
-             "eff_la_ns", "dispatch_ms", "park_ms",
+             "eff_la_ns", "fused", "resplit", "quiesc", "widen_ns",
+             "dispatch_ms", "park_ms",
              "merge_ms", "wall_ms", "disp_share", "park_share",
              "merge_share", "accounted", "merged_ev", "inline", "max_qd"],
             out))
+    for shards, shard, epe in starved:
+        # The symptom the demand-driven horizon exists to fix: barrier
+        # crossings so frequent that each buys under 10 events of work.
+        print(f"obs_report: WARNING: {name} shards={shards} shard {shard}: "
+              f"events_per_epoch {epe:.1f} < 10 — epoch-starved; check "
+              "fused/quiesc counters and RDMASEM_HORIZON_* knobs",
+              file=sys.stderr)
     if worst < min_accounted:
         die(f"{name}: accounted share {worst:.3f} below "
             f"--min-accounted {min_accounted}")

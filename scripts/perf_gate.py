@@ -61,8 +61,7 @@ def die(msg):
     sys.exit(2)
 
 
-def load_points(path):
-    """-> {(series, x): mops} from a rdmasem-bench-v1 report."""
+def load_report(path):
     try:
         with open(path) as f:
             report = json.load(f)
@@ -70,12 +69,34 @@ def load_points(path):
         die(f"cannot read bench report {path}: {e}")
     if report.get("schema") != "rdmasem-bench-v1":
         die(f"{path}: unexpected schema {report.get('schema')!r}")
+    return report
+
+
+def load_points(path):
+    """-> {(series, x): mops} from a rdmasem-bench-v1 report."""
+    report = load_report(path)
     points = {}
     for p in report.get("points", []):
         points[(p["series"], p["x"])] = float(p["mops"])
     if not points:
         die(f"{path}: no sweep points")
     return points
+
+
+def park_share(report, shards):
+    """Barrier-park share of wall time, summed over the rows of the
+    engine-profile group with the given shard count; None when the report
+    carries no profile or no such group (profiling disabled)."""
+    ep = report.get("engine_profile")
+    if not isinstance(ep, dict):
+        return None
+    for g in ep.get("groups", []):
+        if g.get("shards") != shards:
+            continue
+        park = sum(int(r.get("barrier_park_ns", 0)) for r in g["rows"])
+        wall = sum(int(r.get("wall_ns", 0)) for r in g["rows"])
+        return park / wall if wall > 0 else None
+    return None
 
 
 def sustained_tenants(points, series, tolerance):
@@ -142,6 +163,13 @@ def main():
                     default=float(os.environ.get(
                         "RDMASEM_PERF_MIN_DATAPATH_SPEEDUP", "1.5")),
                     help="floor for the tuned/legacy verbs-datapath ratio")
+    ap.add_argument("--max-park-share", type=float,
+                    default=float(os.environ.get(
+                        "RDMASEM_PERF_MAX_PARK_SHARE", "0.40")),
+                    help="barrier-park budget: ceiling on the shard-4 "
+                         "park/wall share from the report's engine_profile "
+                         "section (enforced only on hosts with >= 4 "
+                         "hardware threads; env RDMASEM_PERF_MAX_PARK_SHARE)")
     ap.add_argument("--tenant-report", default=None,
                     help="BENCH_ext_tenant_scale.json; when given, also "
                          "enforce the multi-tenant scaling floors")
@@ -165,7 +193,11 @@ def main():
                     help="rewrite the baseline from this report and exit")
     args = ap.parse_args()
 
-    points = load_points(args.report)
+    report = load_report(args.report)
+    points = {(p["series"], p["x"]): float(p["mops"])
+              for p in report.get("points", [])}
+    if not points:
+        die(f"{args.report}: no sweep points")
 
     legacy = points.get(("dispatch", "legacy"))
     speedup = points.get(("speedup", "dispatch"))
@@ -256,6 +288,29 @@ def main():
         else:
             print(f"perf_gate: parallel speedup 4-shard/serial = "
                   f"{par_speedup:.2f}x — floor SKIPPED (host has "
+                  f"{0 if par_cpus is None else par_cpus:.0f} hardware "
+                  f"threads, need >= 4)")
+
+    # Barrier-park budget (PR 10): with the demand-driven horizon engaged,
+    # shard-4 workers must spend most of their wall time dispatching, not
+    # parked at the epoch barrier. Same host waiver as the speedup floor:
+    # on < 4 hardware threads the workers time-slice one another and park
+    # time measures the scheduler, not the engine. The selfbench's parallel
+    # sweep always runs profiled (bench/selfbench_engine.cpp), so a missing
+    # profile group means the sweep was skipped — already fatal above.
+    share = park_share(report, 4)
+    if share is not None:
+        if par_cpus is not None and par_cpus >= 4:
+            verdict = "ok" if share < args.max_park_share else "REGRESSED"
+            print(f"perf_gate: shard-4 barrier-park share = {share:.3f} "
+                  f"(budget {args.max_park_share:.2f}) {verdict}")
+            if share >= args.max_park_share:
+                failures.append(
+                    f"shard-4 barrier-park share {share:.3f} blew the "
+                    f"{args.max_park_share:.2f} budget")
+        else:
+            print(f"perf_gate: shard-4 barrier-park share = {share:.3f} "
+                  f"— budget SKIPPED (host has "
                   f"{0 if par_cpus is None else par_cpus:.0f} hardware "
                   f"threads, need >= 4)")
 

@@ -24,6 +24,16 @@ shuffle bench re-run at RDMASEM_SHARDS=1/2/4/8, recording per-shard wall
 seconds and asserting the report JSON is byte-identical at every shard
 count (the determinism contract). Skip it with --no-shard-scaling.
 
+Alongside the byte-compare runs, one extra PROFILED shard-4 run (kept out
+of the byte-identity set: profiling adds host-time sections to the
+report) supplies the engine-health numbers — shard-4 events_per_epoch and
+barrier-park share — and the whole row is appended in a committed format
+(schema rdmasem-trajectory-v1, one JSON object per line) to
+bench/trajectory.jsonl, so the battery accumulates a perf history across
+PRs instead of overwriting it. Point --trajectory-file elsewhere or at ""
+to disable. The accumulated history is mirrored into BENCH_ALL.json under
+"trajectory_history".
+
 Shrink knobs: the benches honour the same env as scripts/bench_smoke.cmake
 (RDMASEM_SHUFFLE_ENTRIES etc.), and RDMASEM_SHARDS applies to every child,
 so `RDMASEM_SHARDS=4 scripts/run_all_benches.py build` runs the battery on
@@ -48,6 +58,42 @@ PREFIXES = ("fig", "ext_", "table")
 
 SCALING_BENCH = "fig15_shuffle"
 SCALING_SHARDS = (1, 2, 4, 8)
+
+TRAJECTORY_SCHEMA = "rdmasem-trajectory-v1"
+DEFAULT_TRAJECTORY = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "bench",
+    "trajectory.jsonl")
+
+
+def engine_health(report_path):
+    """Shard-4 engine health from a profiled bench report: aggregate
+    events-per-epoch and barrier-park share of wall. -> dict or None."""
+    try:
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError):
+        return None
+    ep = report.get("engine_profile")
+    if not isinstance(ep, dict):
+        return None
+    for g in ep.get("groups", []):
+        if g.get("shards") != 4:
+            continue
+        rows = g.get("rows", [])
+        epochs = sum(int(r.get("epochs", 0)) for r in rows)
+        events = sum(int(r.get("events", 0)) for r in rows)
+        park = sum(int(r.get("barrier_park_ns", 0)) for r in rows)
+        wall = sum(int(r.get("wall_ns", 0)) for r in rows)
+        return {
+            "events_per_epoch": round(events / epochs, 3) if epochs else 0.0,
+            "park_share": round(park / wall, 4) if wall else 0.0,
+            "fused_epochs": sum(int(r.get("fused_epochs", 0)) for r in rows),
+            "resplit_epochs": sum(int(r.get("resplit_epochs", 0))
+                                  for r in rows),
+            "quiescent_terms": sum(int(r.get("quiescent_terms", 0))
+                                   for r in rows),
+        }
+    return None
 
 
 def discover(bench_dir, with_selfbench):
@@ -128,6 +174,22 @@ def shard_scaling(bench_dir, out_dir, timeout):
         elif blob != baseline:
             row["byte_identical"] = False
             row["status"] = f"shards={shards} report differs from serial"
+    # One extra PROFILED shard-4 run for the trajectory's engine-health
+    # numbers. Deliberately outside the byte-compare set: RDMASEM_PROF=1
+    # adds host-time report sections, which are allowed to differ.
+    sub = os.path.join(out_dir, "shards4-prof")
+    os.makedirs(sub, exist_ok=True)
+    env = dict(os.environ, RDMASEM_BENCH_OUT=sub, RDMASEM_SHARDS="4",
+               RDMASEM_PROF="1")
+    try:
+        proc = subprocess.run([binary], env=env, timeout=timeout,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        if proc.returncode == 0:
+            row["engine_health"] = engine_health(
+                os.path.join(sub, f"BENCH_{SCALING_BENCH}.json"))
+    except subprocess.TimeoutExpired:
+        pass  # health numbers are advisory; the battery verdict stands
     return row
 
 
@@ -147,6 +209,10 @@ def main():
     ap.add_argument("--no-shard-scaling", action="store_true",
                     help="skip the shards=1/2/4/8 scaling + byte-identity "
                          "re-runs of " + SCALING_BENCH)
+    ap.add_argument("--trajectory-file", default=DEFAULT_TRAJECTORY,
+                    help="committed perf-history file to append this run's "
+                         "trajectory row to (JSONL; \"\" disables; default: "
+                         "bench/trajectory.jsonl)")
     args = ap.parse_args()
 
     bench_dir = os.path.join(args.builddir, "bench")
@@ -207,7 +273,10 @@ def main():
         if scaling["status"] != "ok" or not scaling["byte_identical"]:
             failed.append(f"shard_scaling:{SCALING_BENCH}")
 
+    health = (scaling or {}).get("engine_health") or {}
     trajectory = {
+        "schema": TRAJECTORY_SCHEMA,
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benches_ok": len(benches),
         "benches_failed": len(failed),
         "failed": failed,
@@ -217,17 +286,46 @@ def main():
         "jobs": args.jobs,
         "shards_env": os.environ.get("RDMASEM_SHARDS", ""),
         "shard_scaling": scaling,
+        "events_per_epoch": health.get("events_per_epoch"),
+        "park_share": health.get("park_share"),
+        "fused_epochs": health.get("fused_epochs"),
+        "quiescent_terms": health.get("quiescent_terms"),
     }
+
+    history = []
+    if args.trajectory_file:
+        tpath = os.path.abspath(args.trajectory_file)
+        try:
+            with open(tpath, encoding="utf-8") as f:
+                history = [json.loads(line) for line in f if line.strip()]
+        except OSError:
+            pass  # first run: no history yet
+        except ValueError as e:
+            print(f"run_all_benches: {tpath}: corrupt history ignored: {e}",
+                  file=sys.stderr)
+            history = []
+        history.append(trajectory)
+        with open(tpath, "a", encoding="utf-8") as f:
+            json.dump(trajectory, f, separators=(",", ":"), sort_keys=True)
+            f.write("\n")
+        print(f"trajectory history: {tpath} ({len(history)} row(s))")
+
     all_path = os.path.join(out_dir, "BENCH_ALL.json")
     with open(all_path, "w", encoding="utf-8") as f:
         json.dump({"schema": "rdmasem-bench-all-v1",
                    "trajectory": trajectory,
+                   "trajectory_history": history,
                    "benches": benches}, f, indent=1)
         f.write("\n")
 
     print(f"aggregate report: {all_path}")
+    epe = health.get("events_per_epoch")
+    park = health.get("park_share")
+    extra = ""
+    if epe is not None:
+        extra = f", ev/epoch {epe:.1f}, park {park:.0%}"
     print(f"trajectory: {len(benches)} benches ok, {len(failed)} failed, "
-          f"{points} points, {rows} rows, {wall:.1f}s wall")
+          f"{points} points, {rows} rows, {wall:.1f}s wall{extra}")
     return 1 if failed else 0
 
 

@@ -76,12 +76,29 @@ Engine::Engine() : base_seed_(kDefaultSeed) {
   prof_ = util::env_bool("RDMASEM_PROF", false);
   epoch_legacy_ = util::env_bool("RDMASEM_EPOCH_LEGACY", false);
   inline_wakeups_ = util::env_bool("RDMASEM_INLINE_WAKEUPS", true);
+  horizon_legacy_ = util::env_bool("RDMASEM_HORIZON_LEGACY", false);
+  horizon_quantum_ = util::env_u64("RDMASEM_HORIZON_QUANTUM", 0);
+  horizon_poll_budget_ = util::env_u64("RDMASEM_HORIZON_POLL_BUDGET", 512);
+  horizon_fuse_events_ = util::env_u64("RDMASEM_HORIZON_FUSE_EVENTS", 4096);
 }
 
 Engine::~Engine() {
   // Unblocked destruction order: drop the event queues first (pending
   // resumptions reference frames), then destroy surviving frames.
-  for (auto& sh : shards_) sh->queue.clear();
+  // Channels are normally empty here (drained at every round top), but an
+  // aborted run may strand events in a ring — drop those the same way.
+  for (auto& sh : shards_) {
+    sh->queue.clear();
+    if (sh->chan == nullptr) continue;
+    for (std::uint32_t d = 0; d < nshards_; ++d) {
+      EventChannel& ch = sh->chan[d];
+      const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+      const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
+      for (std::uint64_t i = h; i != t; ++i)
+        ch.buf[i & (EventChannel::kCap - 1)] = Event{};
+      ch.head.store(t, std::memory_order_relaxed);
+    }
+  }
   for (auto& sh : shards_) {
     // Snapshot before destroying: a frame's locals may unregister other
     // frames from their destructors.
@@ -178,6 +195,18 @@ void Engine::configure_lanes(std::uint32_t lanes, std::uint32_t shards,
     sh->outbox.clear();
     sh->outbox.resize(shards);
     sh->epoch_ends.assign(shards, 0);
+    sh->chan = shards > 1 ? std::make_unique<EventChannel[]>(shards)
+                          : nullptr;
+    sh->live_clock.store(0, std::memory_order_relaxed);
+    sh->pub_freeze = kNoDeadline;
+    sh->pub_mark = 0;
+    sh->publishing = false;
+    std::fill(std::begin(sh->win_events), std::end(sh->win_events),
+              std::uint64_t{0});
+    sh->win_sum = 0;
+    sh->win_pos = 0;
+    sh->win_count = 0;
+    sh->round_base = sh->processed;
   }
   rebuild_shard_lookahead();
 }
@@ -441,10 +470,191 @@ void Engine::run_shard_epoch(std::uint32_t shard_idx, Time end) {
     }
   }
   detail::t_exec = saved;
-  if (prof_) {
-    sh.prof.dispatch_ns += ns_since(w0);
-    ++sh.prof.epochs;
+  if (prof_) sh.prof.dispatch_ns += ns_since(w0);
+}
+
+// --- demand-driven horizon (PR 10) -------------------------------------------
+//
+// The static CMB bound recomputed at every barrier is worst-case: it
+// assumes every peer might send the instant its next event runs. On flat
+// fabrics with fine-grained traffic that yields sub-10-event epochs and
+// barrier park dominates the profile. The demand-driven run phase keeps a
+// round going PAST the static bound by reading what the peers are
+// actually doing:
+//
+//   * Every engaged shard continuously publishes (release, quantum-gated)
+//     a monotone floor on its next dispatch time through next_time: at a
+//     dispatch, the event's timestamp; stalled or drained, its own
+//     conservative bound (every future dispatch — a queued event or an
+//     arrival still in flight toward it — is provably >= that bound, by
+//     the induction below).
+//   * Cross-shard events travel through SPSC channels the destination
+//     pulls mid-round. refresh_horizon reads a peer's clock (acquire)
+//     BEFORE pulling its channel: pushes made before that publication
+//     are then visible in the pull, and any later push carries
+//     at >= clock + lookahead(s, d) by the per-pair latency floor
+//     (asserted on every push).
+//   * The live bound for shard d is then
+//         min over peers s of (clock(s) + reach(s, d)),
+//     plus d's own next + reach(d, d) (its own events can bounce off an
+//     idle peer and return). reach is the min-plus closure, so a chain
+//     s -> k -> d relayed by k is covered by s's term: k cannot dispatch
+//     the relay before the in-flight event's timestamp (k's own bound,
+//     hence k's published clock, never passes a pending arrival), and
+//     the closure prices the remaining hops.
+//
+// Induction (why no pulled event ever lands in d's past): order the
+// refreshes r_0 < r_1 < ...; d's position during span i is < end_i. A
+// push visible at r_{i+1} but not r_i was made after r_i's clock read of
+// its producer, so its timestamp is >= clock_i(s) + lat(s, d) >= end_i —
+// strictly ahead of everything d ran in span i. Bounds only widen
+// (clocks are monotone), so earlier spans are covered a fortiori, and
+// the round's opening span is bounded by the static CMB bound computed
+// from the barrier-published exact next-times.
+//
+// Quiescence: a drained shard publishes its refreshed bound — anchored by
+// the ACTIVE peers' clocks — so an idle pair's term chases the sender's
+// clock instead of pinning it one lookahead ahead; with no deadline and
+// no traffic the term saturates and drops out entirely (counted in
+// quiescent_terms). No rollback, no speculation: the bound is always
+// conservative, so output stays byte-identical at every shard count and
+// with RDMASEM_HORIZON_LEGACY={0,1} (tests/horizon_test.cpp).
+
+void Engine::channel_pull(Shard& dst, EventChannel& ch) {
+  const std::uint64_t h = ch.head.load(std::memory_order_relaxed);
+  const std::uint64_t t = ch.tail.load(std::memory_order_acquire);
+  if (t == h) return;
+  for (std::uint64_t i = h; i != t; ++i)
+    dst.queue.push(std::move(ch.buf[i & (EventChannel::kCap - 1)]));
+  ch.head.store(t, std::memory_order_release);
+  dst.prof.merged_events += t - h;
+}
+
+Time Engine::refresh_horizon(std::uint32_t shard_idx, Time cap) {
+  Shard& sh = *shards_[shard_idx];
+  const std::size_t n = nshards_;
+  Time end = kNoDeadline;
+  std::uint64_t quiescent = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (s == shard_idx) continue;
+    Shard& src = *shards_[s];
+    // Clock FIRST (acquire), channel second — the ordering the soundness
+    // argument above rests on.
+    const Time clk = src.live_clock.load(std::memory_order_acquire);
+    channel_pull(sh, src.chan[shard_idx]);
+    if (clk == kNoDeadline) {
+      ++quiescent;  // quiescent pair: the term drops out of the bound
+      continue;
+    }
+    const Duration reach =
+        shard_reach_[static_cast<std::size_t>(s) * n + shard_idx];
+    const Time bound = clk + reach < clk ? kNoDeadline : clk + reach;
+    end = std::min(end, bound);
   }
+  // Own-diagonal term, computed AFTER the pulls so it sees fresh
+  // deliveries: the cheapest cycle our own next event could take through
+  // a peer and back.
+  const Time own = sh.queue.next_time_or(kNoDeadline);
+  if (own != kNoDeadline) {
+    const Duration rt =
+        shard_reach_[static_cast<std::size_t>(shard_idx) * n + shard_idx];
+    const Time bound = own + rt < own ? kNoDeadline : own + rt;
+    end = std::min(end, bound);
+  }
+  sh.prof.quiescent_terms += quiescent;
+  return std::min(end, cap);
+}
+
+void Engine::run_shard_demand(std::uint32_t shard_idx, Time end, Time cap) {
+  Shard& sh = *shards_[shard_idx];
+  const detail::ExecContext saved = detail::t_exec;
+  detail::t_exec = {this, shard_idx, 0, inline_wakeups_ ? end : 0};
+  const Duration quantum = pub_quantum_;
+  // Opening clock: the earliest this shard can still dispatch — its own
+  // next event, or (queue empty) its static bound, below which nothing
+  // can arrive. Monotone over the reset-time sh.now publication.
+  sh.live_clock.store(std::min(sh.queue.next_time_or(kNoDeadline), end),
+                      std::memory_order_release);
+  // Budget on CONSECUTIVE non-dispatching iterations (stalled polls or
+  // relay-mode widenings with an empty queue). Dispatch progress resets
+  // it; exhaustion re-splits the round at the barrier, which also bounds
+  // the drain tail — with every queue empty the mutually-chasing bounds
+  // would otherwise escalate forever, and only the barrier's exact
+  // publication detects global termination. stall_polls additionally
+  // counts polls where the bound did not even WIDEN: when the peers'
+  // clocks are flat there is nothing to fuse, so give up long before the
+  // full budget instead of spinning a core-starved host's quantum away.
+  std::uint64_t idle_iters = 0;
+  std::uint64_t stall_polls = 0;
+  for (;;) {
+    ProfClock::time_point d0;
+    if (prof_) d0 = ProfClock::now();
+    const std::uint64_t before = sh.processed;
+    while (!sh.queue.empty() && sh.queue.next_time() < end) {
+      Event ev = sh.queue.pop();
+      if (ev.at >= sh.pub_mark && ev.at <= sh.pub_freeze) {
+        // Live clock publication (monotone: dispatch timestamps only
+        // grow within a run phase, and the freeze caps it once a spill
+        // made later sends invisible).
+        sh.live_clock.store(ev.at, std::memory_order_release);
+        sh.pub_mark = ev.at + quantum;
+      }
+      sh.now = ev.at;
+      ++sh.processed;
+      detail::t_exec.lane = ev.exec_lane;
+      if (ev.handle) {
+        ev.handle.resume();
+      } else {
+        ev.fn();
+      }
+    }
+    if (prof_) sh.prof.dispatch_ns += ns_since(d0);
+    if (sh.processed != before) {
+      idle_iters = 0;
+      stall_polls = 0;
+    } else if (++idle_iters > horizon_poll_budget_) {
+      if (!sh.queue.empty()) ++sh.prof.resplit_epochs;
+      break;  // no peer progress within the budget: re-split
+    }
+    if (end >= cap) break;  // deadline-capped (or fully unbounded) round
+    const Time live = refresh_horizon(shard_idx, cap);
+    if (live > end) {
+      // The bound widened: fuse what would have been another barrier
+      // round into this one.
+      ++sh.prof.fused_epochs;
+      if (live != kNoDeadline) sh.prof.horizon_widening_ps += live - end;
+      end = live;
+      stall_polls = 0;
+      detail::t_exec.inline_until = inline_wakeups_ ? end : 0;
+      continue;
+    }
+    // live == end (the bound is monotone). Deliveries may still have
+    // landed inside it — run them; otherwise we are stalled.
+    if (!sh.queue.empty() && sh.queue.next_time() < end) continue;
+    if (sh.queue.empty() && live == kNoDeadline) break;  // global drain
+    if (++stall_polls > 64) {
+      if (!sh.queue.empty()) ++sh.prof.resplit_epochs;
+      break;  // peers' clocks are flat: nothing left to fuse this round
+    }
+    // Stalled: publish our bound as the clock floor so peers can extend
+    // past us, then back off before re-polling the peer clocks — a short
+    // relax burst first (peers on their own cores respond within it),
+    // then yield so a core-starved host can actually schedule the peer
+    // whose clock we are waiting on. Sound: every future dispatch here —
+    // queued (none below end) or a still-invisible arrival (lands beyond
+    // the bound) — is >= the floor.
+    sh.live_clock.store(std::min(end, sh.pub_freeze),
+                        std::memory_order_release);
+    ProfClock::time_point p0;
+    if (prof_) p0 = ProfClock::now();
+    if (stall_polls < 8) {
+      for (std::uint32_t b = 0; b < 128; ++b) cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+    if (prof_) sh.prof.barrier_park_ns += ns_since(p0);
+  }
+  detail::t_exec = saved;
 }
 
 void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
@@ -469,6 +679,7 @@ void Engine::worker_main(std::uint32_t shard_idx, std::uint64_t base_gen) {
     seen = gen_.load(std::memory_order_acquire);
     if (stop_) break;
     run_shard_epoch(shard_idx, epoch_end_);
+    if (prof) ++sh.prof.epochs;
     arrived_.fetch_add(1, std::memory_order_acq_rel);
   }
   if (prof) sh.prof.wall_ns += ns_since(wall0);
@@ -524,7 +735,11 @@ void Engine::drain_inboxes(std::uint32_t shard_idx) {
   Shard& sh = *shards_[shard_idx];
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     if (s == shard_idx) continue;
-    auto& box = shards_[s]->outbox[shard_idx];
+    Shard& src = *shards_[s];
+    // Channel leftovers first (anything not pulled mid-round), then the
+    // spill row. Producers are past barrier B, so both are stable.
+    if (src.chan) channel_pull(sh, src.chan[shard_idx]);
+    auto& box = src.outbox[shard_idx];
     if (box.empty()) continue;
     sh.prof.merged_events += box.size();
     sh.queue.push_all(box);
@@ -549,11 +764,30 @@ void Engine::epoch_loop(std::uint32_t shard_idx, Time deadline,
     } else {
       drain_inboxes(shard_idx);
     }
+    // 1b. Reset the per-round publication state (owner-only fields; the
+    //     coming barrier orders these against peers' reads) and decide
+    //     engagement: the demand-driven phase only pays off when realized
+    //     events-per-round is low, so it engages when the sliding-window
+    //     average drops under the fuse threshold (always on an empty
+    //     window — the first rounds of a run are where fine-grained
+    //     workloads starve).
+    sh.pub_freeze = kNoDeadline;
+    sh.pub_mark = 0;
+    sh.publishing =
+        !horizon_legacy_ &&
+        (sh.win_count == 0 || sh.win_sum < horizon_fuse_events_ * sh.win_count);
     // 2. Publish the post-merge next event time (relaxed: the barrier's
-    //    acq/rel pair publishes it).
-    sh.next_time.store(
-        sh.queue.empty() ? kNoDeadline : sh.queue.next_time(),
-        std::memory_order_relaxed);
+    //    acq/rel pair publishes it). next_time stays UNTOUCHED until the
+    //    next round's step 2, so every shard's step-3 bounds come from
+    //    one consistent snapshot. The live clock starts at the same
+    //    value for a static shard (exact: an empty one provably sends
+    //    nothing this round, so peers may drop its term entirely), but
+    //    an ENGAGED shard starts at sh.now even when drained — it can
+    //    pull and relay mid-round, so it may never claim quiescence.
+    const Time nt = sh.queue.next_time_or(kNoDeadline);
+    sh.next_time.store(nt, std::memory_order_relaxed);
+    sh.live_clock.store(sh.publishing ? sh.now : nt,
+                        std::memory_order_relaxed);
     barrier_wait(phase, bp);  // barrier A: all next-times published
     // 3. Redundantly compute the horizons — every thread reads the same
     //    published times and lands on identical values, so nothing needs
@@ -574,31 +808,59 @@ void Engine::epoch_loop(std::uint32_t shard_idx, Time deadline,
     for (std::uint32_t d = 0; d < nshards_; ++d) {
       Time end = kNoDeadline;
       for (std::uint32_t s = 0; s < nshards_; ++s) {
-        const Time nt = shards_[s]->next_time.load(std::memory_order_relaxed);
-        if (nt == kNoDeadline) continue;
+        const Time snt = shards_[s]->next_time.load(std::memory_order_relaxed);
+        if (snt == kNoDeadline) continue;
         const Duration lat =
             shard_reach_[static_cast<std::size_t>(s) * nshards_ + d];
-        const Time bound = nt + lat < nt ? kNoDeadline : nt + lat;  // saturate
-        end = std::min(end, bound);
+        const Time bound = snt + lat < snt ? kNoDeadline : snt + lat;
+        end = std::min(end, bound);  // (saturating add above)
       }
       if (deadline != kNoDeadline) end = std::min(end, deadline + 1);
       sh.epoch_ends[d] = end;
     }
     const Time own_end = sh.epoch_ends[shard_idx];
     if (own_end != kNoDeadline) sh.prof.lookahead_ps += own_end - t;
-    // 4. Run this shard's epoch; cross-shard pushes land in own outbox
-    //    rows, checked against epoch_ends (identical on every thread).
-    run_shard_epoch(shard_idx, own_end);
-    barrier_wait(phase, bp);  // barrier B: all outbox rows stable
+    // 4. Run this shard's epoch; cross-shard pushes land in own channels
+    //    (or outbox rows on spill / legacy), checked against epoch_ends
+    //    (identical on every thread). An engaged shard keeps extending
+    //    its bound past the static horizon from the peers' live clocks;
+    //    mixing is safe because a non-publishing peer's next_time holds
+    //    the exact barrier-A value, which IS its static term.
+    if (sh.publishing) {
+      const Time cap =
+          deadline == kNoDeadline ? kNoDeadline : deadline + 1;
+      run_shard_demand(shard_idx, own_end, cap);
+    } else {
+      run_shard_epoch(shard_idx, own_end);
+    }
+    if (prof) ++sh.prof.epochs;  // one barrier round == one epoch
+    // 4b. Fold this round's realized event count into the sliding window
+    //     that drives engagement.
+    const std::uint64_t ran = sh.processed - sh.round_base;
+    sh.round_base = sh.processed;
+    sh.win_sum += ran - sh.win_events[sh.win_pos];
+    sh.win_events[sh.win_pos] = ran;
+    sh.win_pos = (sh.win_pos + 1) & 7u;
+    if (sh.win_count < 8) ++sh.win_count;
+    barrier_wait(phase, bp);  // barrier B: all channels + spill rows stable
   }
   if (prof) sh.prof.wall_ns += ns_since(wall0);
 }
 
 bool Engine::run_parallel_epochs(Time deadline) {
   parallel_running_ = true;
+  // Resolve the publication quantum once per run: an explicit knob wins,
+  // otherwise half the global lookahead — fine enough that a peer's term
+  // tracks within half an epoch of its true clock, coarse enough that
+  // publication stays off the dispatch fast path.
+  pub_quantum_ = horizon_quantum_ != 0
+                     ? horizon_quantum_
+                     : std::max<Duration>(lookahead_ / 2, 1);
   for (auto& sh : shards_) {
     sh->epoch_ends.assign(nshards_, 0);
     sh->next_time.store(0, std::memory_order_relaxed);
+    sh->live_clock.store(0, std::memory_order_relaxed);
+    sh->round_base = sh->processed;
   }
   // The base phase is captured before any thread starts so every
   // participant enters the first barrier with the same sense.
@@ -664,6 +926,7 @@ bool Engine::run_parallel_legacy(Time deadline) {
     arrived_.store(0, std::memory_order_relaxed);
     gen_.fetch_add(1, std::memory_order_release);
     run_shard_epoch(0, epoch_end_);
+    if (prof) ++s0.prof.epochs;
     arrived_.fetch_add(1, std::memory_order_acq_rel);
     if (prof) {
       const ProfClock::time_point p0 = ProfClock::now();

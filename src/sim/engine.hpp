@@ -71,9 +71,27 @@ struct ShardProfile {
   std::uint64_t lookahead_ps = 0;  // summed epoch widths granted to this
                                    // shard (virtual ps past the global
                                    // floor); /epochs = effective lookahead.
-                                   // Virtual-time derived, so deterministic
-                                   // — but 0 for serial runs (one unbounded
-                                   // "epoch" has no width).
+                                   // Static widths are virtual-time derived
+                                   // and deterministic; demand-driven
+                                   // extensions (below) add race-dependent
+                                   // widening, so treat it as Plane-2.
+  // --- demand-driven horizon counters (PR 10). Like barrier_park_ns these
+  // are host-race-dependent: how far a horizon extends depends on how far
+  // peers happened to have advanced when we refreshed. Output stays
+  // byte-identical regardless (the bound is always conservative).
+  std::uint64_t quiescent_terms = 0;  // peer terms seen quiescent (clock
+                                      // published as "no future sends")
+                                      // during live-bound refreshes
+  std::uint64_t fused_epochs = 0;     // successful horizon extensions: a
+                                      // refresh widened the bound, fusing
+                                      // what would have been another
+                                      // barrier round into this one
+  std::uint64_t resplit_epochs = 0;   // extensions abandoned: the poll
+                                      // budget expired with runnable work
+                                      // still pending, so the round was
+                                      // re-split at the epoch barrier
+  std::uint64_t horizon_widening_ps = 0;  // virtual ps gained past the
+                                          // static CMB bound by extensions
 };
 
 struct EngineProfile {
@@ -207,6 +225,23 @@ class Engine {
   // it from RDMASEM_EPOCH_LEGACY; flip only while the engine is idle.
   void set_epoch_legacy(bool on) { epoch_legacy_ = on; }
   bool epoch_legacy() const { return epoch_legacy_; }
+  // Horizon selector for the SPMD protocol: true = the PR 9 static
+  // per-epoch CMB bound (no live clock publication, no mid-epoch channel
+  // delivery, no horizon extension) as the differential oracle for the
+  // demand-driven bound — mirroring RDMASEM_EPOCH_LEGACY. The constructor
+  // seeds it from RDMASEM_HORIZON_LEGACY; flip only while the engine is
+  // idle. Output is byte-identical either way at every shard count.
+  void set_horizon_legacy(bool on) { horizon_legacy_ = on; }
+  bool horizon_legacy() const { return horizon_legacy_; }
+  // Virtual-time granularity of live clock publication during a
+  // demand-driven round: a shard republishes its clock when it has
+  // advanced this far past the last publication. 0 = auto (half the
+  // global lookahead floor at run entry). Clusters install half the
+  // fabric base latency — frequent enough that peers' bounds track the
+  // sender within one hop, rare enough to keep the store off most
+  // dispatches. RDMASEM_HORIZON_QUANTUM overrides (ps).
+  void set_horizon_quantum(Duration d) { horizon_quantum_ = d; }
+  Duration horizon_quantum() const { return horizon_quantum_; }
 
   // --- scheduling ----------------------------------------------------------
 
@@ -339,6 +374,24 @@ class Engine {
   void seed(std::uint64_t s);
 
  private:
+  // SPSC channel carrying cross-shard events from one fixed producer
+  // shard to one fixed consumer shard under the demand-driven horizon.
+  // The producer writes a slot then release-stores `tail`; the consumer
+  // acquire-loads `tail` and drains [head, tail). Unlike the legacy
+  // outbox vectors (stable only while producers are parked at the
+  // barrier), a channel may be pulled MID-EPOCH: delivery timing cannot
+  // affect output because every pulled event provably lands in the
+  // consumer's future (see refresh_horizon) and the (at, seq) queue
+  // order absorbs arrival order. A full ring falls back to the
+  // barrier-drained outbox row plus a publication freeze (see
+  // push_event), so the producer never blocks on a parked consumer.
+  struct alignas(64) EventChannel {
+    static constexpr std::uint64_t kCap = 256;  // power of two
+    std::unique_ptr<Event[]> buf = std::make_unique<Event[]>(kCap);
+    alignas(64) std::atomic<std::uint64_t> tail{0};  // producer cursor
+    alignas(64) std::atomic<std::uint64_t> head{0};  // consumer cursor
+  };
+
   // Each Shard is separately heap-allocated and cache-line aligned, and
   // its members are grouped by sharing pattern so the owner's dispatch-hot
   // state never shares a line with anything another thread touches.
@@ -358,10 +411,43 @@ class Engine {
     // under the legacy protocol the main thread writes them all).
     std::vector<std::vector<Event>> outbox;
     std::vector<Time> epoch_ends;
-    // --- barrier publication slot: this shard's post-merge next event
-    // time, written by the owner before the epoch barrier and read by
-    // every thread after it. Own line: it is the only cross-thread word.
+    // --- demand-driven horizon state (owner-private). chan[d] is this
+    // shard's SPSC channel toward shard d. pub_mark is the virtual time
+    // at which the owner next republishes its clock (quantum-gated);
+    // pub_freeze caps every publication once an event spilled past a full
+    // ring (spilled events are invisible until the barrier, so peers must
+    // not run past spill-time + lookahead). The win_* ring is the
+    // sliding window of realized events-per-round that decides whether
+    // the next round engages the demand-driven machinery at all.
+    std::unique_ptr<EventChannel[]> chan;
+    Time pub_mark = 0;
+    Time pub_freeze = ~Time{0};
+    bool publishing = false;
+    std::uint64_t win_events[8] = {};
+    std::uint64_t win_sum = 0;
+    std::uint32_t win_pos = 0;
+    std::uint32_t win_count = 0;
+    std::uint64_t round_base = 0;  // processed count at the round's start
+    // --- publication slot: this shard's post-merge next event time,
+    // written by the owner before the epoch barrier and read by every
+    // thread after it — and by NOBODY during the round, so all shards'
+    // step-3 static bounds are computed from one consistent snapshot.
+    // Own line: it is the hot cross-thread word.
     alignas(64) std::atomic<Time> next_time{0};
+    // --- live clock (demand-driven rounds): a monotone lower bound on
+    // this shard's next dispatch time — and hence, plus the per-pair
+    // lookahead, on the arrival time of every event it may still send or
+    // RELAY this round. Separate from next_time on purpose: mid-round
+    // stores here cannot race another shard's static-bound computation.
+    // Values, in round order: sh.now (published at the pre-barrier reset
+    // — an engaged shard may relay mid-round pulls, so unlike a static
+    // shard it may never claim the kNoDeadline "sends nothing" clock);
+    // min(own next, static bound) at run entry; at each dispatch the
+    // event's timestamp (quantum-gated); while stalled, the shard's
+    // current bound. Readers acquire it BEFORE pulling the publisher's
+    // channel, so anything not yet visible in the ring provably carries
+    // at >= clock + lookahead (see refresh_horizon).
+    alignas(64) std::atomic<Time> live_clock{0};
     // --- host-time profiling accumulator (Plane 2), own line. Written by
     // the owning thread, except merge_ns/merged_events/lookahead_ps which
     // the LEGACY protocol's main thread writes while workers are parked.
@@ -411,15 +497,44 @@ class Engine {
       const std::uint32_t src =
           detail::t_exec.eng == this ? detail::t_exec.shard : 0;
       if (dst != src) {
+        Shard& sh = *shards_[src];
         // Conservative-epoch safety: a cross-shard event may not land
         // inside the destination's current epoch (it may already have run
         // past it). epoch_ends[dst] is the pushing shard's own copy of the
         // per-destination bound — the fabric and the home-lane sync
         // routing guarantee it by construction, because every cross-lane
         // path pays at least the per-pair lookahead latency.
-        RDMASEM_CHECK_MSG(ev.at >= shards_[src]->epoch_ends[dst],
+        RDMASEM_CHECK_MSG(ev.at >= sh.epoch_ends[dst],
                           "cross-shard event inside the lookahead window");
-        shards_[src]->outbox[dst].push_back(std::move(ev));
+        // The per-pair latency floor itself, enforced directly: the
+        // demand-driven horizon (refresh_horizon) is sound exactly
+        // because every send from local clock `now` carries
+        // at >= now + shard_lookahead(src, dst).
+        RDMASEM_CHECK_MSG(
+            ev.at >= sh.now + shard_lat_[static_cast<std::size_t>(src) *
+                                             nshards_ +
+                                         dst],
+            "cross-shard event undercuts the per-pair lookahead");
+        if (epoch_legacy_ || horizon_legacy_) {
+          sh.outbox[dst].push_back(std::move(ev));
+          return;
+        }
+        // Demand-driven rounds route through the SPSC channel so the
+        // destination can pull mid-epoch. Ring full: spill to the
+        // barrier-drained outbox row and freeze this shard's published
+        // clock at its current position — spilled events are invisible
+        // until the next barrier, so peers must not extend past
+        // now + lookahead.
+        EventChannel& ch = sh.chan[dst];
+        const std::uint64_t t = ch.tail.load(std::memory_order_relaxed);
+        if (t - ch.head.load(std::memory_order_acquire) <
+            EventChannel::kCap) {
+          ch.buf[t & (EventChannel::kCap - 1)] = std::move(ev);
+          ch.tail.store(t + 1, std::memory_order_release);
+        } else {
+          if (sh.pub_freeze > sh.now) sh.pub_freeze = sh.now;
+          sh.outbox[dst].push_back(std::move(ev));
+        }
         return;
       }
     }
@@ -429,6 +544,19 @@ class Engine {
   void dispatch(Shard& sh, std::uint32_t shard_idx, Event& ev);
   // Runs one shard's events with at < end (the shard's epoch horizon).
   void run_shard_epoch(std::uint32_t shard_idx, Time end);
+  // Demand-driven run phase of one barrier round: dispatches below the
+  // static bound `end`, then repeatedly refreshes a LIVE bound from the
+  // peers' published clocks (pulling channel traffic as it lands) and
+  // keeps running as long as the bound widens or deliveries arrive —
+  // fusing what would have been many static rounds into one barrier
+  // crossing. `cap` is deadline + 1 (kNoDeadline for run()).
+  void run_shard_demand(std::uint32_t shard_idx, Time end, Time cap);
+  // Recomputes shard_idx's live conservative bound and pulls every
+  // peer channel (mid-epoch delivery). See engine.cpp for the soundness
+  // argument; returns min(bound, cap).
+  Time refresh_horizon(std::uint32_t shard_idx, Time cap);
+  // Drains one channel into `dst`'s queue (consumer side).
+  void channel_pull(Shard& dst, EventChannel& ch);
   // The conservative-epoch driver; `deadline` = kNoDeadline for run().
   // Returns true if events remain past the deadline. Dispatches to the
   // sense-reversing SPMD protocol or, under RDMASEM_EPOCH_LEGACY, the
@@ -493,6 +621,12 @@ class Engine {
   bool parallel_running_ = false;
   bool inline_wakeups_ = true;
   bool epoch_legacy_ = false;
+  // Demand-driven horizon knobs (see the public setters / engine.cpp).
+  bool horizon_legacy_ = false;
+  Duration horizon_quantum_ = 0;       // 0 = auto at run entry
+  Duration pub_quantum_ = 1;           // resolved per parallel run
+  std::uint64_t horizon_poll_budget_ = 512;
+  std::uint64_t horizon_fuse_events_ = 4096;
   // Plane-2 profiling (RDMASEM_PROF). Written only while the engine is
   // not running; worker threads read it after being spawned.
   bool prof_ = false;

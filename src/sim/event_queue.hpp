@@ -158,6 +158,13 @@ class EventQueue {
     return peek_best()->at;
   }
 
+  // next_time() with an empty-queue fallback instead of a CHECK. The
+  // demand-driven horizon (engine.cpp) polls drained queues in its
+  // refresh loop, where "empty" is an ordinary state, not a bug.
+  Time next_time_or(Time fallback) {
+    return size_ == 0 ? fallback : next_time();
+  }
+
   // (at, seq) key of the next event in dispatch order. Requires !empty().
   // Used by the engine to pick the globally-minimum shard when stepping
   // serially across shards (run_events).

@@ -26,6 +26,14 @@ namespace rdmasem::sim {
 // Cross-lane use therefore requires a nonzero engine lookahead; the
 // Cluster always configures one. Waiters are resumed on the lane they
 // suspended on.
+//
+// Latency-floor contract: every cross-lane event these primitives post
+// is scheduled at now + Engine::lookahead(origin, home) or later — never
+// earlier. The demand-driven horizon (PR 10, sim/engine.cpp) depends on
+// exactly this floor to extend epochs from peers' live clocks, and the
+// engine asserts it on every cross-shard push
+// ("cross-shard event undercuts the per-pair lookahead"), so a primitive
+// that shaved the delay would trip the CHECK, not corrupt the order.
 
 // OneShotEvent — level-triggered: once set(), all current and future
 // waiters proceed immediately. Used for "experiment warm-up done" barriers.
